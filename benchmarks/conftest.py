@@ -1,0 +1,26 @@
+"""Benchmark harness configuration.
+
+Each benchmark runs one paper table/figure end-to-end (workload generation,
+parameter sweep, all execution versions, comparators) and prints the
+reproduced table next to the paper's reported numbers.  Experiments are
+deterministic, so a single round per benchmark suffices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment once under pytest-benchmark and print its table."""
+
+    def runner(fn, *args, **kwargs) -> ExperimentResult:
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        print()
+        print(result.render())
+        return result
+
+    return runner

@@ -1,0 +1,70 @@
+"""Ablations: chunk size and interconnect bandwidth (extension benches).
+
+* **Chunk size** - Aer's 2^21-amplitude chunks vs smaller/larger chunks:
+  granularity changes batch counts and per-copy latency, but the streamed
+  byte volume is identical, so the effect should be small - validating the
+  paper's choice as non-critical.
+* **Link bandwidth** - PCIe 3.0 vs PCIe 4.0 vs NVLink: the streaming
+  versions are transfer-bound, so Q-GPU's runtime should scale nearly
+  inversely with link bandwidth until the GPU kernels become the bound.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.tables import format_table
+from repro.circuits.library import get_circuit
+from repro.core.executor import TimedExecutor
+from repro.core.versions import OVERLAP, QGPU
+from repro.hardware.machine import Machine
+from repro.hardware.specs import GB, LinkSpec, NVLINK2, PAPER_MACHINE, PCIE3_X16
+
+PCIE4_X16 = LinkSpec("PCIe 4.0 x16", bandwidth_per_direction=24 * GB)
+NUM_QUBITS = 32
+
+
+def run_chunk_ablation() -> dict[int, float]:
+    circuit = get_circuit("qft", NUM_QUBITS)
+    results = {}
+    for chunk_bits in (18, 21, 24):
+        executor = TimedExecutor(Machine(PAPER_MACHINE), chunk_bits=chunk_bits)
+        results[chunk_bits] = executor.execute(circuit, OVERLAP).total_seconds
+    return results
+
+
+def run_link_ablation() -> dict[str, float]:
+    circuit = get_circuit("qft", NUM_QUBITS)
+    results = {}
+    for link in (PCIE3_X16, PCIE4_X16, NVLINK2):
+        machine = Machine(replace(PAPER_MACHINE, link=link))
+        results[link.name] = TimedExecutor(machine).execute(
+            circuit, QGPU, compression_ratio=0.5
+        ).total_seconds
+    return results
+
+
+def test_ablation_chunk_size(benchmark) -> None:
+    results = benchmark.pedantic(run_chunk_ablation, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["chunk_bits", "seconds"], [[k, v] for k, v in results.items()],
+        title=f"[ablation] chunk size, Overlap qft_{NUM_QUBITS}",
+    ))
+    values = list(results.values())
+    # Same bytes stream regardless of granularity: within a few percent.
+    assert max(values) / min(values) < 1.05
+
+
+def test_ablation_link_bandwidth(benchmark) -> None:
+    results = benchmark.pedantic(run_link_ablation, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["link", "seconds"], [[k, v] for k, v in results.items()],
+        title=f"[ablation] interconnect, Q-GPU qft_{NUM_QUBITS}",
+    ))
+    pcie3 = results["PCIe 3.0 x16"]
+    pcie4 = results["PCIe 4.0 x16"]
+    nvlink = results["NVLink 2.0"]
+    assert pcie4 < pcie3
+    assert nvlink < pcie4
+    # Transfer-bound regime: doubling bandwidth buys close to 2x.
+    assert pcie3 / pcie4 > 1.5

@@ -1,0 +1,47 @@
+"""Ablation: compression-ratio sensitivity (extension bench).
+
+Sweeps the GFC ratio handed to the executor from 1.0 (incompressible) down
+to 0.1, showing where compression stops paying: once the codec occupies the
+GPU longer than the link saves, better ratios stop helping.
+"""
+
+from repro.analysis.tables import format_table
+from repro.circuits.library import get_circuit
+from repro.core.executor import TimedExecutor
+from repro.core.versions import QGPU, REORDER
+from repro.hardware.machine import Machine
+from repro.hardware.specs import PAPER_MACHINE
+
+RATIOS = (1.0, 0.8, 0.6, 0.4, 0.2, 0.1)
+NUM_QUBITS = 32
+
+
+def run_ablation() -> dict[float, float]:
+    executor = TimedExecutor(Machine(PAPER_MACHINE))
+    circuit = get_circuit("qaoa", NUM_QUBITS)
+    results = {}
+    for ratio in RATIOS:
+        results[ratio] = executor.execute(
+            circuit, QGPU, compression_ratio=ratio
+        ).total_seconds
+    results["no-compression"] = executor.execute(circuit, REORDER).total_seconds
+    return results
+
+
+def test_ablation_compression_ratio(benchmark) -> None:
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["ratio", "seconds"], [[str(k), v] for k, v in results.items()],
+        title=f"[ablation] compression ratio, qaoa_{NUM_QUBITS}",
+    ))
+    # Better ratios are monotonically faster...
+    ordered = [results[r] for r in RATIOS]
+    assert all(a >= b - 1e-9 for a, b in zip(ordered, ordered[1:]))
+    # ...but with diminishing returns: 0.2 -> 0.1 saves proportionally less
+    # than 1.0 -> 0.8 relative to the bytes removed (codec+kernel floor).
+    top_gain = (results[1.0] - results[0.8]) / 0.2
+    tail_gain = (results[0.2] - results[0.1]) / 0.1
+    assert tail_gain < top_gain
+    # Ratio 1.0 costs codec time for nothing: slower than no compression.
+    assert results[1.0] >= results["no-compression"]

@@ -1,0 +1,50 @@
+"""Ablation: Aer-style gate fusion width (extension bench).
+
+Fusion multiplies adjacent overlapping gates into one pass, cutting
+full-state traversals; it is on by default in both the paper's baseline and
+Q-GPU, so it cancels out of normalized figures.  This bench measures its
+absolute effect per version.
+"""
+
+from repro.analysis.tables import format_table
+from repro.circuits.library import get_circuit
+from repro.core.executor import TimedExecutor
+from repro.core.versions import OVERLAP, QGPU
+from repro.hardware.machine import Machine
+from repro.hardware.specs import PAPER_MACHINE
+
+WIDTHS = (0, 2, 4)
+NUM_QUBITS = 32
+
+
+def run_ablation() -> dict[tuple[str, int], float]:
+    executor = TimedExecutor(Machine(PAPER_MACHINE))
+    results = {}
+    for family in ("qft", "hchain"):
+        circuit = get_circuit(family, NUM_QUBITS)
+        for width in WIDTHS:
+            timing = executor.execute(
+                circuit, OVERLAP, fusion_max_qubits=width
+            )
+            results[(family, width)] = timing.total_seconds
+    return results
+
+
+def test_ablation_fusion(benchmark) -> None:
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = [
+        [f"{family} fusion<={width or 'off'}", seconds]
+        for (family, width), seconds in results.items()
+    ]
+    print()
+    print(format_table(["configuration", "seconds"], rows,
+                       title=f"[ablation] gate fusion, Overlap at {NUM_QUBITS}q"))
+    for family in ("qft", "hchain"):
+        off = results[(family, 0)]
+        two = results[(family, 2)]
+        four = results[(family, 4)]
+        # Wider fusion never streams more passes.
+        assert four <= two <= off * 1.001, family
+        # hchain's dense single-qubit runs fuse well (>1.5x fewer passes).
+        if family == "hchain":
+            assert off / four > 1.5

@@ -1,0 +1,90 @@
+"""Ablation: cache-blocking qubit layout (Doi & Horii, QCE 2020).
+
+Relabels qubits so the gate-busiest ones live inside the chunk, reducing
+Case-2 (cross-chunk) updates in the static baseline.  This is the
+cache-blocking lineage the paper's baseline builds on (reference [17]).
+"""
+
+from repro.analysis.tables import format_table
+from repro.circuits.layout import (
+    apply_layout,
+    cache_blocking_layout,
+    cache_blocking_swaps,
+    cross_chunk_gate_count,
+)
+from repro.circuits.library import get_circuit
+from repro.core.executor import DEFAULT_CHUNK_BITS, TimedExecutor
+from repro.core.versions import BASELINE
+from repro.hardware.machine import Machine
+from repro.hardware.specs import PAPER_MACHINE
+
+FAMILIES = ("qf", "bv", "hchain", "qft")
+NUM_QUBITS = 33
+
+
+def run_ablation() -> dict[str, tuple[int, int, float, float]]:
+    executor = TimedExecutor(Machine(PAPER_MACHINE))
+    results = {}
+    for family in FAMILIES:
+        circuit = get_circuit(family, NUM_QUBITS)
+        mapping = cache_blocking_layout(circuit, DEFAULT_CHUNK_BITS)
+        remapped = apply_layout(circuit, mapping)
+        before = cross_chunk_gate_count(circuit, DEFAULT_CHUNK_BITS)
+        after = cross_chunk_gate_count(remapped, DEFAULT_CHUNK_BITS)
+        t_before = executor.execute(circuit, BASELINE).total_seconds
+        t_after = executor.execute(remapped, BASELINE).total_seconds
+        results[family] = (before, after, t_before, t_after)
+    return results
+
+
+def test_ablation_cache_blocking_layout(benchmark) -> None:
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = [
+        [family, before, after, t_before, t_after]
+        for family, (before, after, t_before, t_after) in results.items()
+    ]
+    print()
+    print(format_table(
+        ["circuit", "cross_chunk_before", "after", "baseline_s", "layout_s"],
+        rows, title=f"[ablation] cache-blocking layout at {NUM_QUBITS}q",
+    ))
+    for family, (before, after, t_before, t_after) in results.items():
+        assert after <= before, family
+        # Fewer reactive exchanges can only help the static baseline.
+        assert t_after <= t_before * 1.01, family
+
+
+def run_swap_ablation() -> list[list]:
+    from repro.core.executor import DEFAULT_CHUNK_BITS
+
+    executor = TimedExecutor(Machine(PAPER_MACHINE))
+    rows = []
+    for family in ("hchain", "qft"):
+        circuit = get_circuit(family, NUM_QUBITS)
+        physical, _ = cache_blocking_swaps(circuit, DEFAULT_CHUNK_BITS)
+        local_originals = sum(
+            1 for g in physical
+            if g.name != "swap" and all(q < DEFAULT_CHUNK_BITS for q in g.qubits)
+        )
+        swaps = physical.gate_counts().get("swap", 0)
+        t_orig = executor.execute(circuit, BASELINE).total_seconds
+        t_swapped = executor.execute(physical, BASELINE).total_seconds
+        rows.append([family, len(circuit), swaps, t_orig, t_swapped, local_originals])
+    return rows
+
+
+def test_ablation_cache_blocking_swaps(benchmark) -> None:
+    """Dynamic (swap-inserting) cache blocking: every original gate becomes
+    chunk-local; only inserted SWAPs cross the boundary.  The honest
+    finding: in the CPU-bound static baseline the extra SWAP exchanges cost
+    more than the locality saves - cache blocking pays off only when
+    cross-chunk updates are the bottleneck."""
+    rows = benchmark.pedantic(run_swap_ablation, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["circuit", "orig_gates", "swaps_added", "baseline_s", "swapped_s",
+         "local_originals"],
+        rows, title=f"[ablation] swap-based cache blocking at {NUM_QUBITS}q",
+    ))
+    for family, orig_gates, _, _, _, local_originals in rows:
+        assert local_originals == orig_gates, family

@@ -1,0 +1,50 @@
+"""Ablation: live-set GPU residency (extension beyond the paper).
+
+The paper's design streams live chunks from host memory on every gate; this
+ablation caches the pruned live set on the GPU while it fits
+(``VersionConfig.live_residency``), quantifying what the paper's circular-
+buffer design leaves on the table for late-involvement circuits.
+"""
+
+from repro.analysis.tables import format_table
+from repro.circuits.library import get_circuit
+from repro.core.simulator import QGpuSimulator
+from repro.core.versions import REORDER, VersionConfig
+from repro.hardware.specs import PAPER_MACHINE
+
+RESIDENT = VersionConfig(
+    "Reorder+residency", dynamic_allocation=True, overlap=True, pruning=True,
+    reorder_strategy="forward_looking", live_residency=True,
+)
+
+FAMILIES = ("iqp", "gs", "qft", "qaoa", "hchain")
+NUM_QUBITS = 32
+
+
+def run_ablation() -> dict[str, tuple[float, float]]:
+    results = {}
+    for family in FAMILIES:
+        circuit = get_circuit(family, NUM_QUBITS)
+        streaming = QGpuSimulator(version=REORDER).estimate(circuit).total_seconds
+        resident = QGpuSimulator(version=RESIDENT).estimate(circuit).total_seconds
+        results[family] = (streaming, resident)
+    return results
+
+
+def test_ablation_live_residency(benchmark) -> None:
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = [
+        [family, streaming, resident, streaming / resident]
+        for family, (streaming, resident) in results.items()
+    ]
+    print()
+    print(format_table(
+        ["circuit", "streaming_s", "resident_s", "speedup"], rows,
+        title=f"[ablation] live-set residency at {NUM_QUBITS} qubits (P100)",
+    ))
+    for family, (streaming, resident) in results.items():
+        # Residency can only help (never adds work).
+        assert resident <= streaming * 1.001, family
+    # Late-involvement circuits benefit the most from caching the live set.
+    gain = {f: s / r for f, (s, r) in results.items()}
+    assert gain["iqp"] > gain["qaoa"]

@@ -1,0 +1,45 @@
+"""Extension bench: capacity gained by compressed host storage.
+
+The paper's runtime already stores chunks compressed on the host (Section
+IV-D); this bench quantifies the consequence it never evaluates - how many
+*more qubits* each circuit family fits in the P100 server's 384 GiB, using
+the per-family GFC ratios measured on real amplitudes.
+"""
+
+from repro.analysis.capacity import capacity_gain, max_qubits
+from repro.analysis.tables import format_table
+from repro.circuits.library import FAMILIES
+from repro.compression.profile import family_ratio
+from repro.hardware.specs import PAPER_MACHINE
+
+
+def run_capacity() -> dict[str, object]:
+    gains = {
+        family: capacity_gain(family, PAPER_MACHINE, family_ratio(family))
+        for family in FAMILIES
+    }
+    return gains
+
+
+def test_ext_compressed_capacity(benchmark) -> None:
+    gains = benchmark.pedantic(run_capacity, rounds=1, iterations=1)
+    rows = [
+        [g.family, g.ratio, g.qubits_uncompressed, g.qubits_compressed,
+         f"+{g.extra_qubits}"]
+        for g in gains.values()
+    ]
+    print()
+    print(format_table(
+        ["family", "gfc_ratio", "max_q_raw", "max_q_compressed", "gain"],
+        rows, title="[extension] compressed host storage on the P100 server",
+    ))
+    # Raw capacity matches the paper: 34 qubits in 384 GiB.
+    assert max_qubits(PAPER_MACHINE, 1.0) == 34
+    # Strongly compressible families gain at least two qubits...
+    assert gains["qft"].extra_qubits >= 2
+    assert gains["gs"].extra_qubits >= 2
+    # ...incompressible ones gain at most a little.
+    assert gains["rqc"].extra_qubits <= 1
+    assert gains["iqp"].extra_qubits <= 1
+    # Compression never shrinks capacity.
+    assert all(g.extra_qubits >= 0 for g in gains.values())

@@ -1,0 +1,59 @@
+"""Extension bench: multi-node scaling projection.
+
+Projects Q-GPU's streaming model onto clusters of the paper's V100 server,
+asking (a) how far the qubit ceiling moves with node count, and (b) how
+strong-scaling efficiency decays as shard exchanges grow.
+"""
+
+from repro.analysis.scaling import (
+    ClusterSpec,
+    estimate_distributed,
+    max_cluster_qubits,
+)
+from repro.analysis.tables import format_table
+from repro.circuits.library import get_circuit
+from repro.hardware.specs import V100_MACHINE
+
+
+def run_scaling() -> dict:
+    capacity_rows = []
+    for nodes in (1, 4, 16, 64, 256):
+        cluster = ClusterSpec(V100_MACHINE, nodes)
+        capacity_rows.append([nodes, max_cluster_qubits(cluster)])
+
+    circuit = get_circuit("qft", 32)
+    strong_rows = []
+    base = None
+    for nodes in (1, 2, 4, 8, 16):
+        estimate = estimate_distributed(circuit, ClusterSpec(V100_MACHINE, nodes))
+        if base is None:
+            base = estimate.total_seconds
+        efficiency = base / (nodes * estimate.total_seconds)
+        strong_rows.append(
+            [nodes, estimate.total_seconds, estimate.exchange_seconds,
+             estimate.exchange_gates, efficiency]
+        )
+    return {"capacity": capacity_rows, "strong": strong_rows}
+
+
+def test_ext_distributed_scaling(benchmark) -> None:
+    data = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    print()
+    print(format_table(["nodes", "max_qubits"], data["capacity"],
+                       title="[extension] cluster capacity (V100 nodes)"))
+    print()
+    print(format_table(
+        ["nodes", "total_s", "exchange_s", "exchange_gates", "efficiency"],
+        data["strong"], title="[extension] strong scaling, qft_32",
+    ))
+    capacity = dict((row[0], row[1]) for row in data["capacity"])
+    # Doubling nodes buys one qubit (state doubles per qubit).
+    assert capacity[4] == capacity[1] + 2
+    assert capacity[256] == capacity[1] + 8
+    strong = {row[0]: row for row in data["strong"]}
+    # More nodes is faster in absolute terms...
+    totals = [strong[nodes][1] for nodes in (1, 2, 4, 8, 16)]
+    assert all(a >= b for a, b in zip(totals, totals[1:]))
+    # ...but efficiency decays as exchanges grow.
+    assert strong[16][4] < strong[2][4]
+    assert strong[16][3] > 0  # boundary gates exist at 16 nodes

@@ -1,0 +1,12 @@
+"""Bench: Fig. 2 - baseline execution-time breakdown at 34 qubits."""
+
+from repro.experiments.fig02_baseline_breakdown import run
+
+
+def test_fig2_baseline_breakdown(run_once) -> None:
+    result = run_once(run)
+    mean = result.data["average"]
+    # Paper: cpu 88.89%, exchange+sync 10.29%, gpu 0.82%.
+    assert mean["cpu"] > 0.85
+    assert 0.01 < mean["transfer"] < 0.15
+    assert mean["gpu"] < 0.05

@@ -1,0 +1,10 @@
+"""Bench: Fig. 3 - naive dynamic allocation never beats the baseline."""
+
+from repro.experiments.fig03_naive_normalized import run
+
+
+def test_fig3_naive_normalized(run_once) -> None:
+    result = run_once(run)
+    for family, by_size in result.data["normalized"].items():
+        for size, ratio in by_size.items():
+            assert ratio > 1.0, f"{family}_{size} improved under naive streaming"

@@ -1,0 +1,10 @@
+"""Bench: Fig. 4 - the naive approach is dominated by data movement."""
+
+from repro.experiments.fig04_naive_breakdown import run
+
+
+def test_fig4_naive_breakdown(run_once) -> None:
+    result = run_once(run)
+    mean = result.data["average"]
+    assert mean["transfer"] > 0.8
+    assert mean["cpu"] == 0.0

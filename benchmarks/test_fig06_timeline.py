@@ -1,0 +1,19 @@
+"""Bench: Fig. 6 - execution timelines of the stacked optimizations."""
+
+from repro.experiments.fig06_timeline import run
+
+
+def test_fig6_timeline(run_once) -> None:
+    result = run_once(run)
+    times = result.data["times"]
+    # The Fig. 6 narrative: naive is worst, then each optimization removes
+    # additional cycles.
+    assert times["Naive"] > times["Baseline"]
+    assert (
+        times["Baseline"] > times["Overlap"] > times["Pruning"]
+        > times["Reorder"] > times["Q-GPU"]
+    )
+    # The Gantt charts demonstrate the overlap: in the naive single-stream
+    # schedule the H2D engine idles while D2H runs; in the double-buffered
+    # one both directions are busy concurrently most of the time.
+    assert "#" in result.data["gantt_overlap"]

@@ -1,0 +1,12 @@
+"""Bench: Fig. 7 - hchain_10 amplitude distribution along the circuit."""
+
+from repro.experiments.fig07_amplitude_distribution import run
+
+
+def test_fig7_amplitude_distribution(run_once) -> None:
+    result = run_once(run)
+    snapshots = result.data["snapshots"]
+    fractions = [s.nonzero_fraction for s in snapshots]
+    assert fractions[0] < 0.01  # mostly zero at op 0
+    assert fractions == sorted(fractions)  # fills in monotonically
+    assert fractions[-1] > 0.2  # dense by op 90

@@ -1,0 +1,23 @@
+"""Bench: Fig. 9 - involvement delay under greedy/forward-looking orders."""
+
+from repro.experiments.fig09_reorder_involvement import run
+
+
+def test_fig9_reorder_involvement(run_once) -> None:
+    result = run_once(run)
+    summaries = result.data["summaries"]
+    for family in ("gs", "qft"):
+        original = summaries[(family, "original")][1]
+        forward = summaries[(family, "forward_looking")][1]
+        assert forward < 0.5 * original, family
+    # qaoa resists reordering (dense gate dependencies).
+    assert (
+        summaries[("qaoa", "forward_looking")][1]
+        > 0.6 * summaries[("qaoa", "original")][1]
+    )
+    # Forward-looking is never worse than greedy on mean live fraction.
+    for family in ("gs", "qft", "qaoa"):
+        assert (
+            summaries[(family, "forward_looking")][1]
+            <= summaries[(family, "greedy")][1] + 0.05
+        )

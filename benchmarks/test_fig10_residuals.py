@@ -1,0 +1,12 @@
+"""Bench: Fig. 10 - residual distributions of qaoa vs iqp."""
+
+from repro.experiments.fig10_residuals import run
+
+
+def test_fig10_residuals(run_once) -> None:
+    result = run_once(run)
+    stats = result.data["stats"]
+    qaoa_res, _, qaoa_ratio = stats["qaoa"]
+    iqp_res, _, iqp_ratio = stats["iqp"]
+    assert qaoa_res.near_zero_fraction > iqp_res.near_zero_fraction
+    assert qaoa_ratio < iqp_ratio  # qaoa compressible, iqp not

@@ -1,0 +1,20 @@
+"""Bench: Fig. 11 - GFC pipeline structure (segments/micro-chunks/warps)."""
+
+from repro.experiments.fig11_codec_structure import SEGMENT_COUNTS, run
+
+
+def test_fig11_codec_structure(run_once) -> None:
+    result = run_once(run)
+    ratios = result.data["ratios"]
+    # On a large live region (qaoa streams the full state here) warp
+    # parallelism is nearly free ratio-wise.
+    qaoa_series = [ratios[("qaoa", s)] for s in SEGMENT_COUNTS]
+    assert max(qaoa_series) - min(qaoa_series) < 0.01
+    # On a small live region, over-partitioning degrades the ratio: each
+    # segment restarts its predictor, and a one-micro-chunk segment has no
+    # intra-segment history at all.
+    iqp_series = [ratios[("iqp", s)] for s in SEGMENT_COUNTS]
+    assert iqp_series[-1] > iqp_series[0]
+    # The compressibility contrast survives at every parallelism level.
+    for segments in SEGMENT_COUNTS:
+        assert ratios[("qaoa", segments)] < ratios[("iqp", segments)]

@@ -1,0 +1,40 @@
+"""Bench: Fig. 12 - the headline result.
+
+Normalized execution time of all six versions plus CPU-OpenMP across the
+nine benchmark circuits at 30/32/34 qubits on the P100 server.  The shape
+claims checked here are the paper's Section V-A findings.
+"""
+
+from repro.experiments.fig12_overall import run
+
+
+def test_fig12_overall(run_once) -> None:
+    result = run_once(run)
+    averages = result.data["averages_at_largest"]
+    table = result.data["normalized"]
+
+    # Stacked optimizations are monotone on average.
+    assert averages["Naive"] > 1.0 > averages["Overlap"]
+    assert averages["Overlap"] > averages["Pruning"] > averages["Reorder"]
+    assert averages["Reorder"] > averages["Q-GPU"]
+
+    # Calibrated anchors (paper: 0.76 / 0.52 / 0.42).
+    assert abs(averages["Overlap"] - 0.76) < 0.06
+    assert abs(averages["Pruning"] - 0.52) < 0.08
+    assert abs(averages["CPU-OpenMP"] - 0.42) < 0.06
+
+    # Q-GPU delivers a large average speedup over Baseline (paper: 3.55x;
+    # our reorder pass is stronger, so the factor lands higher).
+    assert 1.0 / averages["Q-GPU"] > 3.0
+
+    # Per-circuit winners and losers (paper Section V-A):
+    # gs/qft/iqp gain the most, hchain and qaoa the least.
+    gains = {f: table[(f, 34)]["Q-GPU"] for f in
+             ("hchain", "rqc", "qaoa", "gs", "hlf", "qft", "iqp", "qf", "bv")}
+    weakest_two = sorted(gains, key=gains.get, reverse=True)[:2]
+    assert set(weakest_two) == {"hchain", "qaoa"}
+    for strong in ("gs", "qft", "iqp"):
+        assert gains[strong] < 0.1
+
+    # Q-GPU cannot beat CPU-OpenMP on hchain (paper Section V-A).
+    assert table[("hchain", 34)]["Q-GPU"] > table[("hchain", 34)]["CPU-OpenMP"]

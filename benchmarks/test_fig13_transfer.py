@@ -1,0 +1,29 @@
+"""Bench: Fig. 13 - data-transfer time normalized to the Naive version."""
+
+from repro.experiments.fig13_transfer import run
+
+
+def test_fig13_transfer(run_once) -> None:
+    result = run_once(run)
+    table = result.data["normalized"]
+    averages = result.data["averages"]
+
+    # Overlap removes ~half the transfer time, uniformly across circuits
+    # (paper: 44.56% on average, circuit-independent).
+    for family, row in table.items():
+        assert abs(row["Overlap"] - 0.5) < 0.06, family
+
+    # Pruning/reorder savings are circuit-dependent.
+    assert table["iqp"]["Pruning"] < 0.15
+    assert table["qaoa"]["Pruning"] > 0.4
+    assert table["gs"]["Reorder"] < 0.1
+
+    # Compression helps the compressible circuits beyond reordering.
+    for family in ("qaoa", "gs", "qft", "qf"):
+        assert table[family]["Q-GPU"] < table[family]["Reorder"], family
+
+    # Stepwise reduction on average.
+    assert (
+        1.0 > averages["Overlap"] > averages["Pruning"]
+        > averages["Reorder"] > averages["Q-GPU"]
+    )

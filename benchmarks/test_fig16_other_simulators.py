@@ -1,0 +1,18 @@
+"""Bench: Fig. 16 - Q-GPU vs Google Qsim-Cirq and Microsoft QDK."""
+
+from repro.experiments.fig16_other_simulators import run
+
+
+def test_fig16_other_simulators(run_once) -> None:
+    result = run_once(run)
+    averages = result.data["averages"]
+    speedups = result.data["speedups"]
+
+    # Q-GPU wins against both (paper: 2.02x and 10.82x; our stronger
+    # reorder pass pushes the factors higher - direction and ordering are
+    # the reproduced claims).
+    assert averages["Qsim-Cirq"] > 2.0
+    assert averages["QDK"] > 10.0
+    assert averages["QDK"] > averages["Qsim-Cirq"]
+    assert all(s > 1.0 for s in speedups["Qsim-Cirq"])
+    assert all(s > 1.0 for s in speedups["QDK"])

@@ -1,0 +1,21 @@
+"""Bench: Fig. 17 - Q-GPU on the V100 and A100 servers."""
+
+import math
+
+from repro.experiments.fig17_v100_a100 import run
+
+
+def test_fig17_v100_a100(run_once) -> None:
+    result = run_once(run)
+    reductions = result.data["average_reduction"]
+    table = result.data["normalized"]
+
+    # Both servers gain; the A100's larger device memory helps the baseline
+    # more, so its headroom is smaller (paper: 53.24% vs 27.05%).
+    assert reductions["V100"] > reductions["A100"] > 0
+
+    # The baseline wins some benchmarks on the A100 (qaoa at 32 qubits
+    # streams incompressible-ish data against a 60%-resident baseline).
+    a100_ratios = [row["A100"] for row in table.values() if not math.isnan(row["A100"])]
+    assert any(ratio > 0.9 for ratio in a100_ratios)
+    assert any(ratio < 0.1 for ratio in a100_ratios)

@@ -1,0 +1,83 @@
+"""Measured micro-benchmarks of the functional kernels.
+
+Unlike the modelled GPU benches, these time the actual Python/numpy
+implementations in this process with pytest-benchmark's statistics:
+
+* dense single-/two-qubit gate application at 2^20 amplitudes,
+* the GFC codec's compress and decompress paths,
+* a stabilizer tableau gate,
+* an MPS two-site update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.compression.gfc import compress, decompress
+from repro.mps import MpsState
+from repro.stabilizer import StabilizerState
+from repro.statevector.apply import apply_gate
+
+KERNEL_QUBITS = 20
+
+
+@pytest.fixture(scope="module")
+def dense_state(rng=None) -> np.ndarray:
+    generator = np.random.default_rng(0)
+    state = generator.normal(size=1 << KERNEL_QUBITS) + 1j * generator.normal(
+        size=1 << KERNEL_QUBITS
+    )
+    return (state / np.linalg.norm(state)).astype(np.complex128)
+
+
+def test_kernel_single_qubit_dense(benchmark, dense_state) -> None:
+    gate = Gate("h", (7,))
+    benchmark(apply_gate, dense_state, gate)
+    amps_per_second = (1 << KERNEL_QUBITS) / benchmark.stats["mean"]
+    print(f"\n  h-gate: {amps_per_second / 1e6:.0f} M amplitudes/s")
+
+
+def test_kernel_diagonal_gate(benchmark, dense_state) -> None:
+    gate = Gate("rz", (13,), (0.3,))
+    benchmark(apply_gate, dense_state, gate)
+
+
+def test_kernel_two_qubit_gate(benchmark, dense_state) -> None:
+    gate = Gate("cx", (3, 17),)
+    benchmark(apply_gate, dense_state, gate)
+
+
+def test_kernel_gfc_compress(benchmark, dense_state) -> None:
+    benchmark(compress, dense_state, 8)
+    bytes_per_second = dense_state.nbytes / benchmark.stats["mean"]
+    print(f"\n  gfc compress: {bytes_per_second / 1e6:.0f} MB/s")
+
+
+def test_kernel_gfc_decompress(benchmark, dense_state) -> None:
+    stream = compress(dense_state, num_segments=8)
+    benchmark(decompress, stream)
+
+
+def test_kernel_tableau_gate(benchmark) -> None:
+    state = StabilizerState(512)
+    gate = Gate("cx", (100, 400))
+
+    def run() -> None:
+        state.apply(gate)
+
+    benchmark(run)
+
+
+def test_kernel_mps_two_site(benchmark) -> None:
+    state = MpsState(24)
+    # Entangle once so the two-site update includes a real SVD.
+    state.apply(Gate("h", (11,)))
+    gate = Gate("cx", (11, 12))
+
+    def run() -> None:
+        state.apply(gate)
+
+    benchmark(run)

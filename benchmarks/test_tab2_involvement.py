@@ -1,0 +1,14 @@
+"""Bench: Table II - operations before full qubit involvement."""
+
+from repro.experiments.tab2_involvement import run
+
+
+def test_tab2_involvement(run_once) -> None:
+    result = run_once(run)
+    measured = result.data["measured_pct"]
+    assert max(measured, key=measured.get) == "iqp"
+    assert measured["iqp"] > 80  # paper: 90.41%
+    for family in ("qaoa", "qft", "qf", "hchain"):
+        assert measured[family] < 15, family
+    for family in ("rqc", "gs", "hlf", "bv"):
+        assert 15 < measured[family] < 70, family

@@ -1,0 +1,15 @@
+"""Bench: Table III - pruning and reordering on deep random circuits."""
+
+from repro.experiments.tab3_deep_circuits import run
+
+
+def test_tab3_deep_circuits(run_once) -> None:
+    result = run_once(run)
+    reductions = result.data["reductions"]
+    # Paper: 41.47% on grqc_32 and 17.99%/17.39% on rqc_31/rqc_32.
+    assert abs(reductions["grqc_32"] - 41.47) < 10
+    assert abs(reductions["rqc_31"] - 17.99) < 10
+    assert abs(reductions["rqc_32"] - 17.39) < 10
+    # The Google deep circuit gains more than the plain deep rqcs.
+    assert reductions["grqc_32"] > reductions["rqc_31"]
+    assert reductions["grqc_32"] > reductions["rqc_32"]

@@ -1,0 +1,78 @@
+"""Capacity planning: when does which engine win?
+
+Sweeps circuit width on the paper's P100 server and reports, per width,
+the modelled execution time of the GPU Baseline, CPU-OpenMP and Q-GPU -
+reproducing the scalability story of Sections III-C and V-A:
+
+* under ~30 qubits the state fits in GPU memory and the GPU crushes the CPU,
+* past 30 qubits the static baseline collapses (CPU-bound hybrid),
+* the CPU overtakes the baseline around 32 qubits,
+* Q-GPU restores the GPU advantage all the way to the host-memory limit.
+
+Run with:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import BASELINE, QGPU, QGpuSimulator, get_circuit
+from repro.comparisons import estimate_cpu_openmp
+from repro.errors import SimulationError
+from repro.hardware import AMP_BYTES, MACHINES
+
+
+def sweep(family: str = "qft", widths: range = range(26, 36)) -> None:
+    print(f"family: {family}, machine: {MACHINES['p100'].name}")
+    print(
+        f"{'qubits':>6} {'state':>9} {'Baseline':>12} {'CPU-OpenMP':>12} "
+        f"{'Q-GPU':>12} {'winner':>12}"
+    )
+    for width in widths:
+        state_gib = (AMP_BYTES << width) / 2**30
+        try:
+            circuit = get_circuit(family, width)
+            times = {
+                "Baseline": QGpuSimulator(version=BASELINE).estimate(circuit).total_seconds,
+                "CPU-OpenMP": estimate_cpu_openmp(circuit).total_seconds,
+                "Q-GPU": QGpuSimulator(version=QGPU).estimate(circuit).total_seconds,
+            }
+        except SimulationError as error:
+            print(f"{width:>6} {state_gib:>7.0f}GB  -- {error}")
+            continue
+        winner = min(times, key=times.get)
+        print(
+            f"{width:>6} {state_gib:>7.0f}GB "
+            f"{times['Baseline']:>11.1f}s {times['CPU-OpenMP']:>11.1f}s "
+            f"{times['Q-GPU']:>11.1f}s {winner:>12}"
+        )
+
+
+def crossover_summary(family: str = "qft") -> None:
+    """Find the paper's two crossover points."""
+    baseline_loses_to_cpu = None
+    for width in range(28, 35):
+        circuit = get_circuit(family, width)
+        baseline = QGpuSimulator(version=BASELINE).estimate(circuit).total_seconds
+        cpu = estimate_cpu_openmp(circuit).total_seconds
+        if cpu < baseline and baseline_loses_to_cpu is None:
+            baseline_loses_to_cpu = width
+    print(
+        f"\nGPU baseline falls behind the CPU at {baseline_loses_to_cpu} qubits "
+        "(paper Section III-C: 32 qubits)"
+    )
+
+
+def main() -> None:
+    sweep()
+    crossover_summary()
+    print("\nPer-machine host limits (largest width that fits):")
+    for key, machine in MACHINES.items():
+        widths = [
+            w for w in range(28, 37)
+            if (AMP_BYTES << w) * 1.05 <= machine.host_memory_bytes
+        ]
+        print(f"  {key:>10}: {max(widths) if widths else '<28'} qubits "
+              f"({machine.host_memory_bytes / 2**30:.0f} GiB host)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Project Q-GPU onto a cluster (extension beyond the paper).
+
+The paper's related work reaches 45 qubits on 8,192 nodes (Haener &
+Steiger, SC'17).  This example uses the distributed-scaling model to ask:
+with Q-GPU's pruning and compression carried over, what cluster does each
+target width need, and what does strong scaling look like?
+
+Run with:  python examples/distributed_projection.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.scaling import (
+    ClusterSpec,
+    estimate_distributed,
+    max_cluster_qubits,
+)
+from repro.circuits.library import get_circuit
+from repro.compression.profile import family_ratio
+from repro.hardware.specs import V100_MACHINE
+
+
+def capacity_ladder() -> None:
+    print("1. Cluster size needed per target width (V100 nodes, 80 GiB each)")
+    print(f"   {'nodes':>7} {'max qubits':>11}")
+    for exponent in range(0, 15, 2):
+        nodes = 1 << exponent
+        cluster = ClusterSpec(V100_MACHINE, nodes)
+        print(f"   {nodes:>7} {max_cluster_qubits(cluster):>11}")
+
+
+def strong_scaling(family: str = "qft", width: int = 32) -> None:
+    circuit = get_circuit(family, width)
+    ratio = family_ratio(family)
+    print(f"\n2. Strong scaling of {circuit.name} "
+          f"(pruned, GFC ratio {ratio:.2f})")
+    print(f"   {'nodes':>6} {'total':>10} {'exchange':>10} "
+          f"{'boundary gates':>15} {'efficiency':>11}")
+    base = None
+    for nodes in (1, 2, 4, 8, 16, 32):
+        estimate = estimate_distributed(
+            circuit, ClusterSpec(V100_MACHINE, nodes),
+            compression_ratio=ratio,
+        )
+        if base is None:
+            base = estimate.total_seconds
+        efficiency = base / (nodes * estimate.total_seconds)
+        print(f"   {nodes:>6} {estimate.total_seconds:>9.1f}s "
+              f"{estimate.exchange_seconds:>9.1f}s "
+              f"{estimate.exchange_gates:>15} {efficiency:>10.1%}")
+
+
+def forty_five_qubits() -> None:
+    print("\n3. The SC'17 milestone: 45 qubits")
+    for nodes in (2048, 4096, 8192):
+        cluster = ClusterSpec(V100_MACHINE, nodes)
+        widest = max_cluster_qubits(cluster)
+        marker = "<-- holds 45 qubits" if widest >= 45 else ""
+        print(f"   {nodes:>5} nodes: up to {widest} qubits {marker}")
+
+
+def main() -> None:
+    capacity_ladder()
+    strong_scaling()
+    forty_five_qubits()
+
+
+if __name__ == "__main__":
+    main()

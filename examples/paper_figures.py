@@ -1,0 +1,55 @@
+"""Reproduce every table and figure of the paper's evaluation in one run.
+
+Prints the reproduced tables for Figs. 2-4, 6-7, 9, 10, 12-17, 19 and
+Tables II-III, each annotated with the paper's reported numbers.
+
+Run with:  python examples/paper_figures.py               (all experiments)
+           python examples/paper_figures.py fig12 tab2    (a subset)
+           python examples/paper_figures.py --csv results (also dump CSVs)
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import all_experiment_ids, run_experiment
+
+
+def main(argv: list[str]) -> int:
+    csv_dir: Path | None = None
+    if "--csv" in argv:
+        position = argv.index("--csv")
+        if position + 1 >= len(argv):
+            print("--csv needs a directory")
+            return 1
+        csv_dir = Path(argv[position + 1])
+        argv = argv[:position] + argv[position + 2:]
+        csv_dir.mkdir(parents=True, exist_ok=True)
+
+    requested = argv or all_experiment_ids()
+    unknown = [eid for eid in requested if eid not in all_experiment_ids()]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}")
+        print(f"known: {all_experiment_ids()}")
+        return 1
+
+    started = time.perf_counter()
+    for experiment_id in requested:
+        t0 = time.perf_counter()
+        result = run_experiment(experiment_id)
+        elapsed = time.perf_counter() - t0
+        print(result.render())
+        print(f"  ({elapsed:.1f}s)\n")
+        if csv_dir is not None:
+            (csv_dir / f"{experiment_id}.csv").write_text(result.to_csv())
+    if csv_dir is not None:
+        print(f"CSV tables written to {csv_dir}/")
+    print(f"total: {time.perf_counter() - started:.1f}s "
+          f"for {len(requested)} experiments")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 660 editable wheels cannot be built.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` work offline; all
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

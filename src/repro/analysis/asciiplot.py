@@ -1,0 +1,62 @@
+"""Minimal ASCII line plots for experiment output.
+
+Renders one or more named series as a character grid - enough to *see*
+Fig. 9's involvement curves in the benchmark logs without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Characters assigned to series, in order.
+MARKS = "ox*+#@"
+
+
+def line_plot(
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 12,
+    y_max: float | None = None,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Plot each series as marks on a ``height x width`` grid.
+
+    Series are resampled to ``width`` columns; the y-axis runs 0..``y_max``
+    (default: the largest value).  Later series overwrite earlier ones
+    where they collide.
+    """
+    if not series:
+        return "(no data)"
+    if y_max is None:
+        y_max = max((max(s) for s in series.values() if len(s)), default=1.0)
+    y_max = y_max or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        if not len(values):
+            continue
+        mark = MARKS[index % len(MARKS)]
+        for column in range(width):
+            position = column * (len(values) - 1) / max(1, width - 1)
+            value = values[int(round(position))]
+            row = height - 1 - int(
+                min(height - 1, round(value / y_max * (height - 1)))
+            )
+            grid[row][column] = mark
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        label = f"{y_max * (height - 1 - row_index) / (height - 1):8.2g} |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    if x_label:
+        lines.append(" " * 10 + x_label)
+    legend = "   ".join(
+        f"{MARKS[i % len(MARKS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    if y_label:
+        lines.insert(0, f"{y_label}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Host-capacity analysis, including compressed host storage.
+
+The paper's runtime keeps state chunks on the host *in compressed form*
+("The CPU keeps the compressed segments and copies the compressed segments
+to the GPUs upon request", Section IV-D).  A consequence the paper does not
+evaluate - and this extension does - is that compressible circuit families
+fit **larger registers in the same host memory**: with a measured ratio
+``r``, an ``n``-qubit simulation needs only ``r * 16 * 2^n`` bytes of host
+DRAM plus working buffers.
+
+This was the headline purpose of the lossy-compression work the paper
+contrasts itself with (Wu et al., SC'19); Q-GPU's lossless codec recovers
+part of the same capacity win at zero fidelity cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.specs import AMP_BYTES, MachineSpec
+
+#: Fraction of host memory reserved for the runtime, staging buffers and
+#: per-chunk metadata (matches the executor's 5% slack).
+HOST_SLACK = 1.05
+
+
+def host_footprint_bytes(num_qubits: int, compression_ratio: float = 1.0) -> float:
+    """Host bytes to hold an ``n``-qubit state at a given GFC ratio."""
+    if not 0 < compression_ratio <= 1.0:
+        raise ValueError(f"ratio must be in (0, 1], got {compression_ratio}")
+    return AMP_BYTES * 2.0**num_qubits * compression_ratio * HOST_SLACK
+
+
+def fits_host(
+    num_qubits: int, machine: MachineSpec, compression_ratio: float = 1.0
+) -> bool:
+    """Whether the (possibly compressed) state fits this host's DRAM."""
+    return host_footprint_bytes(num_qubits, compression_ratio) <= machine.host_memory_bytes
+
+
+def max_qubits(
+    machine: MachineSpec, compression_ratio: float = 1.0, limit: int = 48
+) -> int:
+    """Largest register the host can hold at the given ratio."""
+    widest = 0
+    for n in range(1, limit + 1):
+        if fits_host(n, machine, compression_ratio):
+            widest = n
+    return widest
+
+
+@dataclass(frozen=True)
+class CapacityGain:
+    """Capacity win from compressed host storage for one circuit family.
+
+    Attributes:
+        family: Benchmark family.
+        ratio: Measured GFC ratio used.
+        qubits_uncompressed: Max width with raw host storage.
+        qubits_compressed: Max width with compressed host storage.
+    """
+
+    family: str
+    ratio: float
+    qubits_uncompressed: int
+    qubits_compressed: int
+
+    @property
+    def extra_qubits(self) -> int:
+        return self.qubits_compressed - self.qubits_uncompressed
+
+
+def capacity_gain(
+    family: str, machine: MachineSpec, ratio: float
+) -> CapacityGain:
+    """Compute the compressed-storage capacity gain for one family."""
+    return CapacityGain(
+        family=family,
+        ratio=ratio,
+        qubits_uncompressed=max_qubits(machine, 1.0),
+        qubits_compressed=max_qubits(machine, ratio),
+    )

@@ -1,0 +1,71 @@
+"""GPU roofline analysis (paper Fig. 15, Section V-B).
+
+A roofline places each run at ``(arithmetic intensity, achieved FLOPS)``
+under the device ceiling ``min(peak FLOPS, AI x memory bandwidth)``.  The
+paper's observations to reproduce:
+
+* QCS is memory-bound (every point sits under the bandwidth slope),
+* runs that fit in GPU memory (<= 29 qubits) achieve FLOPS near the
+  bandwidth-bound ceiling,
+* beyond GPU memory the Baseline collapses to very low FLOPS, the Naive
+  version recovers some, and Q-GPU achieves far more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.executor import TimedResult
+from repro.hardware.specs import GpuSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One run in roofline coordinates.
+
+    Attributes:
+        label: Display label (e.g. ``"qft_32/Baseline"``).
+        arithmetic_intensity: GPU FLOPs per GPU DRAM byte.
+        achieved_flops: GPU FLOPs divided by *total* execution seconds
+            (application-level throughput, as the paper plots).
+        ceiling_flops: Device ceiling at this intensity.
+    """
+
+    label: str
+    arithmetic_intensity: float
+    achieved_flops: float
+    ceiling_flops: float
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved fraction of the roofline ceiling."""
+        if self.ceiling_flops == 0:
+            return 0.0
+        return self.achieved_flops / self.ceiling_flops
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when the bandwidth slope (not peak FLOPS) is the ceiling."""
+        return self.achieved_flops <= self.ceiling_flops
+
+
+def roofline_ceiling(gpu: GpuSpec, arithmetic_intensity: float) -> float:
+    """``min(peak, AI x bandwidth)`` for one device."""
+    return min(gpu.fp64_flops, arithmetic_intensity * gpu.mem_bandwidth)
+
+
+def roofline_point(result: TimedResult, gpu: GpuSpec) -> RooflinePoint:
+    """Place one timed run on the device's roofline."""
+    if result.gpu_bytes_touched > 0:
+        intensity = result.gpu_flops / result.gpu_bytes_touched
+    else:
+        intensity = 0.0
+    achieved = (
+        result.gpu_flops / result.total_seconds if result.total_seconds else 0.0
+    )
+    return RooflinePoint(
+        label=f"{result.circuit_name}/{result.version}",
+        arithmetic_intensity=intensity,
+        achieved_flops=achieved,
+        ceiling_flops=roofline_ceiling(gpu, intensity),
+    )

@@ -1,0 +1,149 @@
+"""Distributed (multi-node) scaling projections.
+
+The paper's related work simulates 45 qubits on 8,192 nodes (Haener &
+Steiger, SC'17).  This extension projects Q-GPU's streaming model onto a
+cluster: the state vector shards across node hosts, each node runs the
+single-node Q-GPU pipeline over its shard, and gates on qubits above the
+shard boundary require a pairwise shard exchange over the network.
+
+The projection follows the standard distributed state-vector cost model:
+
+* a gate on qubit ``q < n - log2(nodes)`` is node-local - every node
+  streams its shard through its GPUs exactly as in the single-node model;
+* a gate on a higher qubit pairs nodes ``(i, i ^ bit)``; each pair
+  exchanges half a shard in each direction over the network before the
+  local update (De Raedt et al.'s exchange scheme).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.involvement import InvolvementTracker
+from repro.errors import HardwareModelError
+from repro.hardware.machine import Machine
+from repro.hardware.specs import AMP_BYTES, GB, MachineSpec
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of Q-GPU nodes.
+
+    Attributes:
+        node: Per-node machine (host + GPUs + PCIe/NVLink).
+        num_nodes: Power-of-two node count.
+        network_bandwidth: Per-node injection bandwidth (bytes/s), e.g.
+            12.5e9 for 100 Gb/s InfiniBand.
+    """
+
+    node: MachineSpec
+    num_nodes: int
+    network_bandwidth: float = 12.5 * GB
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1 or self.num_nodes & (self.num_nodes - 1):
+            raise HardwareModelError("num_nodes must be a power of two")
+        if self.network_bandwidth <= 0:
+            raise HardwareModelError("network bandwidth must be positive")
+
+    @property
+    def node_bits(self) -> int:
+        return self.num_nodes.bit_length() - 1
+
+    def total_host_memory(self) -> int:
+        return self.num_nodes * self.node.host_memory_bytes
+
+
+@dataclass(frozen=True)
+class ScalingEstimate:
+    """Projected distributed execution of one circuit.
+
+    Attributes:
+        circuit_name: Workload.
+        num_nodes: Cluster size used.
+        local_seconds: Per-node streaming time (the slowest node).
+        exchange_seconds: Network shard-exchange time.
+        exchange_gates: Gates that crossed the shard boundary.
+    """
+
+    circuit_name: str
+    num_nodes: int
+    local_seconds: float
+    exchange_seconds: float
+    exchange_gates: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.local_seconds + self.exchange_seconds
+
+
+def max_cluster_qubits(cluster: ClusterSpec) -> int:
+    """Largest register the cluster's aggregate host memory holds."""
+    widest = 0
+    for n in range(1, 60):
+        if AMP_BYTES * 2.0**n * 1.05 <= cluster.total_host_memory():
+            widest = n
+    return widest
+
+
+def estimate_distributed(
+    circuit: QuantumCircuit,
+    cluster: ClusterSpec,
+    pruning: bool = True,
+    compression_ratio: float = 1.0,
+) -> ScalingEstimate:
+    """Project a distributed Q-GPU run of ``circuit`` on ``cluster``.
+
+    Per gate: the live amplitudes (involvement-pruned when ``pruning``)
+    shard evenly; each node round-trips its live share through its GPUs
+    (double-buffered, modelled by the per-node machine), and boundary
+    gates add a pairwise half-shard exchange at the network bandwidth.
+
+    Raises:
+        HardwareModelError: If the state exceeds aggregate host memory.
+    """
+    n = circuit.num_qubits
+    state_bytes = AMP_BYTES * 2.0**n
+    if state_bytes * 1.05 > cluster.total_host_memory():
+        raise HardwareModelError(
+            f"{circuit.name}: needs {state_bytes / 2**30:.0f} GiB but the "
+            f"cluster holds {cluster.total_host_memory() / 2**30:.0f} GiB"
+        )
+    machine = Machine(cluster.node)
+    node_bits = cluster.node_bits
+    shard_boundary = n - node_bits
+    link_bw = cluster.node.link.bandwidth_per_direction
+    num_gpus = machine.num_gpus
+
+    tracker = InvolvementTracker(n)
+    local_seconds = 0.0
+    exchange_seconds = 0.0
+    exchange_gates = 0
+
+    for gate in circuit:
+        if pruning:
+            live = tracker.live_amplitudes_with(gate)
+            tracker.involve(gate)
+        else:
+            live = 1 << n
+        live_bytes = AMP_BYTES * live * compression_ratio
+        per_node = live_bytes / cluster.num_nodes
+        # Local streaming: duplex-overlapped round trip through the GPUs.
+        per_gpu = per_node / num_gpus
+        kernel = machine.gpu_compute_time(
+            live / cluster.num_nodes / num_gpus, gate.num_qubits, gate.is_diagonal
+        )
+        local_seconds += max(per_gpu / link_bw, kernel)
+        # Boundary gates exchange half of each node's live shard pairwise.
+        if any(q >= shard_boundary for q in gate.qubits):
+            exchange_gates += 1
+            exchange_seconds += (per_node / 2) / cluster.network_bandwidth
+
+    return ScalingEstimate(
+        circuit_name=circuit.name,
+        num_nodes=cluster.num_nodes,
+        local_seconds=local_seconds,
+        exchange_seconds=exchange_seconds,
+        exchange_gates=exchange_gates,
+    )

@@ -1,0 +1,49 @@
+"""ASCII Gantt rendering of event-engine timelines (paper Fig. 6).
+
+Renders each resource (H2D stream, GPU compute, D2H stream, CPU) as a row
+of time buckets so the overlap structure of each execution version is
+visible in plain text - the reproduction of the paper's Fig. 6 timeline
+illustration.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.events import TimelineResult
+
+
+def gantt(
+    result: TimelineResult,
+    resources: list[str] | None = None,
+    width: int = 72,
+) -> str:
+    """Render a timeline as one text row per resource.
+
+    Each character cell covers ``makespan / width`` seconds; a cell is
+    filled (``#``) when the resource is busy for the majority of the cell,
+    half-filled (``+``) when partially busy, ``.`` when idle.
+    """
+    if result.makespan <= 0:
+        return "(empty timeline)"
+    if resources is None:
+        resources = sorted({r.task.resource for r in result.records.values()})
+    cell = result.makespan / width
+    lines = []
+    for resource in resources:
+        busy = [0.0] * width
+        for record in result.records.values():
+            if record.task.resource != resource:
+                continue
+            first = int(record.start / cell)
+            last = min(width - 1, int(record.finish / cell))
+            for index in range(first, last + 1):
+                bucket_start = index * cell
+                bucket_end = bucket_start + cell
+                overlap = min(record.finish, bucket_end) - max(record.start, bucket_start)
+                busy[index] += max(0.0, overlap)
+        row = "".join(
+            "#" if b > 0.5 * cell else ("+" if b > 0.05 * cell else ".")
+            for b in busy
+        )
+        lines.append(f"{resource:>6} |{row}|")
+    lines.append(f"{'':>6}  0{'':{width - 10}}t={result.makespan:.3g}s")
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Quantum circuit intermediate representation.
+
+Public surface: :class:`Gate`, :class:`QuantumCircuit`, :class:`GateDag`,
+OpenQASM interchange, and the benchmark circuit library.
+"""
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import DagNode, GateDag
+from repro.circuits.gates import GATE_SPECS, Gate, GateSpec
+from repro.circuits.qasm import from_qasm, to_qasm
+
+__all__ = [
+    "GATE_SPECS",
+    "DagNode",
+    "Gate",
+    "GateDag",
+    "GateSpec",
+    "QuantumCircuit",
+    "from_qasm",
+    "to_qasm",
+]

@@ -1,0 +1,155 @@
+"""Cache-blocking qubit layout (Doi & Horii, QCE 2020).
+
+The QISKit-Aer lineage the paper builds on includes a *cache blocking*
+transpiler pass: relabel qubits so the ones gates touch most often sit at
+the low index positions - inside the chunk - turning expensive cross-chunk
+("Case 2", Fig. 1) updates into chunk-local ones.  Q-GPU inherits the same
+chunked layout, so the pass composes with every version.
+
+The pass is a pure relabeling: ``apply_layout`` rewrites gate qubits, and
+``permute_statevector`` converts final amplitudes back to the original
+labelling, so results are exactly preserved (tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import CircuitError
+
+
+def qubit_gate_frequency(circuit: QuantumCircuit) -> list[int]:
+    """How many gates touch each qubit."""
+    counts = [0] * circuit.num_qubits
+    for gate in circuit:
+        for q in gate.qubits:
+            counts[q] += 1
+    return counts
+
+
+def cross_chunk_gate_count(circuit: QuantumCircuit, chunk_bits: int) -> int:
+    """Gates with at least one qubit above the chunk boundary (Case 2)."""
+    return sum(
+        1 for gate in circuit if any(q >= chunk_bits for q in gate.qubits)
+    )
+
+
+def cache_blocking_layout(circuit: QuantumCircuit, chunk_bits: int) -> dict[int, int]:
+    """Choose a relabeling that minimises cross-chunk gates (greedy).
+
+    Qubits are ranked by how often gates touch them; the busiest
+    ``chunk_bits`` qubits move inside the chunk (positions
+    ``0..chunk_bits-1``).  Ties keep the original order, making the pass
+    deterministic.
+
+    Returns:
+        ``mapping[logical] = physical`` over all qubits.
+    """
+    if not 0 < chunk_bits <= circuit.num_qubits:
+        raise CircuitError(f"chunk_bits {chunk_bits} out of range")
+    counts = qubit_gate_frequency(circuit)
+    ranked = sorted(range(circuit.num_qubits), key=lambda q: (-counts[q], q))
+    return {logical: physical for physical, logical in enumerate(ranked)}
+
+
+def apply_layout(circuit: QuantumCircuit, mapping: dict[int, int]) -> QuantumCircuit:
+    """Rewrite every gate's qubits through ``mapping``.
+
+    Raises:
+        CircuitError: If ``mapping`` is not a permutation of the register.
+    """
+    expected = set(range(circuit.num_qubits))
+    if set(mapping) != expected or set(mapping.values()) != expected:
+        raise CircuitError("layout mapping must be a register permutation")
+    out = circuit.with_gates(
+        (gate.remapped(mapping) for gate in circuit), suffix="_layout"
+    )
+    return out
+
+
+def invert_layout(mapping: dict[int, int]) -> dict[int, int]:
+    """The inverse permutation."""
+    return {physical: logical for logical, physical in mapping.items()}
+
+
+def cache_blocking_swaps(
+    circuit: QuantumCircuit, chunk_bits: int
+) -> tuple[QuantumCircuit, dict[int, int]]:
+    """Dynamic cache blocking via inserted SWAPs (Doi & Horii, QCE 2020).
+
+    Instead of exchanging chunks whenever a gate touches a qubit above the
+    chunk boundary, move that *qubit* inside the chunk with an explicit
+    SWAP and keep it there while it stays hot.  Every original gate then
+    executes chunk-locally; only the inserted SWAPs cross the boundary, and
+    they amortise over runs of gates on the same qubits.
+
+    The victim position (which in-chunk qubit gets evicted) is chosen
+    least-recently-used among positions the current gate does not need.
+
+    Args:
+        circuit: Circuit in logical qubit labels.
+        chunk_bits: In-chunk positions ``0..chunk_bits-1``.
+
+    Returns:
+        ``(physical_circuit, final_mapping)`` where
+        ``final_mapping[logical] = physical`` describes where each logical
+        qubit ended up; ``permute_statevector(simulate(circuit),
+        final_mapping)`` equals ``simulate(physical_circuit)``.
+    """
+    n = circuit.num_qubits
+    if not 0 < chunk_bits <= n:
+        raise CircuitError(f"chunk_bits {chunk_bits} out of range")
+    layout = {q: q for q in range(n)}          # logical -> physical
+    occupant = {q: q for q in range(n)}        # physical -> logical
+    last_used = [-1] * chunk_bits              # per in-chunk position
+    out = QuantumCircuit(n, name=circuit.name + "_cb")
+
+    for step, gate in enumerate(circuit):
+        if gate.num_qubits > chunk_bits:
+            raise CircuitError(
+                f"gate {gate} is wider than the chunk ({chunk_bits} qubits)"
+            )
+        needed_positions = {layout[q] for q in gate.qubits}
+        for q in gate.qubits:
+            position = layout[q]
+            if position < chunk_bits:
+                continue
+            # Evict the least-recently-used in-chunk position this gate
+            # does not itself need.
+            candidates = [
+                p for p in range(chunk_bits) if p not in needed_positions
+            ]
+            victim = min(candidates, key=lambda p: last_used[p])
+            out.swap(victim, position)
+            evicted = occupant[victim]
+            layout[q], layout[evicted] = victim, position
+            occupant[victim], occupant[position] = q, evicted
+            needed_positions = {layout[g] for g in gate.qubits}
+        for q in gate.qubits:
+            last_used[layout[q]] = step
+        out.append(gate.remapped(layout))
+    return out, dict(layout)
+
+
+def permute_statevector(amplitudes: np.ndarray, mapping: dict[int, int]) -> np.ndarray:
+    """Relabel a state vector's qubits: output qubit ``mapping[q]`` carries
+    what input qubit ``q`` carried.
+
+    Used to compare a layout-transformed run against the original
+    labelling: ``permute_statevector(simulate(original), mapping) ==
+    simulate(apply_layout(original, mapping))``.
+    """
+    n = int(amplitudes.size).bit_length() - 1
+    if amplitudes.size != 1 << n:
+        raise CircuitError("amplitude count is not a power of two")
+    expected = set(range(n))
+    if set(mapping) != expected or set(mapping.values()) != expected:
+        raise CircuitError("layout mapping must be a register permutation")
+    tensor = np.asarray(amplitudes).reshape((2,) * n)
+    # Axis for qubit q (LSB-first) is n-1-q.  The output's qubit
+    # mapping[q] axis must come from the input's qubit q axis.
+    source_axes = [0] * n
+    for logical, physical in mapping.items():
+        source_axes[n - 1 - physical] = n - 1 - logical
+    return np.ascontiguousarray(tensor.transpose(source_axes)).reshape(-1)

@@ -1,0 +1,28 @@
+"""Benchmark circuit generators (paper Table I)."""
+
+from repro.circuits.library.bv import bv
+from repro.circuits.library.graph_state import graph_state
+from repro.circuits.library.hchain import hchain
+from repro.circuits.library.hlf import hlf
+from repro.circuits.library.iqp import iqp
+from repro.circuits.library.qaoa import qaoa
+from repro.circuits.library.qft import qft
+from repro.circuits.library.quadratic_form import quadratic_form
+from repro.circuits.library.registry import BUILDERS, FAMILIES, get_circuit
+from repro.circuits.library.rqc import grqc, rqc
+
+__all__ = [
+    "BUILDERS",
+    "FAMILIES",
+    "bv",
+    "get_circuit",
+    "graph_state",
+    "grqc",
+    "hchain",
+    "hlf",
+    "iqp",
+    "qaoa",
+    "qft",
+    "quadratic_form",
+    "rqc",
+]

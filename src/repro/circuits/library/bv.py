@@ -1,0 +1,52 @@
+"""Bernstein-Vazirani circuit (``bv``).
+
+Finds a hidden bit-string ``s`` with one oracle query: prepare the ancilla in
+``|->``, Hadamard the data register, apply the inner-product oracle (a CX
+from every data qubit where ``s_i = 1`` onto the ancilla), and Hadamard the
+data register again; the data register then reads ``s`` deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def bv(
+    num_qubits: int, secret: int | None = None, seed: int = 0
+) -> QuantumCircuit:
+    """Build a Bernstein-Vazirani circuit.
+
+    Args:
+        num_qubits: Total width including the ancilla (the last qubit).
+        secret: Hidden string over the ``num_qubits - 1`` data qubits; by
+            default a dense random string (~95% ones, approximating the
+            paper's gate count).
+        seed: RNG seed used when ``secret`` is not given.
+
+    Returns:
+        The circuit; measuring data qubit ``i`` yields bit ``i`` of ``secret``.
+    """
+    if num_qubits < 2:
+        raise ValueError("bv needs at least one data qubit plus the ancilla")
+    data_bits = num_qubits - 1
+    if secret is None:
+        rng = np.random.default_rng(seed)
+        bits = rng.random(data_bits) < 0.95
+        secret = int(sum(1 << i for i in range(data_bits) if bits[i]))
+    if not 0 <= secret < 2**data_bits:
+        raise ValueError(f"secret {secret:#x} does not fit in {data_bits} bits")
+
+    ancilla = num_qubits - 1
+    circ = QuantumCircuit(num_qubits, name=f"bv_{num_qubits}")
+    circ.x(ancilla)
+    circ.h(ancilla)
+    for q in range(data_bits):
+        circ.h(q)
+    for q in range(data_bits):
+        if secret >> q & 1:
+            circ.cx(q, ancilla)
+    for q in range(data_bits):
+        circ.h(q)
+    return circ

@@ -1,0 +1,31 @@
+"""Graph-state preparation circuit (``gs``).
+
+Follows the walk-through example of the paper's Fig. 8 (gs_5): a Hadamard on
+every qubit followed by a chain of CNOTs along a path graph.  In the original
+emission order all Hadamards come first, so every qubit is involved before
+any entangling gate executes - exactly the situation the reordering pass
+exploits.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def graph_state(num_qubits: int, seed: int = 0) -> QuantumCircuit:
+    """Build the path graph-state circuit of Fig. 8.
+
+    Args:
+        num_qubits: Path length.
+        seed: Unused; accepted for registry uniformity.
+
+    Returns:
+        ``n`` Hadamards followed by ``n-1`` CNOTs ``(0,1), (1,2), ...``.
+    """
+    del seed  # Deterministic circuit; parameter kept for a uniform interface.
+    circ = QuantumCircuit(num_qubits, name=f"gs_{num_qubits}")
+    for q in range(num_qubits):
+        circ.h(q)
+    for q in range(num_qubits - 1):
+        circ.cx(q, q + 1)
+    return circ

@@ -1,0 +1,48 @@
+"""Hidden linear function circuit (``hlf``).
+
+The 2D hidden-linear-function problem of Bravyi, Gosset and Koenig ("Quantum
+advantage with shallow circuits"): a constant-depth Clifford circuit
+``H^n . U_q . H^n`` where ``U_q`` is the diagonal unitary of a binary
+quadratic form ``q(x) = 2 * sum A_ij x_i x_j + sum b_i x_i`` implemented with
+CZ gates (off-diagonal couplings on a grid) and S gates (linear part).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def hlf(num_qubits: int, seed: int = 0, coupling_density: float = 0.5) -> QuantumCircuit:
+    """Build a hidden-linear-function circuit on a pseudo-2D grid.
+
+    Args:
+        num_qubits: Problem size.
+        seed: RNG seed for the adjacency matrix ``A`` and vector ``b``.
+        coupling_density: Probability that a grid edge appears in ``A``.
+    """
+    rng = np.random.default_rng(seed)
+    cols = max(2, int(np.ceil(np.sqrt(num_qubits))))
+
+    edges: list[tuple[int, int]] = []
+    for q in range(num_qubits):
+        right = q + 1
+        below = q + cols
+        if right < num_qubits and right % cols != 0 and rng.random() < coupling_density:
+            edges.append((q, right))
+        if below < num_qubits and rng.random() < coupling_density:
+            edges.append((q, below))
+
+    diagonal = [q for q in range(num_qubits) if rng.random() < 0.5]
+
+    circ = QuantumCircuit(num_qubits, name=f"hlf_{num_qubits}")
+    for q in range(num_qubits):
+        circ.h(q)
+    for a, b in edges:
+        circ.cz(a, b)
+    for q in diagonal:
+        circ.s(q)
+    for q in range(num_qubits):
+        circ.h(q)
+    return circ

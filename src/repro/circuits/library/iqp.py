@@ -1,0 +1,53 @@
+"""Instantaneous quantum polynomial-time circuit (``iqp``).
+
+An IQP circuit is ``H^n . D . H^n`` with ``D`` diagonal (Bremner, Jozsa,
+Shepherd).  Gates inside ``D`` commute freely, and each ``h(i)`` commutes
+with every gate not touching qubit ``i``, so the circuit can be emitted in
+per-qubit blocks: ``h(i)`` followed by qubit ``i``'s diagonal gates
+(``cp`` couplings to earlier qubits and a ``p`` phase).  This emission order
+is semantically identical to the layered form but involves qubit ``i`` only
+when its block starts - reproducing the paper's Table II observation that
+~90% of iqp operations execute before the last qubit is involved, which
+makes iqp the benchmark with the largest pruning potential.
+
+The trailing Hadamard layer is folded into an X-basis measurement by default
+(``final_h_layer=False``), as is conventional for IQP sampling.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def iqp(
+    num_qubits: int,
+    coupling_density: float = 0.08,
+    final_h_layer: bool = False,
+    seed: int = 0,
+) -> QuantumCircuit:
+    """Build an IQP circuit with a random upper-triangular coupling matrix.
+
+    Args:
+        num_qubits: Problem size.
+        coupling_density: Probability of a ``cp`` coupling per qubit pair.
+        final_h_layer: Emit the trailing ``H`` layer explicitly instead of
+            folding it into the measurement basis.
+        seed: RNG seed for couplings and phases.
+    """
+    rng = np.random.default_rng(seed)
+    circ = QuantumCircuit(num_qubits, name=f"iqp_{num_qubits}")
+    for i in range(num_qubits):
+        circ.h(i)
+        for j in range(i):
+            if rng.random() < coupling_density:
+                power = int(rng.integers(1, 4))
+                circ.cp(math.pi / 2**power, j, i)
+        circ.p(math.pi / 2 ** int(rng.integers(1, 4)), i)
+    if final_h_layer:
+        for i in range(num_qubits):
+            circ.h(i)
+    return circ

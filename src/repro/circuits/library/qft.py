@@ -1,0 +1,50 @@
+"""Quantum Fourier transform circuit (``qft``).
+
+Standard textbook QFT: for each qubit ``j`` from the most significant down,
+a Hadamard followed by controlled-phase rotations ``cp(pi/2^k)`` from every
+less significant qubit.  The first block touches every qubit, so in original
+order all qubits are involved within the first ``n`` operations - the paper's
+Table II "early involvement" behaviour - while reordering can substantially
+delay involvement (paper Fig. 9, qft_22).
+
+An ``approximation_degree`` caps the controlled-phase distance (rotations
+smaller than ``pi/2^degree`` are dropped), matching the approximate QFT the
+paper's gate counts imply.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def qft(
+    num_qubits: int,
+    approximation_degree: int | None = None,
+    include_swaps: bool = False,
+    seed: int = 0,
+) -> QuantumCircuit:
+    """Build a QFT circuit.
+
+    Args:
+        num_qubits: Transform size.
+        approximation_degree: Maximum control-target distance for ``cp``
+            rotations; ``None`` keeps all rotations (exact QFT).
+        include_swaps: Append the final bit-reversal swap network.
+        seed: Unused; accepted for registry uniformity.
+    """
+    del seed
+    circ = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    max_distance = approximation_degree or num_qubits - 1
+    for j in reversed(range(num_qubits)):
+        circ.h(j)
+        for distance in range(1, j + 1):
+            if distance > max_distance:
+                break
+            control = j - distance
+            circ.cp(math.pi / (2**distance), control, j)
+    if include_swaps:
+        for q in range(num_qubits // 2):
+            circ.swap(q, num_qubits - 1 - q)
+    return circ

@@ -1,0 +1,64 @@
+"""Registry of the paper's nine benchmark circuit families (Table I).
+
+Every generator has the uniform signature ``build(num_qubits, seed=0, **kw)``
+and returns a :class:`~repro.circuits.circuit.QuantumCircuit` named
+``family_{num_qubits}``, matching the ``circ_n`` naming used throughout the
+paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library.bv import bv
+from repro.circuits.library.extensions import EXTENSION_BUILDERS
+from repro.circuits.library.graph_state import graph_state
+from repro.circuits.library.hchain import hchain
+from repro.circuits.library.hlf import hlf
+from repro.circuits.library.iqp import iqp
+from repro.circuits.library.qaoa import qaoa
+from repro.circuits.library.qft import qft
+from repro.circuits.library.quadratic_form import quadratic_form
+from repro.circuits.library.rqc import grqc, rqc
+from repro.errors import CircuitError
+
+BUILDERS: dict[str, Callable[..., QuantumCircuit]] = {
+    "hchain": hchain,
+    "rqc": rqc,
+    "qaoa": qaoa,
+    "gs": graph_state,
+    "hlf": hlf,
+    "qft": qft,
+    "iqp": iqp,
+    "qf": quadratic_form,
+    "bv": bv,
+    "grqc": grqc,
+    # Extension circuits beyond the paper's Table I (never used by the
+    # paper-artifact experiments, which iterate FAMILIES).
+    **EXTENSION_BUILDERS,
+}
+
+#: The nine benchmark families of the paper's Table I, in table order.
+FAMILIES: tuple[str, ...] = (
+    "hchain", "rqc", "qaoa", "gs", "hlf", "qft", "iqp", "qf", "bv",
+)
+
+
+def get_circuit(family: str, num_qubits: int, seed: int = 0, **kwargs) -> QuantumCircuit:
+    """Build benchmark circuit ``family`` at width ``num_qubits``.
+
+    Args:
+        family: One of :data:`FAMILIES` (plus ``"grqc"`` for Table III).
+        num_qubits: Register width.
+        seed: Deterministic seed for randomised families.
+        **kwargs: Family-specific options forwarded to the generator.
+
+    Raises:
+        CircuitError: If ``family`` is unknown.
+    """
+    builder = BUILDERS.get(family)
+    if builder is None:
+        known = ", ".join(sorted(BUILDERS))
+        raise CircuitError(f"unknown circuit family {family!r} (known: {known})")
+    return builder(num_qubits, seed=seed, **kwargs)

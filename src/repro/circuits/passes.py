@@ -1,0 +1,217 @@
+"""Circuit transformation passes (transpile-lite).
+
+QISKit-Aer runs its default transpilation before simulating, so the paper's
+gate counts are post-transpilation.  This module provides the passes needed
+to put library circuits in the same shape:
+
+* :func:`decompose` - lower multi-qubit library gates onto the
+  {1-qubit, cx, cp} basis (rzz, swap, ccx, ccz, cy, crz),
+* :func:`merge_single_qubit_runs` - multiply adjacent single-qubit gates on
+  the same qubit into one ``u`` gate,
+* :func:`cancel_inverse_pairs` - drop adjacent self-inverse pairs and
+  rotation pairs that sum to zero,
+* :func:`transpile` - the composition, iterated to a fixed point.
+
+Every pass preserves the circuit's unitary action exactly (up to global
+phase for merged ``u`` gates), which the test suite verifies by state
+comparison on random circuits.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+
+_ATOL = 1e-12
+
+
+def _cx(a: int, b: int) -> Gate:
+    return Gate("cx", (a, b))
+
+
+def _decompose_gate(gate: Gate) -> list[Gate]:
+    """Expand one gate into {1q, cx, cp} basis gates; identity for others."""
+    if gate.name == "rzz":
+        a, b = gate.qubits
+        theta = gate.params[0]
+        return [_cx(a, b), Gate("rz", (b,), (theta,)), _cx(a, b)]
+    if gate.name == "swap":
+        a, b = gate.qubits
+        return [_cx(a, b), _cx(b, a), _cx(a, b)]
+    if gate.name == "cy":
+        control, target = gate.qubits
+        return [Gate("sdg", (target,)), _cx(control, target), Gate("s", (target,))]
+    if gate.name == "crz":
+        control, target = gate.qubits
+        half = gate.params[0] / 2
+        return [
+            Gate("rz", (target,), (half,)),
+            _cx(control, target),
+            Gate("rz", (target,), (-half,)),
+            _cx(control, target),
+        ]
+    if gate.name == "ccz":
+        c0, c1, target = gate.qubits
+        half = math.pi / 2
+        # Phase identity: b*c - (a^b)*c + a*c = 2*a*b*c, so three
+        # half-strength controlled phases around a CX sandwich make CCZ.
+        return [
+            Gate("cp", (c1, target), (half,)),
+            _cx(c0, c1),
+            Gate("cp", (c1, target), (-half,)),
+            _cx(c0, c1),
+            Gate("cp", (c0, target), (half,)),
+        ]
+    if gate.name == "ccx":
+        c0, c1, target = gate.qubits
+        return (
+            [Gate("h", (target,))]
+            + _decompose_gate(Gate("ccz", (c0, c1, target)))
+            + [Gate("h", (target,))]
+        )
+    return [gate]
+
+
+def decompose(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Lower rzz/swap/cy/crz/ccx/ccz onto the {1q, cx, cp} basis."""
+    gates: list[Gate] = []
+    for gate in circuit:
+        gates.extend(_decompose_gate(gate))
+    return circuit.with_gates(gates)
+
+
+def _u_params_from_matrix(matrix: np.ndarray) -> tuple[float, float, float]:
+    """Recover ``u(theta, phi, lam)`` angles from a 2x2 unitary.
+
+    The returned gate equals ``matrix`` up to a global phase.
+    """
+    # Strip global phase so that the (0,0) entry is real non-negative.
+    magnitude = abs(matrix[0, 0])
+    theta = 2.0 * math.atan2(abs(matrix[1, 0]), magnitude)
+    if magnitude > _ATOL:
+        phase = matrix[0, 0] / magnitude
+        normalized = matrix / phase
+    else:
+        normalized = matrix / (matrix[1, 0] / abs(matrix[1, 0]))
+    if abs(matrix[1, 0]) > _ATOL:
+        phi = cmath.phase(normalized[1, 0])
+    else:
+        phi = 0.0
+    if abs(matrix[0, 1]) > _ATOL:
+        lam = cmath.phase(-normalized[0, 1])
+    else:
+        lam = cmath.phase(normalized[1, 1]) - phi if abs(normalized[1, 1]) > _ATOL else 0.0
+    return theta, phi, lam
+
+
+def merge_single_qubit_runs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Fuse maximal runs of single-qubit gates per qubit into one ``u``.
+
+    Runs of length one are kept verbatim (no reason to rewrite ``h`` as
+    ``u``); longer runs become a single ``u`` gate equal to the product up
+    to global phase.
+    """
+    gates: list[Gate] = []
+    pending: dict[int, list[Gate]] = {}
+
+    def flush(qubit: int) -> None:
+        run = pending.pop(qubit, [])
+        if not run:
+            return
+        if len(run) == 1:
+            gates.append(run[0])
+            return
+        matrix = np.eye(2, dtype=np.complex128)
+        for gate in run:
+            matrix = gate.matrix() @ matrix
+        theta, phi, lam = _u_params_from_matrix(matrix)
+        gates.append(Gate("u", (qubit,), (theta, phi, lam)))
+
+    for gate in circuit:
+        if gate.num_qubits == 1:
+            pending.setdefault(gate.qubits[0], []).append(gate)
+            continue
+        for qubit in gate.qubits:
+            flush(qubit)
+        gates.append(gate)
+    for qubit in sorted(pending):
+        flush(qubit)
+    return circuit.with_gates(gates)
+
+
+def cancel_inverse_pairs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove adjacent gate pairs that compose to the identity.
+
+    Handles self-inverse gates (``h h``, ``cx cx`` on the same qubits...),
+    named inverse pairs (``s sdg``), and rotation pairs whose angles cancel.
+    "Adjacent" means no intervening gate touches any of the pair's qubits.
+    """
+    inverse_names = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
+
+    def cancels(a: Gate, b: Gate) -> bool:
+        if a.qubits != b.qubits:
+            return False
+        if a.name == b.name and a.spec.self_inverse:
+            return True
+        if inverse_names.get(a.name) == b.name:
+            return True
+        if (
+            a.name == b.name
+            and a.spec.num_params == 1
+            and abs(a.params[0] + b.params[0]) < _ATOL
+        ):
+            return True
+        return False
+
+    gates = list(circuit)
+    changed = True
+    while changed:
+        changed = False
+        result: list[Gate] = []
+        # last_on[q] = index into `result` of the last gate touching q.
+        last_on: dict[int, int] = {}
+        for gate in gates:
+            previous = {last_on.get(q) for q in gate.qubits}
+            if len(previous) == 1:
+                (index,) = previous
+                if index is not None and cancels(result[index], gate):
+                    sentinel = result[index]
+                    result[index] = None  # type: ignore[call-overload]
+                    for q, pointer in list(last_on.items()):
+                        if pointer == index:
+                            del last_on[q]
+                    # Recompute last_on for affected qubits.
+                    for q in sentinel.qubits:
+                        for back in range(len(result) - 1, -1, -1):
+                            if result[back] is not None and q in result[back].qubits:
+                                last_on[q] = back
+                                break
+                    changed = True
+                    continue
+            result.append(gate)
+            for q in gate.qubits:
+                last_on[q] = len(result) - 1
+        gates = [g for g in result if g is not None]
+    return circuit.with_gates(gates)
+
+
+def transpile(circuit: QuantumCircuit, basis_only: bool = False) -> QuantumCircuit:
+    """Decompose, then merge and cancel to a fixed point.
+
+    Args:
+        circuit: Circuit to transform.
+        basis_only: Stop after decomposition (no merging/cancelling).
+    """
+    current = decompose(circuit)
+    if basis_only:
+        return current
+    while True:
+        merged = merge_single_qubit_runs(cancel_inverse_pairs(current))
+        if len(merged) == len(current) and merged.gates == current.gates:
+            return merged
+        current = merged

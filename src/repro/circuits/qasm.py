@@ -1,0 +1,170 @@
+"""OpenQASM 2.0 emission and parsing (library gate-set subset).
+
+The paper exports its benchmarks to OpenQASM in order to run them on
+Qsim-Cirq and (after a further conversion) Microsoft QDK (Section V-C).  This
+module provides the same interchange path: every circuit built from the
+library gate set round-trips through :func:`to_qasm` / :func:`from_qasm`.
+
+Only the subset of OpenQASM 2.0 needed for the library gate set is supported:
+a single quantum register, gate statements with literal or ``pi``-expression
+parameters, and comments.  Classical registers, ``measure``, ``barrier``,
+``if`` and user-defined gates are rejected with :class:`~repro.errors.QasmError`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import QasmError
+
+# Gates whose QASM spelling differs from the library mnemonic.
+_EMIT_NAME = {"id": "id", "p": "u1", "u": "u3"}
+_PARSE_NAME = {"u1": "p", "u3": "u", "id": "id"}
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+_QREG_RE = re.compile(r"^qreg\s+([A-Za-z_][\w]*)\s*\[\s*(\d+)\s*\]$")
+_GATE_RE = re.compile(
+    r"^([A-Za-z_][\w]*)\s*(?:\(([^)]*)\))?\s+(.+)$"
+)
+_QUBIT_RE = re.compile(r"^([A-Za-z_][\w]*)\s*\[\s*(\d+)\s*\]$")
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise ``circuit`` to OpenQASM 2.0 text."""
+    lines = [_HEADER.rstrip("\n")]
+    lines.append(f"qreg q[{circuit.num_qubits}];")
+    for gate in circuit:
+        name = _EMIT_NAME.get(gate.name, gate.name)
+        params = ""
+        if gate.params:
+            params = "(" + ",".join(repr(p) for p in gate.params) + ")"
+        qubits = ",".join(f"q[{q}]" for q in gate.qubits)
+        lines.append(f"{name}{params} {qubits};")
+    return "\n".join(lines) + "\n"
+
+
+def _eval_param(text: str) -> float:
+    """Evaluate a QASM parameter expression: numbers, ``pi``, ``+-*/``.
+
+    A tiny recursive-descent evaluator; the grammar is restricted to what
+    ``qelib1``-style circuits emit, so no names other than ``pi`` resolve.
+    """
+    tokens = re.findall(r"\d+\.?\d*(?:[eE][+-]?\d+)?|pi|[-+*/()]", text.replace(" ", ""))
+    if "".join(tokens) != text.replace(" ", ""):
+        raise QasmError(f"cannot parse parameter expression {text!r}")
+    pos = 0
+
+    def peek() -> str | None:
+        return tokens[pos] if pos < len(tokens) else None
+
+    def take() -> str:
+        nonlocal pos
+        token = tokens[pos]
+        pos += 1
+        return token
+
+    def parse_expr() -> float:
+        value = parse_term()
+        while peek() in ("+", "-"):
+            if take() == "+":
+                value += parse_term()
+            else:
+                value -= parse_term()
+        return value
+
+    def parse_term() -> float:
+        value = parse_factor()
+        while peek() in ("*", "/"):
+            if take() == "*":
+                value *= parse_factor()
+            else:
+                divisor = parse_factor()
+                if divisor == 0:
+                    raise QasmError(f"division by zero in {text!r}")
+                value /= divisor
+        return value
+
+    def parse_factor() -> float:
+        token = peek()
+        if token is None:
+            raise QasmError(f"unexpected end of expression in {text!r}")
+        if token == "-":
+            take()
+            return -parse_factor()
+        if token == "+":
+            take()
+            return parse_factor()
+        if token == "(":
+            take()
+            value = parse_expr()
+            if peek() != ")":
+                raise QasmError(f"unbalanced parentheses in {text!r}")
+            take()
+            return value
+        take()
+        if token == "pi":
+            return math.pi
+        try:
+            return float(token)
+        except ValueError as exc:
+            raise QasmError(f"bad numeric literal {token!r} in {text!r}") from exc
+
+    value = parse_expr()
+    if pos != len(tokens):
+        raise QasmError(f"trailing tokens in parameter expression {text!r}")
+    return value
+
+
+def from_qasm(text: str, name: str = "qasm") -> QuantumCircuit:
+    """Parse OpenQASM 2.0 text produced by :func:`to_qasm` (or compatible)."""
+    register_name: str | None = None
+    circuit: QuantumCircuit | None = None
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("//", 1)[0].strip()
+        if not line:
+            continue
+        for statement in filter(None, (part.strip() for part in line.split(";"))):
+            if statement.startswith("OPENQASM"):
+                if not statement.startswith("OPENQASM 2"):
+                    raise QasmError(f"unsupported QASM version: {statement!r}")
+                continue
+            if statement.startswith("include"):
+                continue
+            qreg = _QREG_RE.match(statement)
+            if qreg:
+                if circuit is not None:
+                    raise QasmError("multiple qreg declarations are not supported")
+                register_name = qreg.group(1)
+                circuit = QuantumCircuit(int(qreg.group(2)), name=name)
+                continue
+            if statement.startswith(("creg", "measure", "barrier", "if", "reset", "gate")):
+                raise QasmError(f"unsupported statement: {statement!r}")
+            if circuit is None:
+                raise QasmError(f"gate before qreg declaration: {statement!r}")
+            match = _GATE_RE.match(statement)
+            if match is None:
+                raise QasmError(f"cannot parse statement: {statement!r}")
+            gate_name, params_text, qubits_text = match.groups()
+            gate_name = _PARSE_NAME.get(gate_name, gate_name)
+            params = (
+                tuple(_eval_param(p) for p in params_text.split(","))
+                if params_text
+                else ()
+            )
+            qubits = []
+            for qubit_text in qubits_text.split(","):
+                qubit_match = _QUBIT_RE.match(qubit_text.strip())
+                if qubit_match is None:
+                    raise QasmError(f"cannot parse qubit reference {qubit_text!r}")
+                if qubit_match.group(1) != register_name:
+                    raise QasmError(f"unknown register in {qubit_text!r}")
+                qubits.append(int(qubit_match.group(2)))
+            circuit.add(gate_name, *qubits, params=params)
+
+    if circuit is None:
+        raise QasmError("no qreg declaration found")
+    return circuit

@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+::
+
+    python -m repro simulate  --family bv --qubits 12 --shots 100
+    python -m repro simulate  --qasm circuit.qasm --shots 1000
+    python -m repro estimate  --family qft --qubits 34 --machine p100
+    python -m repro experiment fig12 tab2
+    python -m repro profile   --family qaoa
+    python -m repro transpile --family gs --qubits 8
+
+Subcommands:
+
+* ``simulate`` - exact functional simulation with the Q-GPU pipeline
+  (reordering + chunking + pruning), printing sampled counts;
+* ``estimate`` - the performance model: per-version modelled times on a
+  chosen machine;
+* ``experiment`` - run registered paper reproductions by id;
+* ``profile`` - measure a family's GFC compression profile;
+* ``transpile`` - decompose/merge/cancel a circuit and print QASM.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.circuits.library import FAMILIES, get_circuit
+from repro.circuits.passes import transpile
+from repro.circuits.qasm import from_qasm, to_qasm
+from repro.compression.profile import measure_profile
+from repro.core.simulator import QGpuSimulator
+from repro.core.versions import ALL_VERSIONS, VERSIONS_BY_NAME
+from repro.errors import ReproError
+from repro.hardware.specs import MACHINES
+from repro.statevector.measure import sample_counts
+
+
+def _load_circuit(args: argparse.Namespace):
+    if getattr(args, "qasm", None):
+        return from_qasm(Path(args.qasm).read_text(), name=Path(args.qasm).stem)
+    return get_circuit(args.family, args.qubits, seed=args.seed)
+
+
+def _add_circuit_options(parser: argparse.ArgumentParser, qasm: bool = True) -> None:
+    parser.add_argument("--family",
+                        choices=sorted(FAMILIES) + ["grqc", "ghz", "w", "grover"],
+                        help="circuit family (paper Table I + extensions)")
+    parser.add_argument("--qubits", type=int, default=12, help="register width")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    if qasm:
+        parser.add_argument("--qasm", help="OpenQASM 2.0 file instead of a family")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args)
+    version = VERSIONS_BY_NAME[args.version]
+    result = QGpuSimulator(version=version).run(circuit)
+    print(f"{circuit.name}: {len(circuit)} gates, version {version.name}")
+    print(f"pruned chunk updates: {result.pruned_fraction:.1%}")
+    counts = sample_counts(result.amplitudes, shots=args.shots, seed=args.seed)
+    width = circuit.num_qubits
+    for outcome, count in sorted(counts.items(), key=lambda kv: -kv[1])[: args.top]:
+        print(f"  |{outcome:0{width}b}>  {count}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args)
+    machine = MACHINES[args.machine]
+    print(f"{circuit.name} on {machine.name}")
+    print(f"{'version':<10} {'seconds':>12} {'transfer_s':>12} {'GB moved':>10}")
+    for version in ALL_VERSIONS:
+        timing = QGpuSimulator(machine=machine, version=version).estimate(circuit)
+        moved = (timing.bytes_h2d + timing.bytes_d2h) / 1e9
+        print(f"{version.name:<10} {timing.total_seconds:>12.2f} "
+              f"{timing.transfer_seconds:>12.2f} {moved:>10.1f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import all_experiment_ids, run_experiment
+
+    ids = args.ids or all_experiment_ids()
+    for experiment_id in ids:
+        print(run_experiment(experiment_id).render())
+        print()
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    profile = measure_profile(args.family, args.qubits, seed=args.seed)
+    print(f"{args.family} @ {args.qubits} qubits")
+    print(f"  mean GFC ratio : {profile.mean_ratio:.3f}")
+    print(f"  final ratio    : {profile.final_ratio:.3f}")
+    print(f"  snapshots      : {len(profile.snapshot_ratios)}")
+    return 0
+
+
+def _cmd_transpile(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args)
+    lowered = transpile(circuit)
+    print(f"// {circuit.name}: {len(circuit)} gates -> {len(lowered)} gates")
+    print(to_qasm(lowered), end="")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.planner import plan_execution
+
+    circuit = _load_circuit(args)
+    plan = plan_execution(circuit, machine=MACHINES[args.machine])
+    print(plan.render())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.schedule import GateStreamPlan, stream_makespan
+    from repro.core.simulator import QGpuSimulator
+    from repro.hardware.pipeline import StageTimes
+    from repro.hardware.trace import write_chrome_trace
+
+    circuit = _load_circuit(args)
+    version = VERSIONS_BY_NAME[args.version]
+    timing = QGpuSimulator(
+        machine=MACHINES[args.machine], version=version
+    ).estimate(circuit)
+    # Rebuild the streaming schedule of the first few streamed gates as an
+    # explicit event timeline for the trace viewer.
+    plans = []
+    for record in timing.per_gate:
+        if record.bytes_h2d <= 0 or record.name == "<readout>":
+            continue
+        batches = 4
+        plans.append(
+            GateStreamPlan(
+                f"{record.index}:{record.name}",
+                batches,
+                StageTimes(
+                    record.bytes_h2d / batches / MACHINES[args.machine].link.bandwidth_per_direction,
+                    record.gpu_seconds / batches,
+                    record.bytes_d2h / batches / MACHINES[args.machine].link.bandwidth_per_direction,
+                ),
+            )
+        )
+        if len(plans) >= args.gates:
+            break
+    if not plans:
+        print("nothing streams for this configuration; no trace written")
+        return 0
+    result = stream_makespan(plans, overlap=version.overlap)
+    written = write_chrome_trace(result, args.output,
+                                 process_name=f"{circuit.name}/{version.name}")
+    print(f"wrote {written} bytes to {args.output} "
+          f"(open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Q-GPU reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="exact functional simulation")
+    _add_circuit_options(simulate)
+    simulate.add_argument("--shots", type=int, default=100)
+    simulate.add_argument("--top", type=int, default=8,
+                          help="print the most frequent outcomes")
+    simulate.add_argument("--version", default="Q-GPU",
+                          choices=sorted(VERSIONS_BY_NAME))
+    simulate.set_defaults(fn=_cmd_simulate)
+
+    estimate = sub.add_parser("estimate", help="performance model")
+    _add_circuit_options(estimate)
+    estimate.add_argument("--machine", default="p100", choices=sorted(MACHINES))
+    estimate.set_defaults(fn=_cmd_estimate)
+
+    experiment = sub.add_parser("experiment", help="run paper reproductions")
+    experiment.add_argument("ids", nargs="*", help="experiment ids (default all)")
+    experiment.set_defaults(fn=_cmd_experiment)
+
+    profile = sub.add_parser("profile", help="GFC compression profile")
+    profile.add_argument("--family", required=True, choices=sorted(FAMILIES))
+    profile.add_argument("--qubits", type=int, default=14)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.set_defaults(fn=_cmd_profile)
+
+    transpile_cmd = sub.add_parser("transpile", help="lower and simplify")
+    _add_circuit_options(transpile_cmd)
+    transpile_cmd.set_defaults(fn=_cmd_transpile)
+
+    plan = sub.add_parser("plan", help="rank engines/versions for a workload")
+    _add_circuit_options(plan)
+    plan.add_argument("--machine", default="p100", choices=sorted(MACHINES))
+    plan.set_defaults(fn=_cmd_plan)
+
+    trace = sub.add_parser("trace", help="export a chrome-trace of the stream schedule")
+    _add_circuit_options(trace)
+    trace.add_argument("--machine", default="p100", choices=sorted(MACHINES))
+    trace.add_argument("--version", default="Q-GPU", choices=sorted(VERSIONS_BY_NAME))
+    trace.add_argument("--gates", type=int, default=6,
+                       help="streamed gates to include")
+    trace.add_argument("--output", default="qgpu_trace.json")
+    trace.set_defaults(fn=_cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "family", None) is None and not getattr(args, "qasm", None) \
+            and args.command in ("simulate", "estimate", "transpile", "plan", "trace"):
+        parser.error("provide --family or --qasm")
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

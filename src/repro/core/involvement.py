@@ -1,0 +1,122 @@
+"""Qubit-involvement tracking (paper Section IV-B).
+
+Starting from ``|0...0>``, a qubit's state stays ``|0>`` until some gate
+acts on it; while qubit ``k`` is uninvolved, every amplitude whose index has
+bit ``k`` set is exactly zero.  Q-GPU tracks involvement as a bitmask
+(``involvement`` in Algorithm 1): bit ``k`` is 1 once any executed gate has
+touched qubit ``k``.  With ``p`` involved qubits only ``2^p`` amplitudes can
+be non-zero - everything else is prunable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.errors import SimulationError
+
+
+def qubit_mask(qubits: tuple[int, ...]) -> int:
+    """Bitmask with a 1 at each listed qubit position."""
+    mask = 0
+    for q in qubits:
+        mask |= 1 << q
+    return mask
+
+
+@dataclass
+class InvolvementTracker:
+    """Mutable involvement bitmask over ``num_qubits`` qubits.
+
+    Attributes:
+        num_qubits: Register width.
+        mask: Current involvement bits (bit ``k`` set once qubit ``k`` has
+            been acted on).
+    """
+
+    num_qubits: int
+    mask: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_qubits <= 0:
+            raise SimulationError("num_qubits must be positive")
+        if self.mask >> self.num_qubits:
+            raise SimulationError("involvement mask wider than the register")
+
+    def involve(self, gate: Gate, diagonal_aware: bool = False) -> int:
+        """Mark the gate's qubits involved; returns the updated mask.
+
+        Args:
+            gate: The gate being executed.
+            diagonal_aware: Extension beyond the paper's Algorithm 1 - a
+                diagonal gate multiplies amplitudes by phases and can never
+                turn a zero amplitude non-zero, so it need not involve new
+                qubits.  This keeps the zero-pruning sound while tracking a
+                strictly smaller mask (dramatic for cp-heavy circuits like
+                qft).
+        """
+        if qubit_mask(gate.qubits) >> self.num_qubits:
+            raise SimulationError(f"gate {gate} exceeds register width")
+        if diagonal_aware and gate.is_diagonal:
+            return self.mask
+        self.mask |= qubit_mask(gate.qubits)
+        return self.mask
+
+    def is_involved(self, qubit: int) -> bool:
+        return bool(self.mask >> qubit & 1)
+
+    @property
+    def involved_count(self) -> int:
+        """Number of involved qubits (``popcount`` of the mask)."""
+        return self.mask.bit_count()
+
+    @property
+    def live_amplitudes(self) -> int:
+        """Upper bound on non-zero amplitudes: ``2^involved_count``."""
+        return 1 << self.involved_count
+
+    def live_amplitudes_with(self, gate: Gate, diagonal_aware: bool = False) -> int:
+        """Live amplitudes *after* additionally involving ``gate``'s qubits.
+
+        This is the amplitude count a gate's update must touch: the union of
+        source-live and destination-live index sets.  With
+        ``diagonal_aware``, a diagonal gate touches only the currently live
+        set (its uninvolved-qubit slices stay zero and are skipped).
+        """
+        if diagonal_aware and gate.is_diagonal:
+            return 1 << self.mask.bit_count()
+        return 1 << (self.mask | qubit_mask(gate.qubits)).bit_count()
+
+    def dynamic_chunk_bits(self, max_chunk_bits: int) -> int:
+        """Chunk size selection of Algorithm 1 (line 2).
+
+        The chunk covers the contiguous run of involved low qubits (the
+        "least non-zero bit" rule), so no chunk mixes live and guaranteed-
+        zero amplitudes at the low end; capped at the configured maximum and
+        at least 1.
+        """
+        trailing_ones = 0
+        mask = self.mask
+        while mask & 1 and trailing_ones < max_chunk_bits:
+            trailing_ones += 1
+            mask >>= 1
+        return max(1, min(trailing_ones, max_chunk_bits, self.num_qubits))
+
+
+def involvement_trace(circuit: QuantumCircuit) -> list[int]:
+    """Involvement mask after each gate, in execution order (Fig. 9 data)."""
+    tracker = InvolvementTracker(circuit.num_qubits)
+    trace: list[int] = []
+    for gate in circuit:
+        tracker.involve(gate)
+        trace.append(tracker.mask)
+    return trace
+
+
+def live_fraction_trace(circuit: QuantumCircuit) -> list[float]:
+    """Per-gate live-amplitude fraction ``2^involved / 2^n`` along a circuit."""
+    n = circuit.num_qubits
+    return [
+        2.0 ** (mask.bit_count() - n) for mask in involvement_trace(circuit)
+    ]

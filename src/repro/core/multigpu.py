@@ -1,0 +1,97 @@
+"""Multi-GPU chunk-group scheduling (paper Section V-E, Fig. 18).
+
+Q-GPU's multi-GPU discipline: all state chunks live in host memory; for each
+gate the chunk groups (pairs that must be co-resident, see
+:func:`~repro.statevector.chunks.chunk_pair_groups`) are assigned to GPUs
+round-robin, each GPU streams its groups over its own link, computes, and
+copies results back.  Because every group is self-contained, no GPU-to-GPU
+traffic is ever needed - the paper's observation that "cross GPU data
+movement is limited and does not dominate".
+
+The timed model of this discipline lives in the executor (every streaming
+formula divides bytes and amplitudes by the GPU count); this module provides
+the *assignment* itself plus validity checks, used by the functional tests
+and the Fig. 18 walk-through example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.gates import Gate
+from repro.errors import SchedulingError
+from repro.statevector.chunks import chunk_pair_groups
+
+
+@dataclass(frozen=True)
+class GroupAssignment:
+    """Assignment of one gate's chunk groups to GPUs.
+
+    Attributes:
+        gate: The gate being applied.
+        groups: Chunk-index tuples, one per independent update group.
+        owners: ``owners[i]`` is the GPU executing ``groups[i]``.
+        num_gpus: Number of devices.
+    """
+
+    gate: Gate
+    groups: tuple[tuple[int, ...], ...]
+    owners: tuple[int, ...]
+    num_gpus: int
+
+    def groups_of(self, gpu: int) -> list[tuple[int, ...]]:
+        """The chunk groups assigned to ``gpu``."""
+        if not 0 <= gpu < self.num_gpus:
+            raise SchedulingError(f"gpu {gpu} out of range")
+        return [g for g, owner in zip(self.groups, self.owners) if owner == gpu]
+
+    def chunks_of(self, gpu: int) -> list[int]:
+        """All chunk indices ``gpu`` touches, in stream order."""
+        return [index for group in self.groups_of(gpu) for index in group]
+
+    def validate(self) -> None:
+        """Check the invariants of a correct multi-GPU schedule.
+
+        * every chunk is owned by exactly one GPU for this gate, and
+        * paired chunks are co-resident (same owner).
+
+        Raises:
+            SchedulingError: On any violation.
+        """
+        seen: dict[int, int] = {}
+        for group, owner in zip(self.groups, self.owners):
+            for index in group:
+                if index in seen:
+                    raise SchedulingError(
+                        f"chunk {index} assigned to GPUs {seen[index]} and {owner}"
+                    )
+                seen[index] = owner
+
+
+def assign_round_robin(
+    num_qubits: int, chunk_bits: int, gate: Gate, num_gpus: int
+) -> GroupAssignment:
+    """Round-robin assignment of a gate's chunk groups to ``num_gpus`` GPUs.
+
+    Matches the paper's Fig. 18: with a 7-qubit circuit, a gate on ``q5``,
+    chunk size ``2^4`` and two GPUs, groups 0 and 2 land on GPU 0 and groups
+    1 and 3 on GPU 1.
+    """
+    if num_gpus < 1:
+        raise SchedulingError("need at least one GPU")
+    groups = tuple(chunk_pair_groups(num_qubits, chunk_bits, gate.qubits))
+    owners = tuple(index % num_gpus for index in range(len(groups)))
+    assignment = GroupAssignment(
+        gate=gate, groups=groups, owners=owners, num_gpus=num_gpus
+    )
+    assignment.validate()
+    return assignment
+
+
+def per_gpu_amplitudes(assignment: GroupAssignment, chunk_bits: int) -> list[int]:
+    """Amplitudes each GPU updates under ``assignment`` (load balance check)."""
+    chunk_amps = 1 << chunk_bits
+    return [
+        len(assignment.chunks_of(gpu)) * chunk_amps
+        for gpu in range(assignment.num_gpus)
+    ]

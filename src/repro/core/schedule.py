@@ -1,0 +1,106 @@
+"""Explicit event schedules for the streaming disciplines.
+
+The timed executor prices each gate with closed-form pipeline formulas
+(:mod:`repro.hardware.pipeline`).  This module builds the *same* work as an
+explicit task graph on the discrete-event engine, for two purposes:
+
+* **cross-validation** - with ``drain_between_gates=True`` the event-engine
+  makespan must equal the executor's sum of per-gate closed forms exactly
+  (tested);
+* **Fig. 6 reconstruction** - with ``drain_between_gates=False`` the
+  schedule models continuous streaming across gates (the H2D engine starts
+  prefetching the next gate's first batch while the current gate drains),
+  quantifying how conservative the per-gate model is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.events import EventTimeline, TimelineResult
+from repro.hardware.pipeline import StageTimes
+
+
+@dataclass(frozen=True)
+class GateStreamPlan:
+    """Streaming work of one gate: uniform batches with stage times."""
+
+    label: str
+    num_batches: int
+    stages: StageTimes
+
+
+def build_stream_timeline(
+    plans: list[GateStreamPlan],
+    buffers: int = 2,
+    overlap: bool = True,
+    drain_between_gates: bool = True,
+) -> EventTimeline:
+    """Lay out a sequence of per-gate streaming pipelines as DES tasks.
+
+    Args:
+        plans: One entry per gate, in execution order.
+        buffers: GPU buffer halves (2 for Q-GPU's two streams).
+        overlap: Double-buffered streams; ``False`` reproduces the Naive
+            discipline (each batch's H2D, kernel and D2H strictly
+            serialise through a single virtual stream resource).
+        drain_between_gates: Force gate ``g+1``'s first H2D to wait for
+            gate ``g``'s last D2H (the executor's conservative model).
+    """
+    timeline = EventTimeline()
+    previous_out: str | None = None  # last D2H task overall
+    previous_in: str | None = None  # last H2D task overall (engine FIFO)
+    previous_comp: str | None = None
+    # Ring of recent D2H task names for buffer reuse across gate boundaries.
+    out_ring: list[str] = []
+
+    for plan in plans:
+        for k in range(plan.num_batches):
+            in_name = f"{plan.label}/in{k}"
+            comp_name = f"{plan.label}/comp{k}"
+            out_name = f"{plan.label}/out{k}"
+
+            if not overlap:
+                # Single stream: strictly after the previous batch's D2H.
+                in_deps = [previous_out] if previous_out else []
+            else:
+                in_deps = [previous_in] if previous_in else []
+                if drain_between_gates and k == 0 and previous_out:
+                    in_deps.append(previous_out)
+                # Buffer reuse: this batch's slot was freed by the D2H that
+                # ran `buffers` batches ago (across gate boundaries when
+                # draining is off).
+                if not (drain_between_gates and k == 0):
+                    if len(out_ring) >= buffers:
+                        in_deps.append(out_ring[-buffers])
+            timeline.add(in_name, "h2d", plan.stages.h2d, tuple(set(in_deps)))
+
+            comp_deps = [in_name]
+            if previous_comp:
+                comp_deps.append(previous_comp)
+            timeline.add(comp_name, "gpu", plan.stages.compute, tuple(comp_deps))
+
+            out_deps = [comp_name]
+            if previous_out:
+                out_deps.append(previous_out)
+            timeline.add(out_name, "d2h", plan.stages.d2h, tuple(out_deps))
+
+            previous_in, previous_comp, previous_out = in_name, comp_name, out_name
+            out_ring.append(out_name)
+        if drain_between_gates:
+            out_ring.clear()
+
+    return timeline
+
+
+def stream_makespan(
+    plans: list[GateStreamPlan],
+    buffers: int = 2,
+    overlap: bool = True,
+    drain_between_gates: bool = True,
+) -> TimelineResult:
+    """Convenience: build and run the schedule."""
+    return build_stream_timeline(
+        plans, buffers=buffers, overlap=overlap,
+        drain_between_gates=drain_between_gates,
+    ).run()

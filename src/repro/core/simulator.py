@@ -1,0 +1,198 @@
+"""Public facade: the Q-GPU simulator.
+
+:class:`QGpuSimulator` bundles the two halves of the reproduction:
+
+* :meth:`QGpuSimulator.run` - *functional* simulation at tractable widths:
+  applies the version's reordering, executes on the chunked engine, and
+  skips chunk groups that Algorithm 1 proves all-zero.  Returns the exact
+  final state plus pruning statistics, and is bit-identical to a dense
+  unoptimized simulation (the paper's "pruning and reordering do not affect
+  the simulation results").
+* :meth:`QGpuSimulator.estimate` - *timed* simulation at any width: runs the
+  machine-model executor and returns a :class:`~repro.core.executor.TimedResult`.
+
+Typical use::
+
+    sim = QGpuSimulator()                     # paper's P100 server, Q-GPU
+    state = sim.run(circuit).state            # exact amplitudes
+    timing = sim.estimate(circuit)            # modelled seconds at any n
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compression.profile import family_ratio
+from repro.core.basis_tracking import BasisTracker
+from repro.core.executor import TimedExecutor, TimedResult
+from repro.core.involvement import InvolvementTracker
+from repro.core.pruning import chunk_is_pruned
+from repro.core.reorder import reorder
+from repro.core.versions import QGPU, VersionConfig
+from repro.errors import SimulationError
+from repro.hardware.machine import Machine
+from repro.hardware.specs import MachineSpec, PAPER_MACHINE
+from repro.statevector.apply import apply_gate
+from repro.statevector.chunks import ChunkedStateVector, chunk_pair_groups
+
+
+@dataclass
+class FunctionalResult:
+    """Outcome of a functional (exact) Q-GPU run.
+
+    Attributes:
+        state: Final chunked state (``state.to_dense()`` for the vector).
+        circuit_name: Name of the executed circuit.
+        version: Version name used.
+        chunk_updates_total: Chunk-group updates the unoptimized engine
+            would perform.
+        chunk_updates_skipped: Updates skipped because Algorithm 1 proved
+            every member chunk zero.
+    """
+
+    state: ChunkedStateVector
+    circuit_name: str
+    version: str
+    chunk_updates_total: int = 0
+    chunk_updates_skipped: int = 0
+
+    @property
+    def amplitudes(self) -> np.ndarray:
+        return self.state.to_dense()
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Fraction of chunk-group updates pruning eliminated."""
+        if self.chunk_updates_total == 0:
+            return 0.0
+        return self.chunk_updates_skipped / self.chunk_updates_total
+
+
+def circuit_family(circuit: QuantumCircuit) -> str:
+    """The benchmark family encoded in a ``family_n`` circuit name."""
+    return circuit.name.rsplit("_", 1)[0]
+
+
+class QGpuSimulator:
+    """The Q-GPU quantum circuit simulator (functional + performance model).
+
+    Args:
+        machine: Hardware model to time against (default: the paper's P100
+            server).
+        version: Execution version (default: full Q-GPU).
+        chunk_bits: Within-chunk qubits for the functional engine; the timed
+            engine uses Aer's default unless overridden.
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec = PAPER_MACHINE,
+        version: VersionConfig = QGPU,
+        chunk_bits: int | None = None,
+    ) -> None:
+        self.machine = Machine(machine)
+        self.version = version
+        self.chunk_bits = chunk_bits
+
+    # -- functional ---------------------------------------------------------
+
+    def run(self, circuit: QuantumCircuit) -> FunctionalResult:
+        """Exact simulation with the version's reordering and pruning.
+
+        Raises:
+            SimulationError: For widths beyond the functional limit.
+        """
+        n = circuit.num_qubits
+        chunk_bits = self.chunk_bits if self.chunk_bits is not None else max(1, min(10, n - 2))
+        if chunk_bits > n:
+            raise SimulationError(f"chunk_bits {chunk_bits} exceeds width {n}")
+        ordered = reorder(circuit, self.version.reorder_strategy)
+        state = ChunkedStateVector(n, chunk_bits)
+        tracker = InvolvementTracker(n)
+        basis = BasisTracker(n) if self.version.basis_tracking_pruning else None
+        total_updates = 0
+        skipped_updates = 0
+
+        for gate in ordered:
+            if basis is not None:
+                basis.observe(gate)
+            tracker.involve(
+                gate, diagonal_aware=self.version.diagonal_aware_pruning
+            )
+            groups = chunk_pair_groups(n, chunk_bits, gate.qubits)
+            total_updates += len(groups)
+            if self.version.pruning:
+                def pruned(member: int) -> bool:
+                    if basis is not None:
+                        return basis.chunk_is_pruned(member, chunk_bits)
+                    return chunk_is_pruned(member, chunk_bits, tracker.mask)
+
+                live_groups = []
+                for members in groups:
+                    if all(pruned(m) for m in members):
+                        skipped_updates += 1
+                    else:
+                        live_groups.append(members)
+                groups = live_groups
+            self._apply_groups(state, gate, groups)
+
+        return FunctionalResult(
+            state=state,
+            circuit_name=circuit.name,
+            version=self.version.name,
+            chunk_updates_total=total_updates,
+            chunk_updates_skipped=skipped_updates,
+        )
+
+    @staticmethod
+    def _apply_groups(
+        state: ChunkedStateVector, gate, groups: list[tuple[int, ...]]
+    ) -> None:
+        """Apply ``gate`` to the listed chunk groups only."""
+        outside = [q for q in gate.qubits if q >= state.chunk_bits]
+        if not outside:
+            for (index,) in groups:
+                apply_gate(state.chunks[index], gate)
+            return
+        mapping = {q: q for q in gate.qubits if q < state.chunk_bits}
+        for rank, q in enumerate(sorted(outside)):
+            mapping[q] = state.chunk_bits + rank
+        remapped = gate.remapped(mapping)
+        for members in groups:
+            gathered = np.concatenate([state.chunks[m] for m in members])
+            apply_gate(gathered, remapped)
+            for position, member in enumerate(members):
+                start = position << state.chunk_bits
+                state.chunks[member][...] = gathered[start : start + state.chunk_size]
+
+    # -- timed ---------------------------------------------------------------
+
+    def estimate(
+        self,
+        circuit: QuantumCircuit,
+        compression_ratio: float | None = None,
+    ) -> TimedResult:
+        """Model the wall-clock execution of ``circuit`` on this machine.
+
+        Args:
+            circuit: Circuit at any width the host can hold.
+            compression_ratio: Override the measured per-family GFC ratio
+                (useful for sensitivity studies); by default the ratio is
+                measured on real amplitudes at a tractable width for this
+                circuit's family.
+        """
+        if compression_ratio is None:
+            compression_ratio = (
+                family_ratio(circuit_family(circuit))
+                if self.version.compression
+                else 1.0
+            )
+        executor = (
+            TimedExecutor(self.machine, chunk_bits=self.chunk_bits)
+            if self.chunk_bits is not None
+            else TimedExecutor(self.machine)
+        )
+        return executor.execute(circuit, self.version, compression_ratio)

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the Q-GPU reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or invalid gate construction."""
+
+
+class QasmError(ReproError):
+    """Raised when OpenQASM text cannot be parsed or emitted."""
+
+
+class SimulationError(ReproError):
+    """Raised when a state-vector simulation cannot be performed."""
+
+
+class HardwareModelError(ReproError):
+    """Raised for inconsistent hardware specifications or schedules."""
+
+
+class CompressionError(ReproError):
+    """Raised when the GFC codec receives an undecodable stream."""
+
+
+class SchedulingError(ReproError):
+    """Raised when an execution schedule violates a resource invariant."""

@@ -1,0 +1,36 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+Importing this package registers all experiments; run one with
+``run_experiment("fig12")`` or enumerate ids with ``all_experiment_ids()``.
+"""
+
+from repro.experiments import (  # noqa: F401 - imports register experiments
+    fig02_baseline_breakdown,
+    fig03_naive_normalized,
+    fig04_naive_breakdown,
+    fig06_timeline,
+    fig07_amplitude_distribution,
+    fig09_reorder_involvement,
+    fig10_residuals,
+    fig11_codec_structure,
+    fig12_overall,
+    fig13_transfer,
+    fig14_codec_overhead,
+    fig15_roofline,
+    fig16_other_simulators,
+    fig17_v100_a100,
+    fig19_multigpu,
+    tab2_involvement,
+    tab3_deep_circuits,
+)
+from repro.experiments.base import (
+    ExperimentResult,
+    all_experiment_ids,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "all_experiment_ids",
+    "run_experiment",
+]

@@ -1,0 +1,86 @@
+"""Experiment infrastructure: result container and registry.
+
+Every paper table/figure has one module here exposing ``run() ->
+ExperimentResult``.  The benchmark harness (``benchmarks/``) wraps each in a
+pytest-benchmark target, prints the rendered table, and asserts the paper's
+qualitative claims; the examples reuse the same functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.analysis.tables import format_table
+from repro.errors import ReproError
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one reproduced table/figure.
+
+    Attributes:
+        experiment_id: Short id (``"fig12"``, ``"tab2"``...).
+        title: Human-readable caption.
+        headers: Column names of the rendered table.
+        rows: Table rows (mixed str/float cells).
+        notes: Free-form observations (paper-vs-measured commentary).
+        data: Raw result objects for programmatic use, keyed by name.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """The table plus notes, ready to print."""
+        parts = [format_table(self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}")]
+        parts.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def to_csv(self) -> str:
+        """The table as CSV text (one header row plus data rows)."""
+
+        def cell(value: object) -> str:
+            text = str(value)
+            if "," in text or '"' in text:
+                text = '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(cell(h) for h in self.headers)]
+        lines.extend(",".join(cell(v) for v in row) for row in self.rows)
+        return "\n".join(lines) + "\n"
+
+
+_REGISTRY: dict[str, Callable[[], ExperimentResult]] = {}
+
+
+def register(experiment_id: str) -> Callable:
+    """Class decorator registering a ``run()`` callable under an id."""
+
+    def wrap(fn: Callable[[], ExperimentResult]) -> Callable[[], ExperimentResult]:
+        if experiment_id in _REGISTRY:
+            raise ReproError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return wrap
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run a registered experiment by id."""
+    try:
+        fn = _REGISTRY[experiment_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return fn()
+
+
+def all_experiment_ids() -> list[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,39 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import get_circuit
+from repro.core.executor import TimedResult
+from repro.core.simulator import QGpuSimulator
+from repro.core.versions import VersionConfig
+from repro.hardware.specs import MachineSpec, PAPER_MACHINE
+
+#: Qubit counts the paper's large-scale figures sweep (Fig. 12).
+LARGE_SIZES = (30, 31, 32, 33, 34)
+#: The width used for single-size tables (Table II, Figs. 2/4/13/14).
+HEADLINE_SIZE = 34
+
+
+@lru_cache(maxsize=256)
+def cached_circuit(family: str, num_qubits: int, seed: int = 0) -> QuantumCircuit:
+    """Benchmark circuit, cached across experiments in one process."""
+    return get_circuit(family, num_qubits, seed=seed)
+
+
+def timed_run(
+    family: str,
+    num_qubits: int,
+    version: VersionConfig,
+    machine: MachineSpec = PAPER_MACHINE,
+) -> TimedResult:
+    """Model one circuit under one version on one machine."""
+    circuit = cached_circuit(family, num_qubits)
+    return QGpuSimulator(machine=machine, version=version).estimate(circuit)
+
+
+def normalized(value: float, reference: float) -> float:
+    """``value / reference`` guarded against a zero reference."""
+    return value / reference if reference else float("inf")

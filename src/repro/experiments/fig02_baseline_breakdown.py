@@ -1,0 +1,49 @@
+"""Fig. 2 - baseline execution-time breakdown.
+
+Paper finding: for large circuits (34 qubits on the P100 server), 88.89% of
+baseline execution time is CPU compute, 10.29% is amplitude exchange and
+synchronisation, and only 0.82% is GPU compute - the GPU is essentially
+idle under static chunk allocation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdown import average_breakdown, breakdown
+from repro.circuits.library import FAMILIES
+from repro.core.versions import BASELINE
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.common import HEADLINE_SIZE, timed_run
+
+
+@register("fig2")
+def run(num_qubits: int = HEADLINE_SIZE) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig2",
+        title=f"Baseline execution time breakdown ({num_qubits} qubits, P100)",
+        headers=["circuit", "total_s", "cpu_%", "transfer_%", "gpu_%"],
+    )
+    rows = []
+    for family in FAMILIES:
+        timing = timed_run(family, num_qubits, BASELINE)
+        share = breakdown(timing)
+        rows.append(share)
+        result.rows.append(
+            [
+                f"{family}_{num_qubits}",
+                share.total_seconds,
+                100 * share.cpu,
+                100 * share.transfer,
+                100 * share.gpu,
+            ]
+        )
+    mean = average_breakdown(rows)
+    result.rows.append(
+        ["average", sum(b.total_seconds for b in rows) / len(rows),
+         100 * mean["cpu"], 100 * mean["transfer"], 100 * mean["gpu"]]
+    )
+    result.data["breakdowns"] = rows
+    result.data["average"] = mean
+    result.notes.append(
+        "paper: cpu 88.89%, exchange+sync 10.29%, gpu 0.82% on average"
+    )
+    return result

@@ -1,0 +1,40 @@
+"""Fig. 3 - naive dynamic allocation, normalized execution time.
+
+Paper finding: dynamically streaming every chunk to the GPU (the intuitive
+fix for baseline GPU idleness) makes every circuit *slower* than the
+baseline, because serialised data movement dominates.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.library import FAMILIES
+from repro.core.versions import BASELINE, NAIVE
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.common import normalized, timed_run
+
+SIZES = (31, 32, 33, 34)
+
+
+@register("fig3")
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig3",
+        title="Naive dynamic allocation: execution time normalized to Baseline",
+        headers=["circuit"] + [f"n={n}" for n in SIZES],
+    )
+    table: dict[str, dict[int, float]] = {}
+    for family in FAMILIES:
+        row: list[object] = [family]
+        table[family] = {}
+        for size in SIZES:
+            base = timed_run(family, size, BASELINE).total_seconds
+            naive = timed_run(family, size, NAIVE).total_seconds
+            ratio = normalized(naive, base)
+            table[family][size] = ratio
+            row.append(ratio)
+        result.rows.append(row)
+    result.data["normalized"] = table
+    result.notes.append(
+        "paper: no circuit improves under naive dynamic allocation"
+    )
+    return result

@@ -1,0 +1,46 @@
+"""Fig. 4 - execution-time breakdown of the naive approach.
+
+Paper finding: under naive dynamic allocation the CPU-compute share
+collapses (everything now updates on the GPU) but data movement dominates
+the runtime, leaving the GPU starved.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdown import average_breakdown, breakdown
+from repro.circuits.library import FAMILIES
+from repro.core.versions import NAIVE
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.common import HEADLINE_SIZE, timed_run
+
+
+@register("fig4")
+def run(num_qubits: int = HEADLINE_SIZE) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title=f"Naive approach execution time breakdown ({num_qubits} qubits)",
+        headers=["circuit", "total_s", "transfer_%", "gpu_%", "cpu_%"],
+    )
+    rows = []
+    for family in FAMILIES:
+        timing = timed_run(family, num_qubits, NAIVE)
+        share = breakdown(timing)
+        rows.append(share)
+        result.rows.append(
+            [
+                f"{family}_{num_qubits}",
+                share.total_seconds,
+                100 * share.transfer,
+                100 * share.gpu,
+                100 * share.cpu,
+            ]
+        )
+    mean = average_breakdown(rows)
+    result.rows.append(
+        ["average", sum(b.total_seconds for b in rows) / len(rows),
+         100 * mean["transfer"], 100 * mean["gpu"], 100 * mean["cpu"]]
+    )
+    result.data["breakdowns"] = rows
+    result.data["average"] = mean
+    result.notes.append("paper: data movement dominates; CPU share ~0")
+    return result

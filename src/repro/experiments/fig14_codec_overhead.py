@@ -1,0 +1,39 @@
+"""Fig. 14 - compression and decompression overheads.
+
+Paper finding: GFC compression and decompression cost 3.31% and 2.84% of
+Q-GPU execution time respectively - negligible against the transfer savings.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.library import FAMILIES
+from repro.core.versions import QGPU
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.common import HEADLINE_SIZE, timed_run
+
+
+@register("fig14")
+def run(num_qubits: int = HEADLINE_SIZE) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig14",
+        title=f"GFC codec overhead in Q-GPU ({num_qubits} qubits)",
+        headers=["circuit", "total_s", "codec_s", "codec_%"],
+    )
+    overheads: dict[str, float] = {}
+    for family in FAMILIES:
+        timing = timed_run(family, num_qubits, QGPU)
+        pct = 100.0 * timing.codec_seconds / timing.total_seconds if timing.total_seconds else 0.0
+        overheads[family] = pct
+        result.rows.append(
+            [f"{family}_{num_qubits}", timing.total_seconds,
+             timing.codec_seconds, pct]
+        )
+    average = sum(overheads.values()) / len(overheads)
+    result.rows.append(["average", "", "", average])
+    result.data["overhead_pct"] = overheads
+    result.data["average_pct"] = average
+    result.notes.append(
+        "paper: compression 3.31% + decompression 2.84% of execution time "
+        "(we report the combined codec share)"
+    )
+    return result

@@ -1,0 +1,56 @@
+"""Fig. 15 - roofline analysis of qft and iqp on a V100.
+
+Paper findings: QCS is memory-bound (all points under the bandwidth slope);
+runs fitting GPU memory (<= 29 qubits) sit near the ceiling; past 31 qubits
+the Baseline collapses to very low FLOPS, Naive recovers some throughput at
+lower arithmetic intensity, and Q-GPU achieves far more than either.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.roofline import RooflinePoint, roofline_point
+from repro.core.versions import BASELINE, NAIVE, QGPU
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.common import timed_run
+from repro.hardware.specs import MachineSpec, PCIE3_X16, V100_16GB, XEON_4114_DUAL
+
+#: The paper's roofline server: V100 16 GB with a capable host.
+ROOFLINE_MACHINE = MachineSpec(
+    "V100 roofline server (Sec. V-B)", cpu=XEON_4114_DUAL, gpus=(V100_16GB,),
+    link=PCIE3_X16, host_memory_bytes=384 * 2**30,
+)
+
+CIRCUITS = ("qft", "iqp")
+SIZES = (27, 29, 31, 33)
+VERSIONS = (BASELINE, NAIVE, QGPU)
+
+
+@register("fig15")
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig15",
+        title="Roofline points on V100 (GFLOPS vs arithmetic intensity)",
+        headers=["point", "AI_flops_per_byte", "achieved_GFLOPS",
+                 "ceiling_GFLOPS", "pct_of_ceiling"],
+    )
+    points: dict[tuple[str, int, str], RooflinePoint] = {}
+    for family in CIRCUITS:
+        for size in SIZES:
+            for version in VERSIONS:
+                timing = timed_run(family, size, version, machine=ROOFLINE_MACHINE)
+                point = roofline_point(timing, V100_16GB)
+                points[(family, size, version.name)] = point
+                result.rows.append(
+                    [
+                        f"{family}_{size}/{version.name}",
+                        point.arithmetic_intensity,
+                        point.achieved_flops / 1e9,
+                        point.ceiling_flops / 1e9,
+                        100 * point.efficiency,
+                    ]
+                )
+    result.data["points"] = points
+    result.notes.append(
+        "paper: all points memory-bound; baseline collapses past 31 qubits"
+    )
+    return result

@@ -1,0 +1,58 @@
+"""Fig. 16 - comparison with Google Qsim-Cirq and Microsoft QDK.
+
+Paper findings: Q-GPU is 2.02x faster than Qsim-Cirq (on gs and hlf, the
+circuits Qsim's OpenQASM import supported) and 10.82x faster than QDK (on
+qft, iqp, hlf and gs, the circuits that survived the Q# conversion).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.qasm import to_qasm
+from repro.comparisons.models import (
+    QDK_SUPPORTED_FAMILIES,
+    QSIM_SUPPORTED_FAMILIES,
+    estimate_qdk,
+    estimate_qsim_cirq,
+)
+from repro.core.versions import QGPU
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.common import cached_circuit, timed_run
+
+SIZES = (30, 32, 34)
+
+
+@register("fig16")
+def run(sizes: tuple[int, ...] = SIZES) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig16",
+        title="Q-GPU vs Qsim-Cirq and QDK (speedup of Q-GPU, higher is better)",
+        headers=["circuit", "simulator", "simulator_s", "qgpu_s", "speedup"],
+    )
+    speedups: dict[str, list[float]] = {"Qsim-Cirq": [], "QDK": []}
+    plans = [
+        ("Qsim-Cirq", QSIM_SUPPORTED_FAMILIES, estimate_qsim_cirq),
+        ("QDK", QDK_SUPPORTED_FAMILIES, estimate_qdk),
+    ]
+    for simulator, families, estimator in plans:
+        for family in families:
+            for size in sizes:
+                circuit = cached_circuit(family, size)
+                # The paper's interchange path: circuits are exported to
+                # OpenQASM before import into the external simulator.
+                to_qasm(circuit)
+                other = estimator(circuit).total_seconds
+                ours = timed_run(family, size, QGPU).total_seconds
+                speedup = other / ours if ours else float("inf")
+                speedups[simulator].append(speedup)
+                result.rows.append(
+                    [f"{family}_{size}", simulator, other, ours, speedup]
+                )
+    averages = {
+        name: sum(values) / len(values) for name, values in speedups.items()
+    }
+    for name, value in averages.items():
+        result.rows.append([f"average vs {name}", name, "", "", value])
+    result.data["speedups"] = speedups
+    result.data["averages"] = averages
+    result.notes.append("paper: 2.02x over Qsim-Cirq, 10.82x over QDK")
+    return result

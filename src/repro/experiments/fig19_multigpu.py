@@ -1,0 +1,53 @@
+"""Fig. 19 - multi-GPU performance (4x P4 over PCIe, 4x V100 over NVLink).
+
+Paper findings: Q-GPU beats the QISKit-Aer multi-GPU baseline by 2.97x on
+the PCIe P4 server and 2.98x on the NVLink V100 server - CPU<->GPU traffic,
+not GPU<->GPU traffic, dominates multi-GPU QCS, so the same optimizations
+carry over.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.library import FAMILIES
+from repro.core.versions import BASELINE, QGPU
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.common import normalized, timed_run
+from repro.hardware.specs import MULTI_P4_MACHINE, MULTI_V100_MACHINE
+
+#: The V100 server runs larger circuits (4x16 GB vs 4x8 GB of pool memory).
+P4_SIZE = 32
+V100_SIZE = 33
+
+
+@register("fig19")
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig19",
+        title="Multi-GPU: Q-GPU normalized to Aer multi-GPU baseline",
+        headers=["circuit", "4xP4 (PCIe)", "4xV100 (NVLink)"],
+    )
+    table: dict[str, dict[str, float]] = {}
+    for family in FAMILIES:
+        row: dict[str, float] = {}
+        for label, machine, size in (
+            ("4xP4 (PCIe)", MULTI_P4_MACHINE, P4_SIZE),
+            ("4xV100 (NVLink)", MULTI_V100_MACHINE, V100_SIZE),
+        ):
+            base = timed_run(family, size, BASELINE, machine=machine)
+            ours = timed_run(family, size, QGPU, machine=machine)
+            row[label] = normalized(ours.total_seconds, base.total_seconds)
+        table[family] = row
+        result.rows.append(
+            [family, row["4xP4 (PCIe)"], row["4xV100 (NVLink)"]]
+        )
+    averages = {
+        label: sum(row[label] for row in table.values()) / len(table)
+        for label in ("4xP4 (PCIe)", "4xV100 (NVLink)")
+    }
+    result.rows.append(["average", averages["4xP4 (PCIe)"], averages["4xV100 (NVLink)"]])
+    result.data["normalized"] = table
+    result.data["averages"] = averages
+    result.notes.append(
+        "paper: 66.38% / 66.46% time reduction (2.97x / 2.98x speedup)"
+    )
+    return result

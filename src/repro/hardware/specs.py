@@ -1,0 +1,236 @@
+"""Hardware specifications for the performance model.
+
+The paper's experiments run on real NVIDIA GPUs (P100/V100/A100/P4) attached
+to Xeon hosts over PCIe 3.0 or NVLink.  This environment has no GPU, so Q-GPU
+executes against a calibrated analytical model of those parts (see DESIGN.md,
+"Substitutions").  All figures below are either vendor datasheet numbers
+(memory capacity, peak FP64, HBM bandwidth) or effective-throughput
+calibrations chosen so the *baseline* relations the paper reports hold
+(e.g. Fig. 2's 89%-CPU breakdown, CPU-vs-GPU crossover at 32 qubits).
+
+Calibration constants and their provenance:
+
+* ``effective_fraction`` of link bandwidth: PCIe 3.0 x16 sustains ~12 GB/s
+  of its 16 GB/s peak for pinned-memory cudaMemcpy.
+* ``kernel_efficiency``: state-vector update kernels reach roughly half of
+  HBM STREAM bandwidth (strided pair access).
+* ``CpuSpec.effective_bandwidth``: dual Xeon Silver 4114 sustains ~40 GB/s
+  for the OpenMP state-vector loop.
+* ``CpuSpec.chunked_efficiency``: QISKit-Aer's hybrid path updates CPU
+  chunks through a chunk-granular dispatcher that contends with transfer
+  threads; the paper's Fig. 2/Fig. 12 relations imply it reaches ~42% of
+  the pure OpenMP loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import HardwareModelError
+
+GIB = 1 << 30
+GB = 10**9
+
+#: Bytes per complex128 state amplitude.
+AMP_BYTES = 16
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A GPU device model.
+
+    Attributes:
+        name: Marketing name, for reports.
+        memory_bytes: Device memory capacity.
+        fp64_flops: Peak double-precision throughput (FLOP/s).
+        mem_bandwidth: Peak device-memory bandwidth (bytes/s).
+        kernel_efficiency: Fraction of peak bandwidth the state-vector
+            update kernel sustains.
+        codec_bandwidth: GFC compression/decompression throughput on
+            this device (bytes/s of uncompressed data); the GFC paper
+            reports ~42% of device memory bandwidth, scaled per device.
+    """
+
+    name: str
+    memory_bytes: int
+    fp64_flops: float
+    mem_bandwidth: float
+    kernel_efficiency: float = 0.5
+    codec_bandwidth: float = 300 * GB
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0 or self.mem_bandwidth <= 0 or self.fp64_flops <= 0:
+            raise HardwareModelError(f"non-positive figure in GPU spec {self.name!r}")
+        if not 0 < self.kernel_efficiency <= 1:
+            raise HardwareModelError(
+                f"kernel_efficiency must be in (0, 1], got {self.kernel_efficiency}"
+            )
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustained state-vector kernel bandwidth (bytes/s)."""
+        return self.mem_bandwidth * self.kernel_efficiency
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A host CPU model.
+
+    Attributes:
+        name: Marketing name.
+        cores: Physical core count (reported, not separately modelled; the
+            effective bandwidth already reflects all-core operation).
+        effective_bandwidth: Sustained bytes/s of the pure OpenMP
+            state-vector update loop.
+        chunked_efficiency: Fraction of ``effective_bandwidth`` reached by
+            the hybrid (chunk-granular) CPU path of QISKit-Aer.
+    """
+
+    name: str
+    cores: int
+    effective_bandwidth: float
+    chunked_efficiency: float = 0.42
+
+    def __post_init__(self) -> None:
+        if self.effective_bandwidth <= 0 or self.cores <= 0:
+            raise HardwareModelError(f"non-positive figure in CPU spec {self.name!r}")
+        if not 0 < self.chunked_efficiency <= 1:
+            raise HardwareModelError(
+                f"chunked_efficiency must be in (0, 1], got {self.chunked_efficiency}"
+            )
+
+    @property
+    def chunked_bandwidth(self) -> float:
+        """Sustained bytes/s of the hybrid chunk-dispatch CPU path."""
+        return self.effective_bandwidth * self.chunked_efficiency
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A CPU-GPU interconnect model.
+
+    Attributes:
+        name: Link family name.
+        bandwidth_per_direction: Sustained bytes/s in each direction.
+        latency: Per-transfer fixed cost (seconds): driver launch plus DMA
+            setup.
+        duplex: Whether H2D and D2H can proceed concurrently at full rate
+            (true for both PCIe 3.0 and NVLink).
+    """
+
+    name: str
+    bandwidth_per_direction: float
+    latency: float = 20e-6
+    duplex: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_per_direction <= 0 or self.latency < 0:
+            raise HardwareModelError(f"bad link spec {self.name!r}")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A host with one or more GPUs behind a shared link type.
+
+    Attributes:
+        name: Identifier used in reports.
+        cpu: Host CPU model.
+        gpus: One entry per GPU (all identical in the paper's servers).
+        link: Interconnect between host memory and each GPU.  Each GPU has
+            its own link instance (PCIe slots / NVLink bricks).
+        host_memory_bytes: Host DRAM capacity; simulations whose state
+            vector exceeds it fail, as on the real machines (Section V-D).
+    """
+
+    name: str
+    cpu: CpuSpec
+    gpus: tuple[GpuSpec, ...]
+    link: LinkSpec
+    host_memory_bytes: int
+
+    def __post_init__(self) -> None:
+        if not self.gpus:
+            raise HardwareModelError(f"machine {self.name!r} has no GPUs")
+        if self.host_memory_bytes <= 0:
+            raise HardwareModelError(f"machine {self.name!r} has no host memory")
+
+    @property
+    def gpu(self) -> GpuSpec:
+        """The first (or only) GPU."""
+        return self.gpus[0]
+
+    def with_gpu_count(self, count: int) -> "MachineSpec":
+        """A copy of this machine with ``count`` identical GPUs."""
+        if count <= 0:
+            raise HardwareModelError("gpu count must be positive")
+        return replace(self, gpus=(self.gpus[0],) * count, name=f"{self.name}x{count}")
+
+
+# ---------------------------------------------------------------------------
+# Device presets (datasheet numbers)
+# ---------------------------------------------------------------------------
+
+# GFC reached 75 GB/s on a 177 GB/s-bandwidth GPU (O'Neil & Burtscher),
+# i.e. ~42% of device bandwidth; the codec figures below scale that to each
+# device's HBM bandwidth.
+P100 = GpuSpec(
+    "NVIDIA Tesla P100", memory_bytes=16 * GIB, fp64_flops=4.7e12,
+    mem_bandwidth=732 * GB, codec_bandwidth=300 * GB,
+)
+V100_16GB = GpuSpec(
+    "NVIDIA Tesla V100 16GB", memory_bytes=16 * GIB, fp64_flops=7.8e12,
+    mem_bandwidth=900 * GB, codec_bandwidth=370 * GB,
+)
+V100_32GB = GpuSpec(
+    "NVIDIA Tesla V100 32GB", memory_bytes=32 * GIB, fp64_flops=7.8e12,
+    mem_bandwidth=900 * GB, codec_bandwidth=370 * GB,
+)
+A100_40GB = GpuSpec(
+    "NVIDIA A100 40GB", memory_bytes=40 * GIB, fp64_flops=9.7e12,
+    mem_bandwidth=1555 * GB, codec_bandwidth=640 * GB,
+)
+P4 = GpuSpec(
+    "NVIDIA Tesla P4", memory_bytes=8 * GIB, fp64_flops=0.17e12,
+    mem_bandwidth=192 * GB, codec_bandwidth=80 * GB,
+)
+
+XEON_4114_DUAL = CpuSpec("2x Intel Xeon Silver 4114", cores=20, effective_bandwidth=40 * GB)
+XEON_6133 = CpuSpec("Intel Xeon Gold 6133 (8 cores)", cores=8, effective_bandwidth=25 * GB)
+VCPU_12 = CpuSpec("12-core virtual CPU", cores=12, effective_bandwidth=30 * GB)
+XEON_32CORE = CpuSpec("32-core Xeon", cores=32, effective_bandwidth=55 * GB)
+
+PCIE3_X16 = LinkSpec("PCIe 3.0 x16", bandwidth_per_direction=12 * GB)
+NVLINK2 = LinkSpec("NVLink 2.0", bandwidth_per_direction=75 * GB, latency=10e-6)
+
+# ---------------------------------------------------------------------------
+# The paper's five servers (Sections III-B, V-D, V-E)
+# ---------------------------------------------------------------------------
+
+PAPER_MACHINE = MachineSpec(
+    "P100 server (Sec. III-B)", cpu=XEON_4114_DUAL, gpus=(P100,),
+    link=PCIE3_X16, host_memory_bytes=384 * GIB,
+)
+V100_MACHINE = MachineSpec(
+    "V100 server (Sec. V-D)", cpu=XEON_6133, gpus=(V100_32GB,),
+    link=PCIE3_X16, host_memory_bytes=80 * GIB,
+)
+A100_MACHINE = MachineSpec(
+    "A100 server (Sec. V-D)", cpu=VCPU_12, gpus=(A100_40GB,),
+    link=PCIE3_X16, host_memory_bytes=85 * GIB,
+)
+MULTI_P4_MACHINE = MachineSpec(
+    "4x P4 server (Sec. V-E)", cpu=XEON_32CORE, gpus=(P4,) * 4,
+    link=PCIE3_X16, host_memory_bytes=208 * GIB,
+)
+MULTI_V100_MACHINE = MachineSpec(
+    "4x V100 NVLink server (Sec. V-E)", cpu=XEON_32CORE, gpus=(V100_16GB,) * 4,
+    link=NVLINK2, host_memory_bytes=208 * GIB,
+)
+
+MACHINES: dict[str, MachineSpec] = {
+    "p100": PAPER_MACHINE,
+    "v100": V100_MACHINE,
+    "a100": A100_MACHINE,
+    "multi_p4": MULTI_P4_MACHINE,
+    "multi_v100": MULTI_V100_MACHINE,
+}

@@ -1,0 +1,5 @@
+"""Matrix-product-state (tensor network) simulation (paper Section II-B)."""
+
+from repro.mps.state import MpsState, simulate_mps
+
+__all__ = ["MpsState", "simulate_mps"]

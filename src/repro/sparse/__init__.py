@@ -1,0 +1,5 @@
+"""Sparse (exact-support) state-vector simulation."""
+
+from repro.sparse.state import EPSILON, SparseState, simulate_sparse
+
+__all__ = ["EPSILON", "SparseState", "simulate_sparse"]

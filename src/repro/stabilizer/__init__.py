@@ -1,0 +1,15 @@
+"""Stabilizer-formalism simulation (paper Section II-B)."""
+
+from repro.stabilizer.tableau import (
+    CLIFFORD_GATES,
+    StabilizerState,
+    is_clifford_circuit,
+    simulate_clifford,
+)
+
+__all__ = [
+    "CLIFFORD_GATES",
+    "StabilizerState",
+    "is_clifford_circuit",
+    "simulate_clifford",
+]

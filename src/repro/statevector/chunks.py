@@ -1,0 +1,176 @@
+"""Chunked state vector - the functional model of QISKit-Aer's partitioning.
+
+The paper's baseline (Section III-B, Fig. 1) splits the ``2^n`` amplitude
+vector into ``2^(n-m)`` chunks of ``2^m`` amplitudes: the low ``m`` index
+bits address *within* a chunk, the high ``n-m`` bits select the chunk.
+
+* A gate whose qubits are all ``< m`` ("Case 1") updates each chunk
+  independently.
+* A gate touching qubits ``>= m`` ("Case 2") pairs chunks whose indices
+  differ in the corresponding chunk-index bits; the paired chunks must be
+  gathered before the update.
+
+This module implements those mechanics exactly, so the timed executor's
+chunk-schedule logic can be validated against a functional ground truth:
+running a circuit chunked must be bit-identical to running it dense.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.errors import SimulationError
+from repro.statevector.apply import apply_gate
+
+
+def chunk_pair_groups(
+    num_qubits: int, chunk_bits: int, gate_qubits: tuple[int, ...]
+) -> list[tuple[int, ...]]:
+    """Group chunk indices that must be co-resident to apply a gate.
+
+    Returns a list of tuples; each tuple holds the ``2^k`` chunk indices
+    (``k`` = number of gate qubits outside the chunk) that form one
+    independent update group, in ascending outside-bit order.  For a gate
+    fully inside the chunk every group is a singleton.
+    """
+    num_chunks = 1 << (num_qubits - chunk_bits)
+    outside = sorted(q - chunk_bits for q in gate_qubits if q >= chunk_bits)
+    if not outside:
+        return [(i,) for i in range(num_chunks)]
+    outside_mask = 0
+    for bit in outside:
+        outside_mask |= 1 << bit
+    groups: list[tuple[int, ...]] = []
+    for base in range(num_chunks):
+        if base & outside_mask:
+            continue  # only enumerate canonical (all-zero outside bits) bases
+        members = []
+        for selector in range(1 << len(outside)):
+            index = base
+            for position, bit in enumerate(outside):
+                if selector >> position & 1:
+                    index |= 1 << bit
+            members.append(index)
+        groups.append(tuple(members))
+    return groups
+
+
+class ChunkedStateVector:
+    """State vector stored as equally sized chunks.
+
+    Args:
+        num_qubits: Register width ``n``.
+        chunk_bits: Amplitudes per chunk = ``2^chunk_bits``; must satisfy
+            ``0 < chunk_bits <= n``.
+    """
+
+    def __init__(self, num_qubits: int, chunk_bits: int) -> None:
+        if not 0 < chunk_bits <= num_qubits:
+            raise SimulationError(
+                f"chunk_bits must be in (0, {num_qubits}], got {chunk_bits}"
+            )
+        if num_qubits > 26:
+            raise SimulationError(
+                "functional chunked simulation is limited to 26 qubits"
+            )
+        self.num_qubits = num_qubits
+        self.chunk_bits = chunk_bits
+        self.num_chunks = 1 << (num_qubits - chunk_bits)
+        self.chunks = [
+            np.zeros(1 << chunk_bits, dtype=np.complex128)
+            for _ in range(self.num_chunks)
+        ]
+        self.chunks[0][0] = 1.0
+
+    @property
+    def chunk_size(self) -> int:
+        """Amplitudes per chunk."""
+        return 1 << self.chunk_bits
+
+    def to_dense(self) -> np.ndarray:
+        """Concatenate all chunks into the full ``2^n`` vector."""
+        return np.concatenate(self.chunks)
+
+    @classmethod
+    def from_dense(cls, amplitudes: np.ndarray, chunk_bits: int) -> "ChunkedStateVector":
+        """Split a dense vector into chunks (copying)."""
+        num_qubits = int(amplitudes.size).bit_length() - 1
+        if amplitudes.size != 1 << num_qubits:
+            raise SimulationError("amplitude count is not a power of two")
+        out = cls(num_qubits, chunk_bits)
+        for index in range(out.num_chunks):
+            start = index << chunk_bits
+            out.chunks[index][...] = amplitudes[start : start + out.chunk_size]
+        return out
+
+    def apply(self, gate: Gate) -> "ChunkedStateVector":
+        """Apply one gate, gathering cross-chunk groups as Fig. 1 requires."""
+        groups = chunk_pair_groups(self.num_qubits, self.chunk_bits, gate.qubits)
+        outside = [q for q in gate.qubits if q >= self.chunk_bits]
+        if not outside:
+            for chunk in self.chunks:
+                apply_gate(chunk, gate)
+            return self
+
+        # Remap outside qubits onto the extra axes of the gathered buffer:
+        # gathered index = (group member rank << chunk_bits) | offset, with
+        # member rank bits ordered by ascending outside-qubit index.
+        ascending_outside = sorted(outside)
+        mapping = {q: q for q in gate.qubits if q < self.chunk_bits}
+        for rank, q in enumerate(ascending_outside):
+            mapping[q] = self.chunk_bits + rank
+        remapped = gate.remapped(mapping)
+
+        for members in groups:
+            gathered = np.concatenate([self.chunks[index] for index in members])
+            apply_gate(gathered, remapped)
+            for position, index in enumerate(members):
+                start = position << self.chunk_bits
+                self.chunks[index][...] = gathered[start : start + self.chunk_size]
+        return self
+
+    def run(self, circuit: QuantumCircuit) -> "ChunkedStateVector":
+        """Apply every gate of ``circuit`` in order."""
+        if circuit.num_qubits != self.num_qubits:
+            raise SimulationError(
+                f"circuit width {circuit.num_qubits} != state width {self.num_qubits}"
+            )
+        for gate in circuit:
+            self.apply(gate)
+        return self
+
+    def chunk_is_zero(self, index: int, tolerance: float = 0.0) -> bool:
+        """True when every amplitude in chunk ``index`` is (near) zero."""
+        chunk = self.chunks[index]
+        if tolerance == 0.0:
+            return not np.any(chunk)
+        return bool(np.all(np.abs(chunk) <= tolerance))
+
+    def sample(self, shots: int, rng: np.random.Generator | None = None) -> dict[int, int]:
+        """Sample basis states chunk-by-chunk, never densifying.
+
+        Two-level sampling: first draw the chunk from the per-chunk
+        probability masses (zero chunks are never touched - the sampling
+        analogue of pruning), then the offset within the chunk.
+        """
+        if shots <= 0:
+            raise SimulationError(f"shots must be positive, got {shots}")
+        if rng is None:
+            rng = np.random.default_rng()
+        masses = np.array(
+            [float(np.sum(np.abs(chunk) ** 2)) for chunk in self.chunks]
+        )
+        total = masses.sum()
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise SimulationError(f"state is not normalised (sum p = {total:.6f})")
+        chunk_draws = rng.choice(self.num_chunks, size=shots, p=masses / total)
+        counts: dict[int, int] = {}
+        for chunk_index in chunk_draws:
+            chunk = self.chunks[chunk_index]
+            probabilities = np.abs(chunk) ** 2
+            offset = int(rng.choice(self.chunk_size, p=probabilities / probabilities.sum()))
+            outcome = (int(chunk_index) << self.chunk_bits) | offset
+            counts[outcome] = counts.get(outcome, 0) + 1
+        return counts

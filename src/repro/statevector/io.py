@@ -1,0 +1,83 @@
+"""Compressed state-vector persistence.
+
+Saves and loads state vectors through the GFC codec - the same machinery
+Q-GPU uses on the wire (Section IV-D) applied to disk.  Structured states
+(the compressible families) shrink 2-5x; the format is self-describing and
+verified on load.
+
+Layout::
+
+    magic "QGSV" | uint8 version | uint8 reserved | uint32 num_qubits
+    uint64 payload length | GFC stream (see repro.compression.gfc)
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO
+
+import numpy as np
+
+from repro.compression.gfc import compress, decompress
+from repro.errors import CompressionError, SimulationError
+from repro.statevector.state import StateVector
+
+_MAGIC = b"QGSV"
+_HEADER = struct.Struct("<4sBBIQ")
+_FORMAT_VERSION = 1
+
+
+def dump_state(state: StateVector | np.ndarray, destination: BinaryIO | str | Path,
+               num_segments: int = 8) -> int:
+    """Write a state vector as a compressed stream; returns bytes written."""
+    amplitudes = getattr(state, "amplitudes", state)
+    amplitudes = np.ascontiguousarray(amplitudes, dtype=np.complex128)
+    num_qubits = int(amplitudes.size).bit_length() - 1
+    if amplitudes.size != 1 << num_qubits:
+        raise SimulationError("amplitude count is not a power of two")
+    payload = compress(amplitudes, num_segments=num_segments)
+    header = _HEADER.pack(_MAGIC, _FORMAT_VERSION, 0, num_qubits, len(payload))
+
+    if isinstance(destination, (str, Path)):
+        with open(destination, "wb") as handle:
+            handle.write(header)
+            handle.write(payload)
+    else:
+        destination.write(header)
+        destination.write(payload)
+    return len(header) + len(payload)
+
+
+def load_state(source: BinaryIO | str | Path) -> StateVector:
+    """Read a state vector written by :func:`dump_state` (bit-exact)."""
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            return load_state(handle)
+
+    header = source.read(_HEADER.size)
+    if len(header) != _HEADER.size:
+        raise CompressionError("state file too short for header")
+    magic, version, _, num_qubits, payload_length = _HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise CompressionError(f"not a Q-GPU state file (magic {magic!r})")
+    if version != _FORMAT_VERSION:
+        raise CompressionError(f"unsupported state format version {version}")
+    payload = source.read(payload_length)
+    if len(payload) != payload_length:
+        raise CompressionError("truncated state payload")
+    doubles = decompress(payload)
+    if doubles.size != 2 << num_qubits:
+        raise CompressionError(
+            f"payload holds {doubles.size} doubles, expected {2 << num_qubits}"
+        )
+    amplitudes = doubles.view(np.complex128)
+    return StateVector(num_qubits, amplitudes)
+
+
+def roundtrip_bytes(state: StateVector | np.ndarray) -> bytes:
+    """Serialise to bytes in memory (convenience for tests and caching)."""
+    buffer = io.BytesIO()
+    dump_state(state, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,61 @@
+"""Measurement utilities: sampling, marginals, expectation values.
+
+The paper only measures at the end of circuits (Section II-B), so these are
+terminal-state operations over a :class:`~repro.statevector.state.StateVector`
+or a raw amplitude array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def _amplitudes_of(state) -> np.ndarray:
+    amplitudes = getattr(state, "amplitudes", state)
+    amplitudes = np.asarray(amplitudes)
+    if amplitudes.ndim != 1:
+        raise SimulationError("expected a 1-D amplitude vector")
+    return amplitudes
+
+
+def probabilities(state) -> np.ndarray:
+    """``|a_i|^2`` for every basis state."""
+    return np.abs(_amplitudes_of(state)) ** 2
+
+
+def sample_counts(state, shots: int, seed: int = 0) -> dict[int, int]:
+    """Sample ``shots`` basis-state measurements; returns index -> count."""
+    if shots <= 0:
+        raise SimulationError(f"shots must be positive, got {shots}")
+    probs = probabilities(state)
+    total = probs.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise SimulationError(f"state is not normalised (sum p = {total:.6f})")
+    rng = np.random.default_rng(seed)
+    outcomes = rng.choice(probs.size, size=shots, p=probs / total)
+    values, counts = np.unique(outcomes, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def marginal_probability(state, qubit: int) -> float:
+    """Probability of measuring ``1`` on ``qubit``."""
+    amplitudes = _amplitudes_of(state)
+    n = int(amplitudes.size).bit_length() - 1
+    if not 0 <= qubit < n:
+        raise SimulationError(f"qubit {qubit} out of range for {n}-qubit state")
+    indices = np.arange(amplitudes.size)
+    mask = (indices >> qubit & 1).astype(bool)
+    return float(np.sum(np.abs(amplitudes[mask]) ** 2))
+
+
+def expectation_z(state, qubit: int) -> float:
+    """Expectation value of Pauli-Z on ``qubit``: ``p0 - p1``."""
+    p1 = marginal_probability(state, qubit)
+    return 1.0 - 2.0 * p1
+
+
+def most_probable(state) -> int:
+    """Basis index with the largest probability."""
+    return int(np.argmax(probabilities(state)))

@@ -1,0 +1,36 @@
+"""Tests for the ASCII line plotter."""
+
+from __future__ import annotations
+
+from repro.analysis.asciiplot import line_plot
+
+
+class TestLinePlot:
+    def test_empty_series(self) -> None:
+        assert line_plot({}) == "(no data)"
+
+    def test_single_rising_series(self) -> None:
+        text = line_plot({"ramp": [0, 1, 2, 3, 4]}, width=20, height=5)
+        lines = text.splitlines()
+        assert len(lines) == 5 + 2  # grid + axis + legend
+        # The mark appears in the top row at the right edge.
+        assert "o" in lines[0]
+        assert lines[0].rstrip().endswith("o")
+
+    def test_legend_lists_all_series(self) -> None:
+        text = line_plot({"a": [1], "b": [2], "c": [3]})
+        assert "o=a" in text and "x=b" in text and "*=c" in text
+
+    def test_y_max_override_clips_scale(self) -> None:
+        text = line_plot({"s": [0, 10]}, y_max=20.0, width=10, height=5)
+        assert text.splitlines()[0].startswith(f"{20.0:8.2g}")
+
+    def test_labels_rendered(self) -> None:
+        text = line_plot({"s": [1, 2]}, x_label="gates", y_label="qubits")
+        assert text.splitlines()[0] == "qubits"
+        assert "gates" in text
+
+    def test_constant_series_renders_flat_top(self) -> None:
+        text = line_plot({"flat": [5, 5, 5, 5]}, width=12, height=4)
+        top = text.splitlines()[0]
+        assert top.count("o") == 12

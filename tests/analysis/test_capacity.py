@@ -1,0 +1,51 @@
+"""Tests for compressed host-capacity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.capacity import (
+    CapacityGain,
+    capacity_gain,
+    fits_host,
+    host_footprint_bytes,
+    max_qubits,
+)
+from repro.hardware.specs import AMP_BYTES, PAPER_MACHINE, V100_MACHINE
+
+
+class TestFootprint:
+    def test_uncompressed_footprint(self) -> None:
+        assert host_footprint_bytes(10) == pytest.approx(AMP_BYTES * 1024 * 1.05)
+
+    def test_ratio_scales_linearly(self) -> None:
+        assert host_footprint_bytes(20, 0.5) == pytest.approx(
+            0.5 * host_footprint_bytes(20, 1.0)
+        )
+
+    def test_ratio_bounds(self) -> None:
+        with pytest.raises(ValueError):
+            host_footprint_bytes(10, 0.0)
+        with pytest.raises(ValueError):
+            host_footprint_bytes(10, 1.5)
+
+
+class TestCapacity:
+    def test_paper_limits(self) -> None:
+        # Section V-A: 34 qubits max in 384 GiB; Section V-D hosts stop at 32.
+        assert max_qubits(PAPER_MACHINE) == 34
+        assert max_qubits(V100_MACHINE) == 32
+
+    def test_fits_host_boundary(self) -> None:
+        assert fits_host(34, PAPER_MACHINE)
+        assert not fits_host(35, PAPER_MACHINE)
+
+    def test_compression_extends_capacity(self) -> None:
+        # Ratio 0.19 (qft-like): two extra qubits in the same DRAM.
+        assert max_qubits(PAPER_MACHINE, 0.19) == 36
+
+    def test_capacity_gain_record(self) -> None:
+        gain = capacity_gain("qft", PAPER_MACHINE, 0.19)
+        assert isinstance(gain, CapacityGain)
+        assert gain.extra_qubits == 2
+        assert gain.qubits_uncompressed == 34

@@ -1,0 +1,80 @@
+"""Tests for the distributed scaling projection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.scaling import (
+    ClusterSpec,
+    estimate_distributed,
+    max_cluster_qubits,
+)
+from repro.circuits.library import get_circuit
+from repro.errors import HardwareModelError
+from repro.hardware.specs import PAPER_MACHINE, V100_MACHINE
+
+
+class TestClusterSpec:
+    def test_power_of_two_enforced(self) -> None:
+        with pytest.raises(HardwareModelError):
+            ClusterSpec(V100_MACHINE, 3)
+        with pytest.raises(HardwareModelError):
+            ClusterSpec(V100_MACHINE, 0)
+
+    def test_node_bits(self) -> None:
+        assert ClusterSpec(V100_MACHINE, 1).node_bits == 0
+        assert ClusterSpec(V100_MACHINE, 8).node_bits == 3
+
+    def test_bad_network(self) -> None:
+        with pytest.raises(HardwareModelError):
+            ClusterSpec(V100_MACHINE, 2, network_bandwidth=0)
+
+
+class TestCapacity:
+    def test_single_node_matches_host_limit(self) -> None:
+        assert max_cluster_qubits(ClusterSpec(PAPER_MACHINE, 1)) == 34
+
+    def test_each_doubling_adds_one_qubit(self) -> None:
+        widths = [
+            max_cluster_qubits(ClusterSpec(V100_MACHINE, 2**k)) for k in range(5)
+        ]
+        assert widths == [widths[0] + k for k in range(5)]
+
+
+class TestEstimates:
+    def test_single_node_has_no_exchanges(self) -> None:
+        estimate = estimate_distributed(
+            get_circuit("gs", 30), ClusterSpec(V100_MACHINE, 1)
+        )
+        assert estimate.exchange_gates == 0
+        assert estimate.exchange_seconds == 0.0
+        assert estimate.total_seconds == estimate.local_seconds
+
+    def test_more_nodes_faster_but_less_efficient(self) -> None:
+        circuit = get_circuit("qft", 31)
+        one = estimate_distributed(circuit, ClusterSpec(V100_MACHINE, 1))
+        four = estimate_distributed(circuit, ClusterSpec(V100_MACHINE, 4))
+        assert four.total_seconds < one.total_seconds
+        assert four.total_seconds > one.total_seconds / 4.5
+        assert four.exchange_gates > 0
+
+    def test_pruning_reduces_both_components(self) -> None:
+        circuit = get_circuit("iqp", 31)
+        cluster = ClusterSpec(V100_MACHINE, 4)
+        pruned = estimate_distributed(circuit, cluster, pruning=True)
+        unpruned = estimate_distributed(circuit, cluster, pruning=False)
+        assert pruned.local_seconds < unpruned.local_seconds
+        assert pruned.exchange_seconds <= unpruned.exchange_seconds
+
+    def test_compression_scales_exchange(self) -> None:
+        circuit = get_circuit("qft", 31)
+        cluster = ClusterSpec(V100_MACHINE, 4)
+        full = estimate_distributed(circuit, cluster, compression_ratio=1.0)
+        half = estimate_distributed(circuit, cluster, compression_ratio=0.5)
+        assert half.exchange_seconds == pytest.approx(0.5 * full.exchange_seconds)
+
+    def test_oversized_state_rejected(self) -> None:
+        with pytest.raises(HardwareModelError, match="cluster holds"):
+            estimate_distributed(
+                get_circuit("gs", 36), ClusterSpec(V100_MACHINE, 2)
+            )

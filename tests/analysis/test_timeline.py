@@ -1,0 +1,49 @@
+"""Tests for the ASCII Gantt renderer."""
+
+from __future__ import annotations
+
+from repro.analysis.timeline import gantt
+from repro.core.schedule import GateStreamPlan, stream_makespan
+from repro.hardware.events import EventTimeline
+from repro.hardware.pipeline import StageTimes
+
+
+class TestGantt:
+    def test_empty_timeline(self) -> None:
+        timeline = EventTimeline()
+        timeline.add("a", "gpu", 0.0)
+        assert gantt(timeline.run()) == "(empty timeline)"
+
+    def test_single_busy_resource_fully_filled(self) -> None:
+        timeline = EventTimeline()
+        timeline.add("a", "gpu", 4.0)
+        text = gantt(timeline.run(), width=16)
+        row = text.splitlines()[0]
+        assert row.count("#") == 16
+
+    def test_idle_gaps_rendered(self) -> None:
+        timeline = EventTimeline()
+        timeline.add("a", "gpu", 1.0)
+        timeline.add("b", "link", 1.0, deps=("a",))
+        timeline.add("c", "gpu", 1.0, deps=("b",))
+        text = gantt(timeline.run(), width=30)
+        gpu_row = next(line for line in text.splitlines() if "gpu" in line)
+        assert "." in gpu_row and "#" in gpu_row
+
+    def test_resource_selection_and_order(self) -> None:
+        plans = [GateStreamPlan("g", 2, StageTimes(1, 1, 1))]
+        result = stream_makespan(plans)
+        text = gantt(result, ["d2h", "h2d"])
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("d2h")
+        assert lines[1].strip().startswith("h2d")
+
+    def test_overlap_visible(self) -> None:
+        # In a double-buffered pipeline H2D and D2H are busy concurrently;
+        # both rows must show mid-timeline activity.
+        plans = [GateStreamPlan("g", 6, StageTimes(1.0, 0.1, 1.0))]
+        text = gantt(stream_makespan(plans), ["h2d", "d2h"], width=40)
+        h2d_row, d2h_row = text.splitlines()[:2]
+        middle = slice(15, 25)
+        assert "#" in h2d_row[h2d_row.index("|"):][middle]
+        assert "#" in d2h_row[d2h_row.index("|"):][middle]

@@ -1,0 +1,118 @@
+"""Unit tests for QuantumCircuit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.errors import CircuitError
+from repro.statevector.state import StateVector, simulate
+
+
+class TestConstruction:
+    def test_positive_width_required(self) -> None:
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+
+    def test_builder_methods_append_gates(self) -> None:
+        circ = QuantumCircuit(3)
+        circ.h(0).cx(0, 1).rz(0.5, 2).ccx(0, 1, 2).swap(1, 2)
+        assert [g.name for g in circ] == ["h", "cx", "rz", "ccx", "swap"]
+        assert len(circ) == 5
+        assert circ[2].params == (0.5,)
+
+    def test_out_of_range_qubit_rejected(self) -> None:
+        circ = QuantumCircuit(2)
+        with pytest.raises(CircuitError, match="uses qubit 5"):
+            circ.h(5)
+
+    def test_append_prebuilt_gate(self) -> None:
+        circ = QuantumCircuit(2)
+        circ.append(Gate("cz", (0, 1)))
+        assert circ[0].name == "cz"
+
+    def test_extend_and_equality(self) -> None:
+        a = QuantumCircuit(2).h(0).cx(0, 1)
+        b = QuantumCircuit(2)
+        b.extend(a.gates)
+        assert a == b
+        assert a != QuantumCircuit(2).h(1)
+
+    def test_with_gates_builds_same_width_circuit(self) -> None:
+        a = QuantumCircuit(3, name="orig").h(0).cx(0, 1)
+        b = a.with_gates(reversed(a.gates))
+        assert b.num_qubits == 3
+        assert [g.name for g in b] == ["cx", "h"]
+
+
+class TestStructuralQueries:
+    def test_depth_of_parallel_layer_is_one(self) -> None:
+        circ = QuantumCircuit(4)
+        for q in range(4):
+            circ.h(q)
+        assert circ.depth() == 1
+
+    def test_depth_of_chain(self) -> None:
+        circ = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2).h(2)
+        assert circ.depth() == 4
+
+    def test_depth_empty_circuit(self) -> None:
+        assert QuantumCircuit(2).depth() == 0
+
+    def test_gate_counts(self) -> None:
+        circ = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        assert circ.gate_counts() == {"h": 2, "cx": 1}
+
+    def test_used_qubits(self) -> None:
+        circ = QuantumCircuit(5).h(0).cx(2, 4)
+        assert circ.used_qubits() == {0, 2, 4}
+
+    def test_involvement_profile_monotone(self) -> None:
+        circ = QuantumCircuit(3).h(0).h(0).cx(0, 1).h(2)
+        assert circ.involvement_profile() == [1, 1, 2, 3]
+
+    def test_gates_until_full_involvement(self) -> None:
+        circ = QuantumCircuit(3).h(0).h(1).h(1).h(2).h(0)
+        assert circ.gates_until_full_involvement() == 4
+
+
+class TestInverse:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda c: c.h(0).cx(0, 1),
+            lambda c: c.rx(0.3, 0).ry(0.7, 1).rz(1.1, 0),
+            lambda c: c.s(0).t(1).sdg(1).tdg(0),
+            lambda c: c.sx(0).sy(1),
+            lambda c: c.cp(0.4, 0, 1).rzz(0.9, 0, 1).swap(0, 1),
+            lambda c: c.ccx(0, 1, 2).ccz(0, 1, 2).u(0.1, 0.2, 0.3, 2),
+        ],
+    )
+    def test_circuit_times_inverse_is_identity(self, build) -> None:
+        circ = QuantumCircuit(3)
+        build(circ)
+        state = StateVector(3).run(circ).run(circ.inverse())
+        reference = StateVector(3)
+        # Global phase may differ (sx/sy inverses are phase-equivalent).
+        assert state.fidelity(reference) == pytest.approx(1.0, abs=1e-12)
+
+    def test_inverse_reverses_order(self) -> None:
+        circ = QuantumCircuit(2).h(0).s(1)
+        inverse = circ.inverse()
+        assert [g.name for g in inverse] == ["sdg", "h"]
+
+    def test_inverse_of_random_circuit_restores_state(self, rng) -> None:
+        circ = QuantumCircuit(4)
+        names = ["h", "x", "s", "t"]
+        for _ in range(30):
+            choice = rng.integers(0, 5)
+            if choice == 4:
+                a, b = rng.choice(4, size=2, replace=False)
+                circ.cx(int(a), int(b))
+            else:
+                circ.add(names[choice], int(rng.integers(0, 4)))
+        state = simulate(circ)
+        state.run(circ.inverse())
+        assert state.fidelity(StateVector(4)) == pytest.approx(1.0, abs=1e-10)

@@ -1,0 +1,78 @@
+"""Tests for equivalence checking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.equivalence import (
+    circuit_unitary,
+    states_equivalent,
+    unitaries_equivalent,
+)
+from repro.errors import SimulationError
+
+
+class TestCircuitUnitary:
+    def test_identity_circuit(self) -> None:
+        np.testing.assert_allclose(
+            circuit_unitary(QuantumCircuit(2)), np.eye(4)
+        )
+
+    def test_x_gate_unitary(self) -> None:
+        unitary = circuit_unitary(QuantumCircuit(1).x(0))
+        np.testing.assert_allclose(unitary, [[0, 1], [1, 0]])
+
+    def test_cx_unitary_qubit_order(self) -> None:
+        # cx(control=0, target=1): |01> -> |11> (qubit 0 = LSB).
+        unitary = circuit_unitary(QuantumCircuit(2).cx(0, 1))
+        state = np.zeros(4)
+        state[0b01] = 1.0
+        np.testing.assert_allclose(unitary @ state, np.eye(4)[0b11])
+
+    def test_composition_order(self) -> None:
+        circuit = QuantumCircuit(1).h(0).t(0)
+        expected = (
+            QuantumCircuit(1).t(0)[0].matrix() @ QuantumCircuit(1).h(0)[0].matrix()
+        )
+        np.testing.assert_allclose(circuit_unitary(circuit), expected, atol=1e-12)
+
+    def test_width_limit(self) -> None:
+        with pytest.raises(SimulationError):
+            circuit_unitary(QuantumCircuit(13))
+
+
+class TestEquivalence:
+    def test_global_phase_ignored_by_default(self) -> None:
+        a = QuantumCircuit(1).rz(0.8, 0)
+        b = QuantumCircuit(1).p(0.8, 0)  # rz * global phase
+        assert unitaries_equivalent(a, b)
+        assert not unitaries_equivalent(a, b, up_to_global_phase=False)
+
+    def test_different_unitaries_detected(self) -> None:
+        assert not unitaries_equivalent(
+            QuantumCircuit(1).h(0), QuantumCircuit(1).x(0)
+        )
+
+    def test_states_weaker_than_unitaries(self) -> None:
+        # z|0> = |0>: state-equivalent to identity, not unitary-equivalent.
+        a = QuantumCircuit(1).z(0)
+        b = QuantumCircuit(1)
+        assert states_equivalent(a, b)
+        assert not unitaries_equivalent(a, b)
+
+    def test_width_mismatch_is_inequivalent(self) -> None:
+        assert not states_equivalent(QuantumCircuit(1).h(0), QuantumCircuit(2).h(0))
+        assert not unitaries_equivalent(QuantumCircuit(1), QuantumCircuit(2))
+
+    def test_phase_alignment_is_tie_stable(self) -> None:
+        # Regression: matrices whose largest entries tie in magnitude used
+        # to strip inconsistent phases; pairwise overlap alignment is
+        # position-independent.
+        a = QuantumCircuit(2).crz(1.1, 0, 1)
+        b = (
+            QuantumCircuit(2)
+            .rz(0.55, 1).cx(0, 1).rz(-0.55, 1).cx(0, 1)
+        )
+        assert unitaries_equivalent(a, b)

@@ -1,0 +1,63 @@
+"""Tests for the extension circuits (ghz, w, grover)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.library.extensions import ghz, grover, w_state
+from repro.core.simulator import QGpuSimulator
+from repro.core.versions import QGPU
+from repro.statevector.state import simulate
+
+
+class TestGhz:
+    @pytest.mark.parametrize("n", [2, 3, 6, 10])
+    def test_two_equal_amplitudes(self, n: int) -> None:
+        state = simulate(ghz(n))
+        assert abs(state.amplitudes[0]) ** 2 == pytest.approx(0.5)
+        assert abs(state.amplitudes[-1]) ** 2 == pytest.approx(0.5)
+        assert np.count_nonzero(np.abs(state.amplitudes) > 1e-12) == 2
+
+    def test_qgpu_pipeline_handles_ghz(self) -> None:
+        circuit = ghz(8)
+        result = QGpuSimulator(version=QGPU, chunk_bits=3).run(circuit)
+        np.testing.assert_allclose(
+            result.amplitudes, simulate(circuit).amplitudes, atol=1e-12
+        )
+
+
+class TestWState:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_uniform_single_excitation(self, n: int) -> None:
+        state = simulate(w_state(n))
+        probs = np.abs(state.amplitudes) ** 2
+        hot = {1 << k for k in range(n)}
+        for index, p in enumerate(probs):
+            if index in hot:
+                assert p == pytest.approx(1.0 / n, abs=1e-10)
+            else:
+                assert p == pytest.approx(0.0, abs=1e-10)
+
+
+class TestGrover:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_finds_marked_element(self, n: int) -> None:
+        marked = (1 << n) - 2
+        state = simulate(grover(n, marked=marked))
+        assert abs(state.amplitudes[marked]) ** 2 > 0.9
+
+    def test_random_marked_default(self) -> None:
+        state = simulate(grover(4, seed=5))
+        assert np.max(np.abs(state.amplitudes) ** 2) > 0.9
+
+    def test_invalid_marked_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            grover(3, marked=8)
+
+    def test_iterations_override(self) -> None:
+        # A single iteration on 5 qubits amplifies but does not saturate.
+        marked = 7
+        one = simulate(grover(5, marked=marked, iterations=1))
+        probability = abs(one.amplitudes[marked]) ** 2
+        assert 1 / 32 < probability < 0.9

@@ -1,0 +1,114 @@
+"""Unit tests for the gate registry and Gate instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.gates import GATE_SPECS, Gate
+from repro.errors import CircuitError
+
+PARAMETERLESS = [name for name, spec in GATE_SPECS.items() if spec.num_params == 0]
+PARAMETRIC = [name for name, spec in GATE_SPECS.items() if spec.num_params > 0]
+
+
+def build_gate(name: str, params: tuple[float, ...] = ()) -> Gate:
+    spec = GATE_SPECS[name]
+    qubits = tuple(range(spec.num_qubits))
+    if not params:
+        params = tuple(0.37 * (k + 1) for k in range(spec.num_params))
+    return Gate(name, qubits, params)
+
+
+class TestGateSpecs:
+    @pytest.mark.parametrize("name", sorted(GATE_SPECS))
+    def test_matrix_is_unitary(self, name: str) -> None:
+        matrix = build_gate(name).matrix()
+        dim = matrix.shape[0]
+        assert matrix.shape == (dim, dim)
+        np.testing.assert_allclose(
+            matrix @ matrix.conj().T, np.eye(dim), atol=1e-12
+        )
+
+    @pytest.mark.parametrize("name", sorted(GATE_SPECS))
+    def test_matrix_dimension_matches_qubit_count(self, name: str) -> None:
+        spec = GATE_SPECS[name]
+        matrix = build_gate(name).matrix()
+        assert matrix.shape == (1 << spec.num_qubits, 1 << spec.num_qubits)
+
+    @pytest.mark.parametrize("name", sorted(GATE_SPECS))
+    def test_diagonal_flag_matches_matrix(self, name: str) -> None:
+        gate = build_gate(name)
+        matrix = gate.matrix()
+        off_diagonal = matrix - np.diag(np.diag(matrix))
+        is_diagonal = bool(np.allclose(off_diagonal, 0))
+        assert gate.is_diagonal == is_diagonal
+
+    @pytest.mark.parametrize("name", sorted(GATE_SPECS))
+    def test_self_inverse_flag_matches_matrix(self, name: str) -> None:
+        spec = GATE_SPECS[name]
+        if spec.num_params:
+            return  # flag only meaningful for fixed gates
+        matrix = build_gate(name).matrix()
+        squares_to_identity = bool(
+            np.allclose(matrix @ matrix, np.eye(matrix.shape[0]), atol=1e-12)
+        )
+        assert spec.self_inverse == squares_to_identity
+
+    def test_hadamard_matrix_value(self) -> None:
+        h = Gate("h", (0,)).matrix()
+        np.testing.assert_allclose(h, np.array([[1, 1], [1, -1]]) / np.sqrt(2))
+
+    def test_cx_permutes_control_set_states(self) -> None:
+        cx = Gate("cx", (0, 1)).matrix()
+        # Basis order |t c>: control = bit 0.  CX swaps |01> and |11>.
+        state = np.zeros(4)
+        state[0b01] = 1.0
+        np.testing.assert_allclose(cx @ state, np.eye(4)[0b11])
+
+    def test_ccx_only_flips_with_both_controls(self) -> None:
+        ccx = Gate("ccx", (0, 1, 2)).matrix()
+        for index in range(8):
+            out = ccx @ np.eye(8)[index]
+            expected = index ^ 0b100 if index & 0b011 == 0b011 else index
+            np.testing.assert_allclose(out, np.eye(8)[expected])
+
+    @given(theta=st.floats(-10, 10, allow_nan=False))
+    def test_rz_p_phase_relation(self, theta: float) -> None:
+        # p(theta) equals rz(theta) up to the global phase e^{i theta/2}.
+        rz = Gate("rz", (0,), (theta,)).matrix()
+        p = Gate("p", (0,), (theta,)).matrix()
+        np.testing.assert_allclose(p, np.exp(1j * theta / 2) * rz, atol=1e-12)
+
+
+class TestGateValidation:
+    def test_unknown_gate_rejected(self) -> None:
+        with pytest.raises(CircuitError, match="unknown gate"):
+            Gate("frobnicate", (0,))
+
+    def test_wrong_qubit_count_rejected(self) -> None:
+        with pytest.raises(CircuitError, match="expects 2 qubits"):
+            Gate("cx", (0,))
+
+    def test_wrong_param_count_rejected(self) -> None:
+        with pytest.raises(CircuitError, match="expects 1 params"):
+            Gate("rx", (0,))
+
+    def test_repeated_qubits_rejected(self) -> None:
+        with pytest.raises(CircuitError, match="repeated"):
+            Gate("cx", (3, 3))
+
+    def test_negative_qubit_rejected(self) -> None:
+        with pytest.raises(CircuitError, match="negative"):
+            Gate("x", (-1,))
+
+    def test_remapped_moves_qubits(self) -> None:
+        gate = Gate("cx", (0, 1)).remapped({0: 5, 1: 2})
+        assert gate.qubits == (5, 2)
+        assert gate.name == "cx"
+
+    def test_str_includes_params(self) -> None:
+        assert "rx(0.5)" in str(Gate("rx", (3,), (0.5,)))
+        assert "[3]" in str(Gate("rx", (3,), (0.5,)))

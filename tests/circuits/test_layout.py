@@ -1,0 +1,150 @@
+"""Tests for the cache-blocking layout pass."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.layout import (
+    apply_layout,
+    cache_blocking_layout,
+    cache_blocking_swaps,
+    cross_chunk_gate_count,
+    invert_layout,
+    permute_statevector,
+    qubit_gate_frequency,
+)
+from repro.circuits.library import FAMILIES, get_circuit
+from repro.errors import CircuitError
+from repro.statevector.state import simulate
+
+
+class TestFrequencyAndCounting:
+    def test_qubit_gate_frequency(self) -> None:
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).h(0)
+        assert qubit_gate_frequency(circuit) == [3, 1, 0]
+
+    def test_cross_chunk_count(self) -> None:
+        circuit = QuantumCircuit(4).h(0).h(3).cx(1, 3)
+        assert cross_chunk_gate_count(circuit, 2) == 2
+        assert cross_chunk_gate_count(circuit, 4) == 0
+
+
+class TestLayoutConstruction:
+    def test_busiest_qubits_move_inside(self) -> None:
+        circuit = QuantumCircuit(4)
+        for _ in range(5):
+            circuit.h(3)
+        circuit.h(0)
+        mapping = cache_blocking_layout(circuit, 1)
+        assert mapping[3] == 0  # the busiest qubit lands at position 0
+
+    def test_mapping_is_permutation(self) -> None:
+        for family in FAMILIES:
+            circuit = get_circuit(family, 10)
+            mapping = cache_blocking_layout(circuit, 4)
+            assert sorted(mapping) == list(range(10))
+            assert sorted(mapping.values()) == list(range(10))
+
+    def test_layout_never_increases_cross_chunk_gates(self) -> None:
+        for family in FAMILIES:
+            circuit = get_circuit(family, 10)
+            mapping = cache_blocking_layout(circuit, 4)
+            remapped = apply_layout(circuit, mapping)
+            assert cross_chunk_gate_count(remapped, 4) <= cross_chunk_gate_count(
+                circuit, 4
+            ), family
+
+    def test_chunk_bits_validation(self) -> None:
+        with pytest.raises(CircuitError):
+            cache_blocking_layout(QuantumCircuit(3).h(0), 0)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_remapped_state_is_permuted_original(self, family: str) -> None:
+        circuit = get_circuit(family, 8)
+        mapping = cache_blocking_layout(circuit, 3)
+        remapped = apply_layout(circuit, mapping)
+        np.testing.assert_allclose(
+            simulate(remapped).amplitudes,
+            permute_statevector(simulate(circuit).amplitudes, mapping),
+            atol=1e-10,
+        )
+
+    @given(seed=st.integers(0, 60))
+    def test_permutation_roundtrip(self, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        n = 6
+        perm = rng.permutation(n)
+        mapping = {int(q): int(perm[q]) for q in range(n)}
+        amplitudes = (rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n))
+        forward = permute_statevector(amplitudes, mapping)
+        back = permute_statevector(forward, invert_layout(mapping))
+        np.testing.assert_allclose(back, amplitudes, atol=1e-12)
+
+    def test_identity_mapping_is_noop(self) -> None:
+        amplitudes = np.arange(8, dtype=np.complex128)
+        identity = {q: q for q in range(3)}
+        np.testing.assert_array_equal(
+            permute_statevector(amplitudes, identity), amplitudes
+        )
+
+    def test_single_swap_mapping(self) -> None:
+        # Swap qubits 0 and 1 of |01>: amplitude moves to |10>.
+        amplitudes = np.zeros(4, dtype=np.complex128)
+        amplitudes[0b01] = 1.0
+        swapped = permute_statevector(amplitudes, {0: 1, 1: 0})
+        assert swapped[0b10] == 1.0
+
+    def test_non_permutation_rejected(self) -> None:
+        circuit = QuantumCircuit(2).h(0)
+        with pytest.raises(CircuitError):
+            apply_layout(circuit, {0: 0, 1: 0})
+        with pytest.raises(CircuitError):
+            permute_statevector(np.zeros(4, dtype=np.complex128), {0: 0, 1: 0})
+
+
+class TestCacheBlockingSwaps:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_semantics_preserved(self, family: str) -> None:
+        circuit = get_circuit(family, 8)
+        physical, final = cache_blocking_swaps(circuit, 3)
+        np.testing.assert_allclose(
+            simulate(physical).amplitudes,
+            permute_statevector(simulate(circuit).amplitudes, final),
+            atol=1e-10,
+        )
+
+    def test_all_original_gates_become_local(self) -> None:
+        circuit = get_circuit("qft", 9)
+        physical, _ = cache_blocking_swaps(circuit, 4)
+        for gate in physical:
+            if gate.name != "swap":
+                assert all(q < 4 for q in gate.qubits), gate
+
+    def test_hot_qubit_swapped_in_once(self) -> None:
+        # Repeated gates on one high qubit pay a single swap.
+        circuit = QuantumCircuit(6)
+        for _ in range(5):
+            circuit.h(5)
+        physical, _ = cache_blocking_swaps(circuit, 2)
+        assert physical.gate_counts().get("swap", 0) == 1
+
+    def test_final_mapping_is_permutation(self) -> None:
+        circuit = get_circuit("hchain", 9)
+        _, final = cache_blocking_swaps(circuit, 4)
+        assert sorted(final) == list(range(9))
+        assert sorted(final.values()) == list(range(9))
+
+    def test_gate_wider_than_chunk_rejected(self) -> None:
+        circuit = QuantumCircuit(4).ccx(0, 1, 2)
+        with pytest.raises(CircuitError, match="wider than the chunk"):
+            cache_blocking_swaps(circuit, 2)
+
+    def test_chunk_bits_validation(self) -> None:
+        with pytest.raises(CircuitError):
+            cache_blocking_swaps(QuantumCircuit(3).h(0), 0)

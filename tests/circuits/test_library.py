@@ -1,0 +1,154 @@
+"""Tests for the benchmark circuit library (paper Table I)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import FAMILIES, bv, get_circuit, graph_state, qft
+from repro.errors import CircuitError
+from repro.statevector.measure import most_probable, probabilities
+from repro.statevector.state import StateVector, simulate
+
+
+class TestRegistry:
+    def test_nine_families(self) -> None:
+        assert len(FAMILIES) == 9
+
+    @pytest.mark.parametrize("family", FAMILIES + ("grqc",))
+    def test_builders_produce_named_circuits(self, family: str) -> None:
+        circuit = get_circuit(family, 8)
+        assert circuit.num_qubits == 8
+        assert circuit.name == f"{family}_8"
+        assert len(circuit) > 0
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_deterministic_under_seed(self, family: str) -> None:
+        assert get_circuit(family, 10, seed=3) == get_circuit(family, 10, seed=3)
+
+    def test_unknown_family_rejected(self) -> None:
+        with pytest.raises(CircuitError, match="unknown circuit family"):
+            get_circuit("nope", 4)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_every_qubit_is_used(self, family: str) -> None:
+        circuit = get_circuit(family, 12)
+        assert circuit.used_qubits() == set(range(12))
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_states_stay_normalized(self, family: str) -> None:
+        state = simulate(get_circuit(family, 8))
+        assert state.norm() == pytest.approx(1.0, abs=1e-10)
+
+
+class TestFunctionalProperties:
+    def test_bv_reads_out_the_secret(self) -> None:
+        secret = 0b1011001
+        state = simulate(bv(8, secret=secret))
+        # Data register holds the secret; ancilla (qubit 7) is in |->.
+        outcome = most_probable(state)
+        assert outcome & 0b1111111 == secret
+
+    def test_bv_rejects_oversized_secret(self) -> None:
+        with pytest.raises(ValueError):
+            bv(4, secret=1 << 3)
+
+    def test_bv_needs_two_qubits(self) -> None:
+        with pytest.raises(ValueError):
+            bv(1)
+
+    def test_qft_of_zero_state_is_uniform(self) -> None:
+        state = simulate(qft(5))
+        np.testing.assert_allclose(
+            np.abs(state.amplitudes), np.full(32, 1 / np.sqrt(32)), atol=1e-12
+        )
+
+    def test_qft_inverse_qft_is_identity(self) -> None:
+        circuit = qft(5)
+        state = StateVector(5).run(circuit).run(circuit.inverse())
+        assert state.fidelity(StateVector(5)) == pytest.approx(1.0, abs=1e-10)
+
+    def test_qft_approximation_drops_small_rotations(self) -> None:
+        exact = qft(8)
+        approx = qft(8, approximation_degree=2)
+        assert len(approx) < len(exact)
+        assert all(
+            gate.name != "cp" or abs(gate.qubits[1] - gate.qubits[0]) <= 2
+            for gate in approx
+        )
+
+    def test_qft_swap_option(self) -> None:
+        assert "swap" in qft(6, include_swaps=True).gate_counts()
+        assert "swap" not in qft(6).gate_counts()
+
+    def test_graph_state_structure_matches_fig8(self) -> None:
+        circuit = graph_state(5)
+        names = [g.name for g in circuit]
+        assert names == ["h"] * 5 + ["cx"] * 4
+        assert [g.qubits for g in circuit[5:]] == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_graph_state_amplitudes_uniform_magnitude(self) -> None:
+        # A graph state is |+>^n under CZ; our CX-chain variant still has
+        # every amplitude magnitude equal to 2^(-n/2) ... for the CX chain
+        # the state is a uniform superposition over a coset, so magnitudes
+        # are either 0 or 2^(-(n-?)/2); check normalisation and spread.
+        state = simulate(graph_state(4))
+        probs = probabilities(state)
+        nonzero = probs[probs > 1e-12]
+        np.testing.assert_allclose(nonzero, nonzero[0], atol=1e-12)
+
+    def test_hlf_is_clifford_only(self) -> None:
+        circuit = get_circuit("hlf", 9)
+        assert set(circuit.gate_counts()) <= {"h", "cz", "s"}
+
+    def test_iqp_body_is_diagonal(self) -> None:
+        circuit = get_circuit("iqp", 10)
+        for gate in circuit:
+            assert gate.name == "h" or gate.is_diagonal
+
+
+class TestInvolvementShapes:
+    """Table II's qualitative ordering must hold at any width."""
+
+    def test_iqp_involves_late(self) -> None:
+        circuit = get_circuit("iqp", 20)
+        fraction = circuit.gates_until_full_involvement() / len(circuit)
+        assert fraction > 0.8
+
+    @pytest.mark.parametrize("family", ["qaoa", "qft", "qf", "hchain"])
+    def test_early_involvers(self, family: str) -> None:
+        circuit = get_circuit(family, 20)
+        fraction = circuit.gates_until_full_involvement() / len(circuit)
+        assert fraction < 0.2
+
+    def test_iqp_involves_later_than_everything_else(self) -> None:
+        fractions = {
+            family: get_circuit(family, 16).gates_until_full_involvement()
+            / len(get_circuit(family, 16))
+            for family in FAMILIES
+        }
+        assert max(fractions, key=fractions.get) == "iqp"
+
+    def test_rqc_mid_range_involvement(self) -> None:
+        circuit = get_circuit("rqc", 20)
+        fraction = circuit.gates_until_full_involvement() / len(circuit)
+        assert 0.15 < fraction < 0.7
+
+
+class TestDeepCircuits:
+    def test_grqc_is_deeper_than_rqc(self) -> None:
+        assert len(get_circuit("grqc", 16)) > len(get_circuit("rqc", 16))
+
+    def test_rqc_depth_parameter_scales_gates(self) -> None:
+        shallow = get_circuit("rqc", 16, depth=4)
+        deep = get_circuit("rqc", 16, depth=16)
+        assert len(deep) > 2 * len(shallow)
+
+    def test_rqc_lazy_hadamards_precede_first_cz(self) -> None:
+        circuit = get_circuit("rqc", 12)
+        seen_h = set()
+        for gate in circuit:
+            if gate.name == "h":
+                seen_h.update(gate.qubits)
+            elif gate.name == "cz":
+                assert set(gate.qubits) <= seen_h

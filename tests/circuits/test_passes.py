@@ -1,0 +1,149 @@
+"""Tests for the transpile-lite passes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.equivalence import states_equivalent, unitaries_equivalent
+from repro.circuits.library import FAMILIES, get_circuit
+from repro.circuits.passes import (
+    cancel_inverse_pairs,
+    decompose,
+    merge_single_qubit_runs,
+    transpile,
+)
+
+BASIS = {"id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sy",
+         "rx", "ry", "rz", "p", "u", "cx", "cp", "cz"}
+
+
+def random_circuit(seed: int, num_qubits: int = 4, num_gates: int = 30) -> QuantumCircuit:
+    rng = np.random.default_rng(seed)
+    circ = QuantumCircuit(num_qubits)
+    singles = ["h", "t", "s", "x", "sx"]
+    for _ in range(num_gates):
+        kind = rng.integers(0, 8)
+        if kind < 4:
+            circ.add(singles[rng.integers(len(singles))], int(rng.integers(num_qubits)))
+        elif kind == 4:
+            circ.rz(float(rng.uniform(-3, 3)), int(rng.integers(num_qubits)))
+        elif kind == 5:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circ.cx(int(a), int(b))
+        elif kind == 6:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circ.rzz(float(rng.uniform(-3, 3)), int(a), int(b))
+        else:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circ.swap(int(a), int(b))
+    return circ
+
+
+class TestDecompose:
+    @pytest.mark.parametrize(
+        "name,qubits,params",
+        [
+            ("rzz", (0, 1), (0.7,)),
+            ("swap", (0, 1), ()),
+            ("cy", (0, 1), ()),
+            ("crz", (0, 1), (1.1,)),
+            ("ccz", (0, 1, 2), ()),
+            ("ccx", (0, 1, 2), ()),
+            ("ccx", (2, 0, 1), ()),
+            ("rzz", (1, 0), (-2.3,)),
+        ],
+    )
+    def test_each_decomposition_is_exact(self, name, qubits, params) -> None:
+        circuit = QuantumCircuit(3)
+        circuit.add(name, *qubits, params=params)
+        lowered = decompose(circuit)
+        assert unitaries_equivalent(circuit, lowered)
+        assert all(g.name in BASIS for g in lowered)
+
+    def test_basis_gates_untouched(self) -> None:
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).cp(0.3, 0, 1)
+        assert decompose(circuit).gates == circuit.gates
+
+
+class TestMergeSingleQubitRuns:
+    @given(seed=st.integers(0, 60))
+    def test_semantics_preserved(self, seed: int) -> None:
+        circuit = random_circuit(seed)
+        merged = merge_single_qubit_runs(circuit)
+        assert unitaries_equivalent(circuit, merged)
+
+    def test_run_collapses_to_one_u(self) -> None:
+        circuit = QuantumCircuit(1).h(0).t(0).h(0).s(0)
+        merged = merge_single_qubit_runs(circuit)
+        assert len(merged) == 1
+        assert merged[0].name == "u"
+
+    def test_singleton_runs_kept_verbatim(self) -> None:
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).t(1)
+        merged = merge_single_qubit_runs(circuit)
+        assert [g.name for g in merged] == ["h", "cx", "t"]
+
+    def test_runs_split_by_two_qubit_gates(self) -> None:
+        circuit = QuantumCircuit(2).h(0).t(0).cx(0, 1).h(0).s(0)
+        merged = merge_single_qubit_runs(circuit)
+        names = [g.name for g in merged]
+        assert names.count("u") == 2
+        assert "cx" in names
+
+
+class TestCancelInversePairs:
+    def test_simple_cancellations(self) -> None:
+        circuit = (
+            QuantumCircuit(2)
+            .h(0).h(0)
+            .s(1).sdg(1)
+            .cx(0, 1).cx(0, 1)
+            .rz(0.5, 0).rz(-0.5, 0)
+        )
+        assert len(cancel_inverse_pairs(circuit)) == 0
+
+    def test_cascading_cancellation(self) -> None:
+        # h x x h -> h h -> empty.
+        circuit = QuantumCircuit(1).h(0).x(0).x(0).h(0)
+        assert len(cancel_inverse_pairs(circuit)) == 0
+
+    def test_intervening_gate_blocks_cancellation(self) -> None:
+        circuit = QuantumCircuit(1).h(0).t(0).h(0)
+        assert len(cancel_inverse_pairs(circuit)) == 3
+
+    def test_disjoint_gate_does_not_block(self) -> None:
+        circuit = QuantumCircuit(2).h(0).x(1).h(0)
+        result = cancel_inverse_pairs(circuit)
+        assert [g.name for g in result] == ["x"]
+
+    def test_different_qubits_do_not_cancel(self) -> None:
+        circuit = QuantumCircuit(2).h(0).h(1)
+        assert len(cancel_inverse_pairs(circuit)) == 2
+
+    @given(seed=st.integers(0, 60))
+    def test_semantics_preserved(self, seed: int) -> None:
+        circuit = random_circuit(seed)
+        assert unitaries_equivalent(circuit, cancel_inverse_pairs(circuit))
+
+
+class TestTranspile:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_library_circuits_preserved(self, family: str) -> None:
+        circuit = get_circuit(family, 8)
+        lowered = transpile(circuit)
+        assert states_equivalent(circuit, lowered)
+        assert all(g.name in BASIS for g in lowered)
+
+    @given(seed=st.integers(0, 40))
+    def test_random_circuits_preserved(self, seed: int) -> None:
+        circuit = random_circuit(seed)
+        assert unitaries_equivalent(circuit, transpile(circuit))
+
+    def test_basis_only_skips_simplification(self) -> None:
+        circuit = QuantumCircuit(1).h(0).h(0)
+        assert len(transpile(circuit, basis_only=True)) == 2
+        assert len(transpile(circuit)) == 0

@@ -1,0 +1,111 @@
+"""Tests for the OpenQASM 2.0 emitter/parser."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import FAMILIES, get_circuit
+from repro.circuits.qasm import _eval_param, from_qasm, to_qasm
+from repro.errors import QasmError
+from repro.statevector.state import simulate
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_every_family_round_trips(self, family: str) -> None:
+        circuit = get_circuit(family, 6)
+        recovered = from_qasm(to_qasm(circuit))
+        assert recovered.num_qubits == circuit.num_qubits
+        assert len(recovered) == len(circuit)
+        np.testing.assert_allclose(
+            simulate(recovered).amplitudes, simulate(circuit).amplitudes,
+            atol=1e-12,
+        )
+
+    def test_parametric_gates_round_trip_exactly(self) -> None:
+        circuit = QuantumCircuit(2)
+        circuit.rx(0.12345678901234567, 0)
+        circuit.u(0.1, -0.2, 3.0e-7, 1)
+        circuit.cp(math.pi / 3, 0, 1)
+        recovered = from_qasm(to_qasm(circuit))
+        for original, parsed in zip(circuit, recovered):
+            assert original.params == parsed.params  # repr() is exact
+
+    def test_emitted_header(self) -> None:
+        text = to_qasm(QuantumCircuit(1).h(0))
+        assert text.startswith("OPENQASM 2.0;")
+        assert 'include "qelib1.inc";' in text
+        assert "qreg q[1];" in text
+        assert "h q[0];" in text
+
+    def test_u1_u3_name_mapping(self) -> None:
+        circuit = QuantumCircuit(1).p(0.5, 0).u(0.1, 0.2, 0.3, 0)
+        text = to_qasm(circuit)
+        assert "u1(" in text and "u3(" in text
+        recovered = from_qasm(text)
+        assert [g.name for g in recovered] == ["p", "u"]
+
+
+class TestParamExpressions:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("pi", math.pi),
+            ("pi/2", math.pi / 2),
+            ("-pi/4", -math.pi / 4),
+            ("2*pi", 2 * math.pi),
+            ("1.5e-3", 1.5e-3),
+            ("(pi+1)/2", (math.pi + 1) / 2),
+            ("3-1-1", 1.0),
+            ("+2", 2.0),
+        ],
+    )
+    def test_expression_values(self, expr: str, expected: float) -> None:
+        assert _eval_param(expr) == pytest.approx(expected)
+
+    def test_parses_pi_expression_in_gate(self) -> None:
+        circuit = from_qasm(
+            'OPENQASM 2.0;\nqreg q[1];\nu1(pi/8) q[0];\n'
+        )
+        assert circuit[0].params[0] == pytest.approx(math.pi / 8)
+
+    @pytest.mark.parametrize("expr", ["pi)", "foo", "1/0", "2**3", "1+", ""])
+    def test_bad_expressions_rejected(self, expr: str) -> None:
+        with pytest.raises(QasmError):
+            _eval_param(expr)
+
+
+class TestParserErrors:
+    def test_missing_qreg(self) -> None:
+        with pytest.raises(QasmError, match="no qreg"):
+            from_qasm("OPENQASM 2.0;\n")
+
+    def test_gate_before_qreg(self) -> None:
+        with pytest.raises(QasmError, match="before qreg"):
+            from_qasm("OPENQASM 2.0;\nh q[0];\nqreg q[1];")
+
+    def test_unsupported_version(self) -> None:
+        with pytest.raises(QasmError, match="version"):
+            from_qasm("OPENQASM 3.0;\nqreg q[1];")
+
+    def test_unsupported_statement(self) -> None:
+        with pytest.raises(QasmError, match="unsupported"):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\ncreg c[1];")
+
+    def test_unknown_register(self) -> None:
+        with pytest.raises(QasmError, match="unknown register"):
+            from_qasm("OPENQASM 2.0;\nqreg q[2];\nh r[0];")
+
+    def test_multiple_qregs_rejected(self) -> None:
+        with pytest.raises(QasmError, match="multiple qreg"):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\nqreg r[1];")
+
+    def test_comments_and_blank_lines_ignored(self) -> None:
+        circuit = from_qasm(
+            "OPENQASM 2.0;\n// a comment\n\nqreg q[1]; // inline\nh q[0];\n"
+        )
+        assert len(circuit) == 1

@@ -1,0 +1,64 @@
+"""Fuzz tests: the QASM parser must fail cleanly, never crash.
+
+Any byte soup handed to ``from_qasm`` must either parse (for valid inputs)
+or raise :class:`~repro.errors.QasmError` - no other exception type may
+escape.  Generated circuits must always round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import GATE_SPECS
+from repro.circuits.qasm import from_qasm, to_qasm
+from repro.errors import QasmError
+from repro.statevector.state import simulate
+
+
+class TestParserRobustness:
+    @given(text=st.text(max_size=300))
+    def test_arbitrary_text_never_crashes(self, text: str) -> None:
+        try:
+            from_qasm(text)
+        except QasmError:
+            pass  # clean rejection is the contract
+
+    @given(
+        text=st.text(
+            alphabet="qregOPENQASM2.0;[]() hcxpiu13,*/+-\n",
+            max_size=200,
+        )
+    )
+    def test_qasm_flavoured_soup_never_crashes(self, text: str) -> None:
+        try:
+            from_qasm(text)
+        except QasmError:
+            pass
+
+    @given(seed=st.integers(0, 500))
+    def test_generated_circuits_always_round_trip(self, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        num_qubits = int(rng.integers(1, 7))
+        circuit = QuantumCircuit(num_qubits)
+        names = sorted(GATE_SPECS)
+        for _ in range(int(rng.integers(0, 20))):
+            name = names[rng.integers(len(names))]
+            spec = GATE_SPECS[name]
+            if spec.num_qubits > num_qubits:
+                continue
+            qubits = tuple(
+                int(q)
+                for q in rng.choice(num_qubits, size=spec.num_qubits, replace=False)
+            )
+            params = tuple(float(x) for x in rng.uniform(-7, 7, spec.num_params))
+            circuit.add(name, *qubits, params=params)
+        recovered = from_qasm(to_qasm(circuit))
+        assert len(recovered) == len(circuit)
+        np.testing.assert_allclose(
+            simulate(recovered).amplitudes,
+            simulate(circuit).amplitudes,
+            atol=1e-10,
+        )

@@ -1,0 +1,82 @@
+"""Tests for the comparator simulator cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.library import get_circuit
+from repro.comparisons.models import (
+    QDK_SUPPORTED_FAMILIES,
+    QSIM_SUPPORTED_FAMILIES,
+    estimate_cpu_openmp,
+    estimate_qdk,
+    estimate_qsim_cirq,
+)
+from repro.core.simulator import QGpuSimulator
+from repro.core.versions import BASELINE, QGPU
+from repro.errors import SimulationError
+from repro.hardware.specs import V100_MACHINE
+
+
+@pytest.fixture(scope="module")
+def gs30():
+    return get_circuit("gs", 30)
+
+
+class TestOrdering:
+    def test_qsim_faster_than_openmp(self, gs30) -> None:
+        # Fusion + AVX make Qsim the fastest CPU simulator.
+        assert (
+            estimate_qsim_cirq(gs30).total_seconds
+            < estimate_cpu_openmp(gs30).total_seconds
+        )
+
+    def test_qdk_much_slower_than_openmp(self, gs30) -> None:
+        qdk = estimate_qdk(gs30).total_seconds
+        openmp = estimate_cpu_openmp(gs30).total_seconds
+        assert qdk > 5 * openmp
+
+    def test_qgpu_beats_every_cpu_simulator_at_scale(self) -> None:
+        circuit = get_circuit("gs", 32)
+        qgpu = QGpuSimulator(version=QGPU).estimate(circuit).total_seconds
+        assert qgpu < estimate_qsim_cirq(circuit).total_seconds
+        assert qgpu < estimate_qdk(circuit).total_seconds
+
+    def test_cpu_openmp_beats_hybrid_baseline_at_scale(self) -> None:
+        # Paper Section III-C: past 32 qubits, the pure CPU path wins over
+        # the static hybrid baseline.
+        circuit = get_circuit("qft", 33)
+        baseline = QGpuSimulator(version=BASELINE).estimate(circuit).total_seconds
+        openmp = estimate_cpu_openmp(circuit).total_seconds
+        assert openmp < baseline
+
+
+class TestScaling:
+    def test_time_scales_exponentially_with_width(self) -> None:
+        small = estimate_cpu_openmp(get_circuit("gs", 28)).total_seconds
+        large = estimate_cpu_openmp(get_circuit("gs", 30)).total_seconds
+        # Same family: gate count grows linearly, state 4x => ~4x+ per gate.
+        assert large > 3.5 * small
+
+    def test_cpu_time_linear_in_gates(self) -> None:
+        circuit = get_circuit("gs", 28)
+        result = estimate_cpu_openmp(circuit)
+        assert len(result.per_gate) == len(circuit)
+        per_gate = {g.seconds for g in result.per_gate}
+        assert len(per_gate) == 1  # every full-state pass costs the same
+
+    def test_host_memory_limit_enforced(self) -> None:
+        circuit = get_circuit("gs", 33)
+        with pytest.raises(SimulationError):
+            estimate_cpu_openmp(circuit, machine=V100_MACHINE)
+
+
+class TestSupportLists:
+    def test_paper_section_5c_support(self) -> None:
+        assert set(QSIM_SUPPORTED_FAMILIES) == {"gs", "hlf"}
+        assert set(QDK_SUPPORTED_FAMILIES) == {"qft", "iqp", "hlf", "gs"}
+
+    def test_version_labels(self, gs30) -> None:
+        assert estimate_cpu_openmp(gs30).version == "CPU-OpenMP"
+        assert estimate_qsim_cirq(gs30).version == "Qsim-Cirq"
+        assert estimate_qdk(gs30).version == "QDK"

@@ -1,0 +1,73 @@
+"""Tests for per-family compression profiles and the live-region gather."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.profile import (
+    PROFILE_QUBITS,
+    family_ratio,
+    get_profile,
+    live_region,
+    measure_profile,
+)
+
+
+class TestLiveRegion:
+    def test_full_involvement_returns_everything(self, rng) -> None:
+        amplitudes = rng.normal(size=16).astype(np.complex128)
+        np.testing.assert_array_equal(
+            live_region(amplitudes, 0b1111), amplitudes
+        )
+
+    def test_no_involvement_returns_origin(self, rng) -> None:
+        amplitudes = rng.normal(size=16).astype(np.complex128)
+        np.testing.assert_array_equal(live_region(amplitudes, 0), amplitudes[:1])
+
+    def test_matches_brute_force_subset(self, rng) -> None:
+        amplitudes = rng.normal(size=64).astype(np.complex128)
+        for involvement in (0b000101, 0b110000, 0b011010):
+            expected = np.array(
+                [
+                    amplitudes[i]
+                    for i in range(64)
+                    if i & ~involvement == 0
+                ]
+            )
+            np.testing.assert_array_equal(
+                live_region(amplitudes, involvement), expected
+            )
+
+    def test_live_region_size_is_power_of_involved(self, rng) -> None:
+        amplitudes = rng.normal(size=256).astype(np.complex128)
+        region = live_region(amplitudes, 0b10100001)
+        assert region.size == 8
+
+
+class TestProfiles:
+    def test_profile_fields(self) -> None:
+        profile = measure_profile("gs", 10, samples=6)
+        assert profile.family == "gs"
+        assert profile.num_qubits == 10
+        assert 0 < profile.mean_ratio <= 1.5
+        assert len(profile.snapshot_ratios) >= 1
+
+    def test_qaoa_more_compressible_than_iqp(self) -> None:
+        # The paper's Fig. 10 contrast, as the executor consumes it.
+        qaoa = measure_profile("qaoa", 12)
+        iqp = measure_profile("iqp", 12)
+        assert qaoa.mean_ratio < iqp.mean_ratio
+
+    def test_hchain_and_rqc_poorly_compressible(self) -> None:
+        for family in ("hchain", "rqc"):
+            assert measure_profile(family, 10).mean_ratio > 0.6
+
+    def test_get_profile_cached(self) -> None:
+        first = get_profile("bv", PROFILE_QUBITS)
+        second = get_profile("bv", PROFILE_QUBITS)
+        assert first is second
+
+    def test_family_ratio_clamped_and_safe(self) -> None:
+        assert 0 < family_ratio("qft") <= 1.0
+        assert family_ratio("not_a_family") == 1.0

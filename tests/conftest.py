@@ -1,0 +1,22 @@
+"""Shared fixtures and hypothesis settings for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# One moderate profile for all property tests: enough examples to matter,
+# bounded so the full suite stays fast.
+settings.register_profile(
+    "repro",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

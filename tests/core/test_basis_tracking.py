@@ -1,0 +1,186 @@
+"""Tests for the basis-tracking pruning extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.circuits.library import FAMILIES, get_circuit
+from repro.core.basis_tracking import BasisTracker, QubitState
+from repro.core.executor import TimedExecutor
+from repro.core.involvement import InvolvementTracker
+from repro.core.versions import PRUNING, VersionConfig
+from repro.errors import SimulationError
+from repro.hardware.machine import Machine
+from repro.hardware.specs import PAPER_MACHINE
+from repro.statevector.chunks import ChunkedStateVector
+
+BASIS_PRUNING = VersionConfig(
+    "Pruning+basis", dynamic_allocation=True, overlap=True, pruning=True,
+    basis_tracking_pruning=True,
+)
+
+
+class TestStateRules:
+    def test_initially_all_fixed_zero(self) -> None:
+        tracker = BasisTracker(3)
+        assert tracker.live_amplitudes == 1
+        assert tracker.fixed_masks() == (0b111, 0b000)
+
+    def test_x_flips_without_freeing(self) -> None:
+        tracker = BasisTracker(2)
+        tracker.observe(Gate("x", (1,)))
+        assert tracker.live_amplitudes == 1
+        assert tracker.fixed_masks() == (0b11, 0b10)
+        tracker.observe(Gate("x", (1,)))
+        assert tracker.fixed_masks() == (0b11, 0b00)
+
+    def test_h_frees(self) -> None:
+        tracker = BasisTracker(2)
+        tracker.observe(Gate("h", (0,)))
+        assert tracker.states[0] is QubitState.FREE
+        assert tracker.live_amplitudes == 2
+
+    def test_diagonal_gates_change_nothing(self) -> None:
+        tracker = BasisTracker(3)
+        tracker.observe(Gate("cp", (0, 2), (0.4,)))
+        tracker.observe(Gate("rz", (1,), (0.2,)))
+        assert tracker.live_amplitudes == 1
+
+    def test_cx_with_fixed_zero_control_is_identity(self) -> None:
+        tracker = BasisTracker(2)
+        tracker.observe(Gate("cx", (0, 1)))
+        assert tracker.live_amplitudes == 1
+
+    def test_cx_with_fixed_one_control_flips_target(self) -> None:
+        tracker = BasisTracker(2)
+        tracker.observe(Gate("x", (0,)))
+        tracker.observe(Gate("cx", (0, 1)))
+        assert tracker.fixed_masks() == (0b11, 0b11)
+
+    def test_cx_with_free_control_frees_target(self) -> None:
+        tracker = BasisTracker(2)
+        tracker.observe(Gate("h", (0,)))
+        tracker.observe(Gate("cx", (0, 1)))
+        assert tracker.live_amplitudes == 4
+
+    def test_ccx_rules(self) -> None:
+        tracker = BasisTracker(3)
+        tracker.observe(Gate("ccx", (0, 1, 2)))  # both controls fixed-0
+        assert tracker.live_amplitudes == 1
+        tracker.observe(Gate("x", (0,)))
+        tracker.observe(Gate("x", (1,)))
+        tracker.observe(Gate("ccx", (0, 1, 2)))  # both controls fixed-1
+        assert tracker.fixed_masks()[1] == 0b111
+
+    def test_swap_exchanges_knowledge(self) -> None:
+        tracker = BasisTracker(2)
+        tracker.observe(Gate("x", (0,)))
+        tracker.observe(Gate("swap", (0, 1)))
+        assert tracker.fixed_masks() == (0b11, 0b10)
+
+    def test_flip_touches_both_cosets(self) -> None:
+        tracker = BasisTracker(3)
+        assert tracker.live_amplitudes_with(Gate("x", (1,))) == 2
+
+    def test_out_of_range_rejected(self) -> None:
+        with pytest.raises(SimulationError):
+            BasisTracker(2).observe(Gate("h", (2,)))
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_pruned_chunks_are_zero_throughout(self, family: str) -> None:
+        n, chunk_bits = 9, 3
+        circuit = get_circuit(family, n)
+        state = ChunkedStateVector(n, chunk_bits)
+        tracker = BasisTracker(n)
+        for gate in circuit:
+            state.apply(gate)
+            tracker.observe(gate)
+            for chunk in range(state.num_chunks):
+                if tracker.chunk_is_pruned(chunk, chunk_bits):
+                    assert state.chunk_is_zero(chunk), (family, gate)
+
+    @given(seed=st.integers(0, 60))
+    def test_random_circuits_sound(self, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        n, chunk_bits = 6, 2
+        circuit = QuantumCircuit(n)
+        for _ in range(30):
+            kind = rng.integers(0, 6)
+            if kind == 0:
+                circuit.h(int(rng.integers(n)))
+            elif kind == 1:
+                circuit.x(int(rng.integers(n)))
+            elif kind == 2:
+                circuit.rz(0.3, int(rng.integers(n)))
+            elif kind == 3:
+                a, b = rng.choice(n, size=2, replace=False)
+                circuit.cx(int(a), int(b))
+            elif kind == 4:
+                a, b = rng.choice(n, size=2, replace=False)
+                circuit.swap(int(a), int(b))
+            else:
+                a, b, c = rng.choice(n, size=3, replace=False)
+                circuit.ccx(int(a), int(b), int(c))
+        state = ChunkedStateVector(n, chunk_bits)
+        tracker = BasisTracker(n)
+        for gate in circuit:
+            state.apply(gate)
+            tracker.observe(gate)
+            for chunk in range(state.num_chunks):
+                if tracker.chunk_is_pruned(chunk, chunk_bits):
+                    assert state.chunk_is_zero(chunk)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_never_looser_than_algorithm1(self, family: str) -> None:
+        circuit = get_circuit(family, 12)
+        basis = BasisTracker(12)
+        algorithm1 = InvolvementTracker(12)
+        for gate in circuit:
+            basis.observe(gate)
+            algorithm1.involve(gate)
+            assert basis.live_amplitudes <= algorithm1.live_amplitudes
+
+
+class TestFunctionalIntegration:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_functional_run_bit_identical(self, family: str) -> None:
+        from repro.core.simulator import QGpuSimulator
+        from repro.statevector.state import simulate
+
+        circuit = get_circuit(family, 9)
+        result = QGpuSimulator(version=BASIS_PRUNING, chunk_bits=4).run(circuit)
+        np.testing.assert_allclose(
+            result.amplitudes, simulate(circuit).amplitudes, atol=1e-10
+        )
+
+    def test_functional_prunes_at_least_as_much(self) -> None:
+        from repro.core.simulator import QGpuSimulator
+
+        circuit = get_circuit("hchain", 10)
+        paper = QGpuSimulator(version=PRUNING, chunk_bits=4).run(circuit)
+        basis = QGpuSimulator(version=BASIS_PRUNING, chunk_bits=4).run(circuit)
+        assert basis.chunk_updates_skipped >= paper.chunk_updates_skipped
+
+
+class TestExecutorIntegration:
+    def test_basis_tracking_never_slower(self) -> None:
+        executor = TimedExecutor(Machine(PAPER_MACHINE))
+        for family in ("hchain", "qft", "bv", "qaoa"):
+            circuit = get_circuit(family, 31)
+            paper = executor.execute(circuit, PRUNING).total_seconds
+            basis = executor.execute(circuit, BASIS_PRUNING).total_seconds
+            assert basis <= paper * 1.001, family
+
+    def test_hchain_gains_from_fixed_bit_tracking(self) -> None:
+        executor = TimedExecutor(Machine(PAPER_MACHINE))
+        circuit = get_circuit("hchain", 31)
+        paper = executor.execute(circuit, PRUNING).total_seconds
+        basis = executor.execute(circuit, BASIS_PRUNING).total_seconds
+        assert basis < 0.95 * paper

@@ -1,0 +1,65 @@
+"""Tests for fused execution in the timed executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.fusion import fuse
+from repro.circuits.library import get_circuit
+from repro.core.executor import FusedOp, TimedExecutor
+from repro.core.versions import NAIVE, OVERLAP, PRUNING
+from repro.hardware.machine import Machine
+from repro.hardware.specs import PAPER_MACHINE
+
+
+@pytest.fixture(scope="module")
+def executor() -> TimedExecutor:
+    return TimedExecutor(Machine(PAPER_MACHINE))
+
+
+class TestFusedOp:
+    def test_from_block(self) -> None:
+        circuit = get_circuit("qft", 6)
+        block = fuse(circuit, 3)[0]
+        op = FusedOp.from_block(block)
+        assert op.qubits == block.qubits
+        assert op.num_qubits == block.width
+        assert op.name.startswith("fused[")
+
+    def test_diagonal_only_when_all_members_diagonal(self) -> None:
+        from repro.circuits.circuit import QuantumCircuit
+
+        diagonal = QuantumCircuit(2).cz(0, 1).rz(0.3, 0)
+        mixed = QuantumCircuit(2).cz(0, 1).h(0)
+        assert FusedOp.from_block(fuse(diagonal, 2)[0]).is_diagonal
+        assert not FusedOp.from_block(fuse(mixed, 2)[0]).is_diagonal
+
+
+class TestFusedExecution:
+    def test_fusion_reduces_streaming_passes(self, executor) -> None:
+        circuit = get_circuit("hchain", 31)
+        unfused = executor.execute(circuit, NAIVE)
+        fused = executor.execute(circuit, NAIVE, fusion_max_qubits=4)
+        assert fused.bytes_h2d < unfused.bytes_h2d
+        assert fused.total_seconds < unfused.total_seconds
+
+    def test_fusion_composes_with_pruning(self, executor) -> None:
+        circuit = get_circuit("iqp", 31)
+        timing = executor.execute(circuit, PRUNING, fusion_max_qubits=4)
+        # Pruning still sees small live sets early on.
+        fractions = [g.live_fraction for g in timing.per_gate if g.name != "<readout>"]
+        assert fractions[0] < 1e-4
+
+    def test_wider_fusion_monotone(self, executor) -> None:
+        circuit = get_circuit("qft", 31)
+        times = [
+            executor.execute(circuit, OVERLAP, fusion_max_qubits=width).total_seconds
+            for width in (0, 2, 4)
+        ]
+        assert times[2] <= times[1] <= times[0] * 1.001
+
+    def test_fusion_off_is_default(self, executor) -> None:
+        circuit = get_circuit("gs", 31)
+        default = executor.execute(circuit, OVERLAP)
+        explicit = executor.execute(circuit, OVERLAP, fusion_max_qubits=0)
+        assert default.total_seconds == explicit.total_seconds

@@ -1,0 +1,143 @@
+"""Tests for the involvement bitmask tracker."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.core.involvement import (
+    InvolvementTracker,
+    involvement_trace,
+    live_fraction_trace,
+    qubit_mask,
+)
+from repro.errors import SimulationError
+
+
+class TestQubitMask:
+    def test_values(self) -> None:
+        assert qubit_mask(()) == 0
+        assert qubit_mask((0,)) == 1
+        assert qubit_mask((1, 3)) == 0b1010
+        assert qubit_mask((2, 2)) == 0b100
+
+
+class TestTracker:
+    def test_initially_uninvolved(self) -> None:
+        tracker = InvolvementTracker(4)
+        assert tracker.mask == 0
+        assert tracker.involved_count == 0
+        assert tracker.live_amplitudes == 1
+        assert not tracker.is_involved(0)
+
+    def test_involve_accumulates(self) -> None:
+        tracker = InvolvementTracker(4)
+        tracker.involve(Gate("h", (1,)))
+        tracker.involve(Gate("cx", (1, 3)))
+        assert tracker.mask == 0b1010
+        assert tracker.involved_count == 2
+        assert tracker.live_amplitudes == 4
+        assert tracker.is_involved(3) and not tracker.is_involved(0)
+
+    def test_live_amplitudes_with_peeks_without_mutating(self) -> None:
+        tracker = InvolvementTracker(4)
+        tracker.involve(Gate("h", (0,)))
+        assert tracker.live_amplitudes_with(Gate("cx", (0, 2))) == 4
+        assert tracker.mask == 0b0001  # unchanged
+
+    def test_gate_beyond_register_rejected(self) -> None:
+        tracker = InvolvementTracker(2)
+        with pytest.raises(SimulationError):
+            tracker.involve(Gate("h", (2,)))
+
+    def test_mask_validation(self) -> None:
+        with pytest.raises(SimulationError):
+            InvolvementTracker(2, mask=0b100)
+        with pytest.raises(SimulationError):
+            InvolvementTracker(0)
+
+
+class TestDiagonalAware:
+    def test_diagonal_gate_does_not_involve(self) -> None:
+        tracker = InvolvementTracker(4)
+        tracker.involve(Gate("cp", (0, 2), (0.5,)), diagonal_aware=True)
+        assert tracker.mask == 0
+
+    def test_non_diagonal_gate_still_involves(self) -> None:
+        tracker = InvolvementTracker(4)
+        tracker.involve(Gate("h", (1,)), diagonal_aware=True)
+        assert tracker.mask == 0b0010
+
+    def test_paper_semantics_by_default(self) -> None:
+        tracker = InvolvementTracker(4)
+        tracker.involve(Gate("cp", (0, 2), (0.5,)))
+        assert tracker.mask == 0b0101
+
+    def test_live_with_diagonal_gate_skips_union(self) -> None:
+        tracker = InvolvementTracker(4)
+        tracker.involve(Gate("h", (0,)))
+        diagonal = Gate("cp", (0, 3), (0.3,))
+        assert tracker.live_amplitudes_with(diagonal, diagonal_aware=True) == 2
+        assert tracker.live_amplitudes_with(diagonal) == 4
+
+    def test_diagonal_aware_mask_is_subset(self) -> None:
+        from repro.circuits.library import get_circuit
+
+        circuit = get_circuit("qft", 10)
+        paper = InvolvementTracker(10)
+        aware = InvolvementTracker(10)
+        for gate in circuit:
+            paper.involve(gate)
+            aware.involve(gate, diagonal_aware=True)
+            assert aware.mask & paper.mask == aware.mask
+
+    def test_out_of_range_checked_even_for_diagonal(self) -> None:
+        tracker = InvolvementTracker(2)
+        with pytest.raises(SimulationError):
+            tracker.involve(Gate("rz", (5,), (0.1,)), diagonal_aware=True)
+
+
+class TestDynamicChunkBits:
+    def test_algorithm1_example(self) -> None:
+        # Paper: involvement 00000011 on an 8-qubit circuit -> chunkSize 2.
+        tracker = InvolvementTracker(8, mask=0b00000011)
+        assert tracker.dynamic_chunk_bits(max_chunk_bits=5) == 2
+
+    def test_scattered_involvement_gives_minimum(self) -> None:
+        tracker = InvolvementTracker(8, mask=0b10100000)
+        assert tracker.dynamic_chunk_bits(5) == 1
+
+    def test_capped_at_maximum(self) -> None:
+        tracker = InvolvementTracker(8, mask=0b11111111)
+        assert tracker.dynamic_chunk_bits(3) == 3
+
+    def test_zero_mask_gives_minimum(self) -> None:
+        assert InvolvementTracker(8).dynamic_chunk_bits(5) == 1
+
+
+class TestTraces:
+    def test_involvement_trace_monotone_in_popcount(self) -> None:
+        circuit = QuantumCircuit(4).h(2).cx(2, 0).h(3).h(1)
+        trace = involvement_trace(circuit)
+        assert trace == [0b0100, 0b0101, 0b1101, 0b1111]
+        counts = [m.bit_count() for m in trace]
+        assert counts == sorted(counts)
+
+    def test_live_fraction_trace(self) -> None:
+        circuit = QuantumCircuit(2).h(0).h(1)
+        assert live_fraction_trace(circuit) == [0.5, 1.0]
+
+    @given(seed=st.integers(0, 100))
+    def test_trace_superset_property(self, seed: int) -> None:
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        circuit = QuantumCircuit(5)
+        for _ in range(20):
+            circuit.h(int(rng.integers(5)))
+        trace = involvement_trace(circuit)
+        for earlier, later in zip(trace, trace[1:]):
+            assert earlier & later == earlier  # masks only grow

@@ -1,0 +1,72 @@
+"""Tests for multi-GPU chunk-group assignment (paper Fig. 18)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import Gate
+from repro.core.multigpu import (
+    GroupAssignment,
+    assign_round_robin,
+    per_gpu_amplitudes,
+)
+from repro.errors import SchedulingError
+
+
+class TestFig18WalkThrough:
+    def test_paper_example(self) -> None:
+        # 7-qubit circuit, chunk = 2^4 amplitudes, gate on q5, two GPUs:
+        # pair groups (0,2),(1,3),(4,6),(5,7); round robin assigns groups
+        # 0 and 2 to GPU0, groups 1 and 3 to GPU1.
+        gate = Gate("h", (5,))
+        assignment = assign_round_robin(7, 4, gate, num_gpus=2)
+        assert assignment.groups == ((0, 2), (1, 3), (4, 6), (5, 7))
+        assert assignment.groups_of(0) == [(0, 2), (4, 6)]
+        assert assignment.groups_of(1) == [(1, 3), (5, 7)]
+
+    def test_chunks_of_flattens_stream_order(self) -> None:
+        assignment = assign_round_robin(7, 4, Gate("h", (5,)), 2)
+        assert assignment.chunks_of(0) == [0, 2, 4, 6]
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("num_gpus", [1, 2, 3, 4])
+    @pytest.mark.parametrize("qubit", [0, 3, 5, 7])
+    def test_every_chunk_owned_once(self, num_gpus: int, qubit: int) -> None:
+        assignment = assign_round_robin(8, 3, Gate("h", (qubit,)), num_gpus)
+        owned = sorted(
+            index for gpu in range(num_gpus) for index in assignment.chunks_of(gpu)
+        )
+        assert owned == list(range(32))
+        assignment.validate()  # no exception
+
+    def test_pairs_are_co_resident(self) -> None:
+        assignment = assign_round_robin(8, 3, Gate("cx", (6, 7)), 3)
+        for group, owner in zip(assignment.groups, assignment.owners):
+            for index in group:
+                assert index in assignment.chunks_of(owner)
+
+    def test_load_balance_within_one_group(self) -> None:
+        assignment = assign_round_robin(9, 4, Gate("h", (8,)), 4)
+        loads = per_gpu_amplitudes(assignment, 4)
+        assert max(loads) - min(loads) <= (1 << 4) * 2  # one group of 2 chunks
+
+    def test_validate_rejects_double_ownership(self) -> None:
+        bad = GroupAssignment(
+            gate=Gate("h", (2,)),
+            groups=((0,), (0,)),
+            owners=(0, 1),
+            num_gpus=2,
+        )
+        with pytest.raises(SchedulingError, match="assigned to GPUs"):
+            bad.validate()
+
+    def test_gpu_index_bounds(self) -> None:
+        assignment = assign_round_robin(6, 2, Gate("h", (0,)), 2)
+        with pytest.raises(SchedulingError):
+            assignment.groups_of(5)
+
+    def test_at_least_one_gpu(self) -> None:
+        with pytest.raises(SchedulingError):
+            assign_round_robin(6, 2, Gate("h", (0,)), 0)

@@ -1,0 +1,110 @@
+"""Tests for Algorithm 1 (zero state-amplitude pruning).
+
+The decisive test: Algorithm 1's pruned chunks must actually be all-zero in
+a real simulation at every step of every benchmark circuit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.library import FAMILIES, get_circuit
+from repro.core.involvement import InvolvementTracker
+from repro.core.pruning import (
+    chunk_is_pruned,
+    iter_live_chunks,
+    live_amplitude_count,
+    live_chunk_count,
+)
+from repro.errors import SimulationError
+from repro.statevector.chunks import ChunkedStateVector
+
+
+class TestClosedForm:
+    @given(
+        num_qubits=st.integers(2, 12),
+        chunk_bits=st.integers(1, 6),
+        involvement=st.integers(0, (1 << 12) - 1),
+    )
+    def test_count_matches_enumeration(
+        self, num_qubits: int, chunk_bits: int, involvement: int
+    ) -> None:
+        chunk_bits = min(chunk_bits, num_qubits)
+        involvement &= (1 << num_qubits) - 1
+        enumerated = list(iter_live_chunks(num_qubits, chunk_bits, involvement))
+        assert len(enumerated) == live_chunk_count(num_qubits, chunk_bits, involvement)
+
+    @given(
+        num_qubits=st.integers(2, 12),
+        chunk_bits=st.integers(1, 6),
+        involvement=st.integers(0, (1 << 12) - 1),
+    )
+    def test_enumeration_matches_membership_test(
+        self, num_qubits: int, chunk_bits: int, involvement: int
+    ) -> None:
+        chunk_bits = min(chunk_bits, num_qubits)
+        involvement &= (1 << num_qubits) - 1
+        live = set(iter_live_chunks(num_qubits, chunk_bits, involvement))
+        for chunk in range(1 << (num_qubits - chunk_bits)):
+            assert (chunk in live) == (
+                not chunk_is_pruned(chunk, chunk_bits, involvement)
+            )
+
+    def test_no_involvement_keeps_only_chunk_zero(self) -> None:
+        assert list(iter_live_chunks(6, 2, 0)) == [0]
+
+    def test_full_involvement_keeps_everything(self) -> None:
+        assert list(iter_live_chunks(6, 2, 0b111111)) == list(range(16))
+
+    def test_half_involvement_halves_chunks(self) -> None:
+        # One uninvolved qubit above the chunk boundary halves live chunks.
+        assert live_chunk_count(6, 2, 0b101111) == 8
+
+    def test_live_amplitude_count(self) -> None:
+        assert live_amplitude_count(6, 0) == 1
+        assert live_amplitude_count(6, 0b101) == 4
+
+    def test_validation(self) -> None:
+        with pytest.raises(SimulationError):
+            live_chunk_count(4, 0, 0)
+        with pytest.raises(SimulationError):
+            live_amplitude_count(2, 0b100)
+        with pytest.raises(SimulationError):
+            list(iter_live_chunks(4, 5, 0))
+
+
+class TestAgainstRealStates:
+    """Pruned chunks must hold exactly zero amplitudes in real simulations."""
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_pruned_chunks_are_zero_throughout(self, family: str) -> None:
+        num_qubits, chunk_bits = 8, 3
+        circuit = get_circuit(family, num_qubits)
+        state = ChunkedStateVector(num_qubits, chunk_bits)
+        tracker = InvolvementTracker(num_qubits)
+        for gate in circuit:
+            state.apply(gate)
+            tracker.involve(gate)
+            live = set(iter_live_chunks(num_qubits, chunk_bits, tracker.mask))
+            for chunk in range(state.num_chunks):
+                if chunk not in live:
+                    assert state.chunk_is_zero(chunk), (
+                        f"{family}: chunk {chunk} pruned but non-zero "
+                        f"(involvement {tracker.mask:b})"
+                    )
+
+    def test_live_amplitude_bound_is_tight_for_ghz(self) -> None:
+        # GHZ involves all qubits; every amplitude can be non-zero even
+        # though only 2 are - the bound is an upper bound, never a lie.
+        from repro.statevector.state import simulate
+        from repro.circuits.circuit import QuantumCircuit
+
+        circuit = QuantumCircuit(4).h(0)
+        for q in range(3):
+            circuit.cx(q, q + 1)
+        state = simulate(circuit)
+        nonzero = int(np.count_nonzero(state.amplitudes))
+        assert nonzero <= live_amplitude_count(4, 0b1111)

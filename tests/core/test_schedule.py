@@ -1,0 +1,80 @@
+"""Tests for explicit stream schedules (DES cross-validation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.schedule import GateStreamPlan, build_stream_timeline, stream_makespan
+from repro.hardware.pipeline import (
+    StageTimes,
+    double_buffered_roundtrip,
+    serial_roundtrip,
+)
+
+stage_floats = st.floats(0.01, 10.0)
+
+
+def make_plans(seed_times: list[tuple[int, float, float, float]]) -> list[GateStreamPlan]:
+    return [
+        GateStreamPlan(f"g{k}", batches, StageTimes(h, c, d))
+        for k, (batches, h, c, d) in enumerate(seed_times)
+    ]
+
+
+class TestCrossValidation:
+    @given(
+        gates=st.lists(
+            st.tuples(st.integers(1, 6), stage_floats, stage_floats, stage_floats),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_drained_overlap_equals_sum_of_closed_forms(self, gates) -> None:
+        plans = make_plans(gates)
+        des = stream_makespan(plans, overlap=True, drain_between_gates=True)
+        closed = sum(
+            double_buffered_roundtrip(p.num_batches, p.stages) for p in plans
+        )
+        assert des.makespan == pytest.approx(closed, rel=1e-9)
+
+    @given(
+        gates=st.lists(
+            st.tuples(st.integers(1, 6), stage_floats, stage_floats, stage_floats),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_naive_equals_sum_of_serial_forms(self, gates) -> None:
+        plans = make_plans(gates)
+        des = stream_makespan(plans, overlap=False)
+        closed = sum(serial_roundtrip(p.num_batches, p.stages) for p in plans)
+        assert des.makespan == pytest.approx(closed, rel=1e-9)
+
+    @given(
+        gates=st.lists(
+            st.tuples(st.integers(1, 5), stage_floats, stage_floats, stage_floats),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    def test_continuous_streaming_never_slower_than_drained(self, gates) -> None:
+        plans = make_plans(gates)
+        drained = stream_makespan(plans, drain_between_gates=True).makespan
+        continuous = stream_makespan(plans, drain_between_gates=False).makespan
+        assert continuous <= drained + 1e-9
+
+
+class TestStructure:
+    def test_task_count(self) -> None:
+        plans = make_plans([(3, 1, 1, 1), (2, 1, 1, 1)])
+        timeline = build_stream_timeline(plans)
+        assert len(timeline) == 3 * (3 + 2)
+
+    def test_engine_utilization_reported(self) -> None:
+        plans = make_plans([(4, 2.0, 0.5, 2.0)])
+        result = stream_makespan(plans)
+        assert result.busy["h2d"] == pytest.approx(8.0)
+        assert result.busy["gpu"] == pytest.approx(2.0)
+        assert 0 < result.utilization("h2d") <= 1.0

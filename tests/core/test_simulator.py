@@ -1,0 +1,93 @@
+"""Tests for the QGpuSimulator facade.
+
+The headline correctness claim: the full Q-GPU pipeline (reordering +
+chunking + pruning) produces bit-identical final states to a plain dense
+simulation, for every benchmark family and every version.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import FAMILIES, get_circuit
+from repro.core.simulator import QGpuSimulator, circuit_family
+from repro.core.versions import ALL_VERSIONS, BASELINE, PRUNING, QGPU, REORDER
+from repro.errors import SimulationError
+from repro.hardware.specs import PAPER_MACHINE, V100_MACHINE
+from repro.statevector.state import simulate
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("version", ALL_VERSIONS, ids=lambda v: v.name)
+    def test_every_family_every_version_matches_dense(
+        self, family: str, version
+    ) -> None:
+        circuit = get_circuit(family, 9)
+        reference = simulate(circuit).amplitudes
+        result = QGpuSimulator(version=version, chunk_bits=4).run(circuit)
+        np.testing.assert_allclose(result.amplitudes, reference, atol=1e-10)
+
+    def test_default_chunk_bits_choice(self) -> None:
+        circuit = get_circuit("gs", 8)
+        result = QGpuSimulator(version=QGPU).run(circuit)
+        np.testing.assert_allclose(
+            result.amplitudes, simulate(circuit).amplitudes, atol=1e-10
+        )
+
+    def test_chunk_bits_wider_than_register_rejected(self) -> None:
+        with pytest.raises(SimulationError):
+            QGpuSimulator(version=QGPU, chunk_bits=10).run(
+                QuantumCircuit(4).h(0)
+            )
+
+
+class TestPruningStatistics:
+    def test_iqp_prunes_most(self) -> None:
+        fractions = {}
+        for family in ("iqp", "qft", "qaoa"):
+            circuit = get_circuit(family, 10)
+            result = QGpuSimulator(version=PRUNING, chunk_bits=4).run(circuit)
+            fractions[family] = result.pruned_fraction
+        assert fractions["iqp"] > fractions["qaoa"]
+        assert fractions["iqp"] > 0.5
+
+    def test_reorder_increases_pruning_for_gs(self) -> None:
+        circuit = get_circuit("gs", 10)
+        without = QGpuSimulator(version=PRUNING, chunk_bits=4).run(circuit)
+        with_reorder = QGpuSimulator(version=REORDER, chunk_bits=4).run(circuit)
+        assert with_reorder.pruned_fraction >= without.pruned_fraction
+
+    def test_baseline_prunes_nothing(self) -> None:
+        circuit = get_circuit("gs", 8)
+        result = QGpuSimulator(version=BASELINE, chunk_bits=4).run(circuit)
+        assert result.chunk_updates_skipped == 0
+        assert result.pruned_fraction == 0.0
+
+    def test_counters_consistent(self) -> None:
+        circuit = get_circuit("bv", 9)
+        result = QGpuSimulator(version=QGPU, chunk_bits=4).run(circuit)
+        assert 0 <= result.chunk_updates_skipped <= result.chunk_updates_total
+        assert result.circuit_name == "bv_9"
+        assert result.version == "Q-GPU"
+
+
+class TestTimedFacade:
+    def test_estimate_uses_family_profile(self) -> None:
+        circuit = get_circuit("qaoa", 30)
+        sim = QGpuSimulator(version=QGPU)
+        automatic = sim.estimate(circuit)
+        incompressible = sim.estimate(circuit, compression_ratio=1.0)
+        assert automatic.total_seconds <= incompressible.total_seconds
+
+    def test_estimate_respects_machine(self) -> None:
+        circuit = get_circuit("qft", 30)
+        p100 = QGpuSimulator(machine=PAPER_MACHINE, version=QGPU).estimate(circuit)
+        v100 = QGpuSimulator(machine=V100_MACHINE, version=QGPU).estimate(circuit)
+        assert p100.machine != v100.machine
+
+    def test_circuit_family_parser(self) -> None:
+        assert circuit_family(get_circuit("qft", 30)) == "qft"
+        assert circuit_family(QuantumCircuit(2, name="custom")) == "custom"

@@ -1,0 +1,143 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.hardware.events import EventTimeline
+
+
+class TestBasics:
+    def test_single_task(self) -> None:
+        timeline = EventTimeline()
+        timeline.add("a", "gpu", 2.0)
+        result = timeline.run()
+        assert result.makespan == 2.0
+        assert result.records["a"].start == 0.0
+
+    def test_fifo_on_one_resource(self) -> None:
+        timeline = EventTimeline()
+        timeline.add("a", "gpu", 1.0)
+        timeline.add("b", "gpu", 2.0)
+        result = timeline.run()
+        assert result.records["a"].finish == 1.0
+        assert result.records["b"].start == 1.0
+        assert result.makespan == 3.0
+
+    def test_parallel_resources(self) -> None:
+        timeline = EventTimeline()
+        timeline.add("a", "gpu", 3.0)
+        timeline.add("b", "link", 2.0)
+        result = timeline.run()
+        assert result.makespan == 3.0
+        assert result.records["b"].start == 0.0
+
+    def test_dependency_delays_start(self) -> None:
+        timeline = EventTimeline()
+        timeline.add("produce", "link", 2.0)
+        timeline.add("consume", "gpu", 1.0, deps=("produce",))
+        result = timeline.run()
+        assert result.records["consume"].start == 2.0
+        assert result.makespan == 3.0
+
+    def test_later_ready_task_does_not_jump_earlier_one(self) -> None:
+        # c becomes ready at t=3 (after a); d is ready at t=0 on the same
+        # resource; d must run first even though c was submitted earlier.
+        timeline = EventTimeline()
+        timeline.add("a", "link", 3.0)
+        timeline.add("c", "gpu", 1.0, deps=("a",))
+        timeline.add("d", "gpu", 5.0)
+        result = timeline.run()
+        assert result.records["d"].start == 0.0
+        assert result.records["c"].start == 5.0
+
+    def test_zero_duration_chain_resolves(self) -> None:
+        timeline = EventTimeline()
+        timeline.add("a", "x", 0.0)
+        timeline.add("b", "x", 0.0, deps=("a",))
+        timeline.add("c", "x", 1.0, deps=("b",))
+        result = timeline.run()
+        assert result.makespan == 1.0
+
+    def test_utilization(self) -> None:
+        timeline = EventTimeline()
+        timeline.add("a", "gpu", 1.0)
+        timeline.add("b", "link", 4.0)
+        result = timeline.run()
+        assert result.utilization("gpu") == pytest.approx(0.25)
+        assert result.utilization("link") == pytest.approx(1.0)
+        assert result.utilization("unused") == 0.0
+
+
+class TestValidation:
+    def test_duplicate_name_rejected(self) -> None:
+        timeline = EventTimeline()
+        timeline.add("a", "gpu", 1.0)
+        with pytest.raises(SchedulingError, match="duplicate"):
+            timeline.add("a", "gpu", 1.0)
+
+    def test_negative_duration_rejected(self) -> None:
+        with pytest.raises(SchedulingError, match="negative"):
+            EventTimeline().add("a", "gpu", -1.0)
+
+    def test_unknown_dependency_rejected(self) -> None:
+        timeline = EventTimeline()
+        timeline.add("a", "gpu", 1.0, deps=("ghost",))
+        with pytest.raises(SchedulingError, match="unknown task"):
+            timeline.run()
+
+    def test_cycle_detected(self) -> None:
+        timeline = EventTimeline()
+        timeline.add("a", "gpu", 1.0, deps=("b",))
+        timeline.add("b", "gpu", 1.0, deps=("a",))
+        with pytest.raises(SchedulingError, match="cycle"):
+            timeline.run()
+
+
+class TestInvariants:
+    @given(seed=st.integers(0, 400))
+    def test_no_resource_overlap_and_deps_respected(self, seed: int) -> None:
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        timeline = EventTimeline()
+        names: list[str] = []
+        for index in range(30):
+            deps = tuple(
+                names[i] for i in rng.choice(index, size=min(index, 2), replace=False)
+            ) if index and rng.random() < 0.5 else ()
+            name = f"t{index}"
+            timeline.add(
+                name,
+                f"r{rng.integers(3)}",
+                float(rng.uniform(0, 2)),
+                deps,
+            )
+            names.append(name)
+        result = timeline.run()
+        # Dependencies respected.
+        for name, record in result.records.items():
+            for dep in record.task.deps:
+                assert result.records[dep].finish <= record.start + 1e-12
+        # No two tasks overlap on a resource.
+        by_resource: dict[str, list] = {}
+        for record in result.records.values():
+            by_resource.setdefault(record.task.resource, []).append(record)
+        for records in by_resource.values():
+            records.sort(key=lambda r: r.start)
+            for earlier, later in zip(records, records[1:]):
+                assert earlier.finish <= later.start + 1e-12
+        # Makespan is the max finish; busy sums match durations.
+        assert result.makespan == pytest.approx(
+            max(r.finish for r in result.records.values())
+        )
+        for resource, busy in result.busy.items():
+            total = sum(
+                r.task.duration
+                for r in result.records.values()
+                if r.task.resource == resource
+            )
+            assert busy == pytest.approx(total)

@@ -1,0 +1,53 @@
+"""Tests for chrome-trace export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.schedule import GateStreamPlan, stream_makespan
+from repro.hardware.events import EventTimeline
+from repro.hardware.pipeline import StageTimes
+from repro.hardware.trace import to_chrome_trace, write_chrome_trace
+
+
+def sample_result():
+    timeline = EventTimeline()
+    timeline.add("load", "h2d", 2.0)
+    timeline.add("kernel", "gpu", 1.0, deps=("load",))
+    timeline.add("store", "d2h", 2.0, deps=("kernel",))
+    return timeline.run()
+
+
+class TestChromeTrace:
+    def test_events_cover_all_tasks(self) -> None:
+        result = sample_result()
+        events = to_chrome_trace(result)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in spans} == {"load", "kernel", "store"}
+
+    def test_metadata_names_resources(self) -> None:
+        events = to_chrome_trace(sample_result(), process_name="demo")
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert {"demo", "h2d", "gpu", "d2h"} <= names
+
+    def test_timestamps_scaled_and_ordered(self) -> None:
+        events = to_chrome_trace(sample_result())
+        spans = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert spans["load"]["ts"] == 0.0
+        assert spans["kernel"]["ts"] == 2.0e6
+        assert spans["store"]["dur"] == 2.0e6
+
+    def test_distinct_tids_per_resource(self) -> None:
+        events = to_chrome_trace(sample_result())
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len({e["tid"] for e in spans}) == 3
+
+    def test_write_round_trips_as_json(self, tmp_path) -> None:
+        plans = [GateStreamPlan("g", 3, StageTimes(1.0, 0.2, 1.0))]
+        result = stream_makespan(plans)
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(result, path)
+        assert path.stat().st_size == written
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) >= 9

@@ -1,0 +1,50 @@
+"""Tests for MPS Pauli expectations (transfer-matrix contraction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import FAMILIES, get_circuit
+from repro.errors import SimulationError
+from repro.mps import simulate_mps
+from repro.statevector.expectation import PauliString, expectation_pauli
+from repro.statevector.state import simulate
+
+
+class TestMpsExpectations:
+    @pytest.mark.parametrize("family", ["qaoa", "gs", "hchain", "rqc"])
+    @pytest.mark.parametrize("text", ["Z0", "Z0 Z5", "X2", "X0 Y3 Z7"])
+    def test_matches_dense(self, family: str, text: str) -> None:
+        circuit = get_circuit(family, 10)
+        dense = simulate(circuit).amplitudes
+        mps = simulate_mps(circuit)
+        string = PauliString.parse(text)
+        assert mps.expectation_pauli(dict(string.paulis)) == pytest.approx(
+            expectation_pauli(dense, string), abs=1e-9
+        )
+
+    def test_identity_observable_is_norm_squared(self) -> None:
+        state = simulate_mps(get_circuit("gs", 8))
+        assert state.expectation_pauli({}) == pytest.approx(1.0, abs=1e-9)
+
+    def test_ghz_correlations(self) -> None:
+        from repro.circuits.library.extensions import ghz
+
+        state = simulate_mps(ghz(12))
+        assert state.expectation_pauli({0: "Z", 11: "Z"}) == pytest.approx(1.0)
+        assert state.expectation_pauli({0: "Z"}) == pytest.approx(0.0, abs=1e-10)
+
+    def test_no_densification_needed_at_width_30(self) -> None:
+        # A 30-qubit GHZ is far beyond dense reach but trivial for MPS.
+        from repro.circuits.library.extensions import ghz
+
+        state = simulate_mps(ghz(30))
+        assert state.expectation_pauli({0: "Z", 29: "Z"}) == pytest.approx(1.0)
+
+    def test_validation(self) -> None:
+        state = simulate_mps(get_circuit("gs", 6))
+        with pytest.raises(SimulationError):
+            state.expectation_pauli({0: "Q"})
+        with pytest.raises(SimulationError):
+            state.expectation_pauli({9: "Z"})

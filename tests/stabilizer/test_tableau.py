@@ -1,0 +1,146 @@
+"""Tests for the Aaronson-Gottesman stabilizer engine.
+
+Cross-validation strategy: the dense state of a Clifford circuit must be a
++1 eigenvector of every tableau stabilizer (and the measurement statistics
+must match the dense probabilities).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import bv, get_circuit
+from repro.errors import SimulationError
+from repro.stabilizer import (
+    CLIFFORD_GATES,
+    StabilizerState,
+    is_clifford_circuit,
+    simulate_clifford,
+)
+from repro.statevector.expectation import PauliString, apply_pauli
+from repro.statevector.state import simulate
+
+
+def assert_stabilizes(circuit: QuantumCircuit) -> None:
+    """Every tableau stabilizer must fix the dense state with its sign."""
+    tableau = simulate_clifford(circuit)
+    dense = simulate(circuit).amplitudes
+    for sign, labels in tableau.stabilizer_strings():
+        string = PauliString(
+            tuple((q, label) for q, label in enumerate(labels) if label != "I")
+        )
+        np.testing.assert_allclose(
+            apply_pauli(dense, string), sign * dense, atol=1e-10,
+            err_msg=f"{circuit.name}: stabilizer {sign:+d}{labels}",
+        )
+
+
+def random_clifford_circuit(seed: int, num_qubits: int = 5, gates: int = 40) -> QuantumCircuit:
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits)
+    singles = ["h", "s", "sdg", "x", "y", "z"]
+    for _ in range(gates):
+        kind = rng.integers(0, 9)
+        if kind < 6:
+            circuit.add(singles[kind], int(rng.integers(num_qubits)))
+        else:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            name = ("cx", "cz", "swap")[kind - 6]
+            circuit.add(name, int(a), int(b))
+    return circuit
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("family", ["gs", "hlf"])
+    def test_clifford_benchmarks(self, family: str) -> None:
+        assert_stabilizes(get_circuit(family, 8))
+
+    def test_bv_is_clifford(self) -> None:
+        circuit = bv(8, secret=0b1010101)
+        assert is_clifford_circuit(circuit)
+        assert_stabilizes(circuit)
+
+    @given(seed=st.integers(0, 80))
+    def test_random_clifford_circuits(self, seed: int) -> None:
+        assert_stabilizes(random_clifford_circuit(seed))
+
+    def test_bell_stabilizers(self) -> None:
+        tableau = simulate_clifford(QuantumCircuit(2).h(0).cx(0, 1))
+        assert set(tableau.stabilizer_strings()) == {(1, "XX"), (1, "ZZ")}
+
+    def test_minus_state_sign(self) -> None:
+        tableau = simulate_clifford(QuantumCircuit(1).x(0).h(0))
+        assert tableau.stabilizer_strings() == [(-1, "X")]
+
+
+class TestMeasurement:
+    def test_deterministic_outcomes(self) -> None:
+        tableau = simulate_clifford(QuantumCircuit(2).x(1))
+        assert tableau.measure(0) == 0
+        assert tableau.measure(1) == 1
+
+    def test_bell_correlations(self) -> None:
+        rng = np.random.default_rng(7)
+        outcomes = set()
+        for _ in range(50):
+            tableau = simulate_clifford(QuantumCircuit(2).h(0).cx(0, 1))
+            a, b = tableau.measure(0, rng), tableau.measure(1, rng)
+            assert a == b
+            outcomes.add(a)
+        assert outcomes == {0, 1}  # both branches occur
+
+    def test_plus_state_marginal_is_fair(self) -> None:
+        rng = np.random.default_rng(11)
+        ones = sum(
+            simulate_clifford(QuantumCircuit(1).h(0)).measure(0, rng)
+            for _ in range(400)
+        )
+        assert 140 < ones < 260
+
+    def test_collapse_is_sticky(self) -> None:
+        rng = np.random.default_rng(3)
+        tableau = simulate_clifford(QuantumCircuit(1).h(0))
+        first = tableau.measure(0, rng)
+        for _ in range(5):
+            assert tableau.measure(0, rng) == first
+
+    def test_measure_all_matches_dense_support(self) -> None:
+        circuit = get_circuit("gs", 6)
+        dense_probs = np.abs(simulate(circuit).amplitudes) ** 2
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            outcome = simulate_clifford(circuit).measure_all(rng)
+            assert dense_probs[outcome] > 1e-12
+
+    def test_expectation_z(self) -> None:
+        assert simulate_clifford(QuantumCircuit(1).x(0)).expectation_z(0) == -1.0
+        assert StabilizerState(1).expectation_z(0) == 1.0
+        assert simulate_clifford(QuantumCircuit(1).h(0)).expectation_z(0) == 0.0
+
+
+class TestValidation:
+    def test_non_clifford_gate_rejected(self) -> None:
+        with pytest.raises(SimulationError, match="not Clifford"):
+            StabilizerState(1).apply(QuantumCircuit(1).t(0)[0])
+
+    def test_non_clifford_circuit_rejected_with_names(self) -> None:
+        circuit = QuantumCircuit(2).h(0).t(0).rzz(0.3, 0, 1)
+        with pytest.raises(SimulationError, match="rzz"):
+            simulate_clifford(circuit)
+
+    def test_gate_set_contents(self) -> None:
+        assert "cx" in CLIFFORD_GATES and "t" not in CLIFFORD_GATES
+
+    def test_out_of_range_qubit(self) -> None:
+        with pytest.raises(SimulationError):
+            StabilizerState(2).measure(5)
+
+    def test_copy_is_independent(self) -> None:
+        original = simulate_clifford(QuantumCircuit(1).h(0))
+        clone = original.copy()
+        clone.measure(0, np.random.default_rng(0))
+        assert np.any(original.x[1:, 0])  # original still superposed

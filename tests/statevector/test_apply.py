@@ -1,0 +1,163 @@
+"""Kernel tests: every specialised gate kernel must equal the brute-force
+full-unitary application (kron with identities)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.gates import GATE_SPECS, Gate
+from repro.errors import SimulationError
+from repro.statevector.apply import (
+    apply_controlled,
+    apply_diagonal,
+    apply_gate,
+    apply_matrix,
+)
+
+
+def brute_force_apply(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """Apply a gate by building the full 2^n x 2^n unitary."""
+    matrix = gate.matrix()
+    k = len(gate.qubits)
+    full = np.zeros((1 << num_qubits, 1 << num_qubits), dtype=np.complex128)
+    for column in range(1 << num_qubits):
+        local_in = 0
+        for position, q in enumerate(gate.qubits):
+            local_in |= (column >> q & 1) << position
+        for local_out in range(1 << k):
+            amplitude = matrix[local_out, local_in]
+            if amplitude == 0:
+                continue
+            row = column
+            for position, q in enumerate(gate.qubits):
+                bit = local_out >> position & 1
+                row = (row & ~(1 << q)) | (bit << q)
+            full[row, column] += amplitude
+    return full @ state
+
+
+def random_state(num_qubits: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    state = rng.normal(size=1 << num_qubits) + 1j * rng.normal(size=1 << num_qubits)
+    return (state / np.linalg.norm(state)).astype(np.complex128)
+
+
+ALL_GATES = sorted(GATE_SPECS)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("name", ALL_GATES)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_every_gate_on_random_qubits(self, name: str, seed: int) -> None:
+        spec = GATE_SPECS[name]
+        num_qubits = 5
+        rng = np.random.default_rng(seed + hash(name) % 1000)
+        qubits = tuple(
+            int(q) for q in rng.choice(num_qubits, size=spec.num_qubits, replace=False)
+        )
+        params = tuple(float(x) for x in rng.uniform(-np.pi, np.pi, spec.num_params))
+        gate = Gate(name, qubits, params)
+        state = random_state(num_qubits, seed)
+        expected = brute_force_apply(state, gate, num_qubits)
+        actual = state.copy()
+        apply_gate(actual, gate)
+        np.testing.assert_allclose(actual, expected, atol=1e-12)
+
+    @given(
+        qubit=st.integers(0, 3),
+        seed=st.integers(0, 100),
+    )
+    def test_single_qubit_general_matrix(self, qubit: int, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        # Random unitary via QR decomposition.
+        raw = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        unitary, _ = np.linalg.qr(raw)
+        state = random_state(4, seed)
+        expected = brute_force_apply_matrix(state, unitary, (qubit,), 4)
+        actual = state.copy()
+        apply_matrix(actual, unitary, (qubit,))
+        np.testing.assert_allclose(actual, expected, atol=1e-12)
+
+    def test_two_qubit_matrix_both_orders(self) -> None:
+        state = random_state(3, 9)
+        rng = np.random.default_rng(5)
+        raw = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        unitary, _ = np.linalg.qr(raw)
+        for qubits in [(0, 2), (2, 0), (1, 2), (2, 1)]:
+            expected = brute_force_apply_matrix(state, unitary, qubits, 3)
+            actual = state.copy()
+            apply_matrix(actual, unitary, qubits)
+            np.testing.assert_allclose(actual, expected, atol=1e-12, err_msg=str(qubits))
+
+
+def brute_force_apply_matrix(
+    state: np.ndarray, matrix: np.ndarray, qubits: tuple[int, ...], num_qubits: int
+) -> np.ndarray:
+    k = len(qubits)
+    out = np.zeros_like(state)
+    for column in range(state.size):
+        local_in = 0
+        for position, q in enumerate(qubits):
+            local_in |= (column >> q & 1) << position
+        for local_out in range(1 << k):
+            row = column
+            for position, q in enumerate(qubits):
+                bit = local_out >> position & 1
+                row = (row & ~(1 << q)) | (bit << q)
+            out[row] += matrix[local_out, local_in] * state[column]
+    return out
+
+
+class TestSpecialisedKernels:
+    def test_diagonal_kernel_matches_general(self) -> None:
+        state = random_state(4, 3)
+        gate = Gate("cp", (1, 3), (0.7,))
+        general = state.copy()
+        apply_matrix(general, gate.matrix(), gate.qubits)
+        fast = state.copy()
+        apply_diagonal(fast, np.diag(gate.matrix()).copy(), gate.qubits)
+        np.testing.assert_allclose(fast, general, atol=1e-12)
+
+    def test_controlled_kernel_matches_general(self) -> None:
+        state = random_state(4, 4)
+        gate = Gate("cx", (2, 0))
+        general = state.copy()
+        apply_matrix(general, gate.matrix(), gate.qubits)
+        fast = state.copy()
+        apply_controlled(
+            fast, np.array([[0, 1], [1, 0]], dtype=np.complex128), (2,), (0,)
+        )
+        np.testing.assert_allclose(fast, general, atol=1e-12)
+
+    def test_norm_preserved_by_all_kernels(self) -> None:
+        state = random_state(5, 8)
+        for gate in [Gate("h", (2,)), Gate("cz", (0, 4)), Gate("ccx", (1, 2, 3))]:
+            apply_gate(state, gate)
+        assert np.linalg.norm(state) == pytest.approx(1.0, abs=1e-12)
+
+
+class TestErrorPaths:
+    def test_non_power_of_two_state_rejected(self) -> None:
+        with pytest.raises(SimulationError, match="power of two"):
+            apply_matrix(np.zeros(3, dtype=np.complex128), np.eye(2), (0,))
+
+    def test_qubit_out_of_range_rejected(self) -> None:
+        with pytest.raises(SimulationError, match="out of range"):
+            apply_matrix(np.zeros(4, dtype=np.complex128), np.eye(2), (2,))
+
+    def test_matrix_shape_mismatch_rejected(self) -> None:
+        with pytest.raises(SimulationError, match="does not match"):
+            apply_matrix(np.zeros(4, dtype=np.complex128), np.eye(4), (0,))
+
+    def test_diagonal_shape_mismatch_rejected(self) -> None:
+        with pytest.raises(SimulationError, match="does not match"):
+            apply_diagonal(np.zeros(4, dtype=np.complex128), np.ones(4), (0,))
+
+    def test_control_out_of_range_rejected(self) -> None:
+        with pytest.raises(SimulationError, match="out of range"):
+            apply_controlled(
+                np.zeros(4, dtype=np.complex128), np.eye(2), (5,), (0,)
+            )

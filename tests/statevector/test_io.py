@@ -1,0 +1,68 @@
+"""Tests for compressed state persistence."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import get_circuit
+from repro.errors import CompressionError
+from repro.statevector.io import dump_state, load_state, roundtrip_bytes
+from repro.statevector.state import StateVector, simulate
+
+
+class TestRoundTrip:
+    def test_bit_exact_roundtrip_in_memory(self) -> None:
+        state = simulate(get_circuit("qaoa", 10))
+        buffer = io.BytesIO(roundtrip_bytes(state))
+        recovered = load_state(buffer)
+        assert recovered.num_qubits == 10
+        np.testing.assert_array_equal(
+            recovered.amplitudes.view(np.uint64),
+            state.amplitudes.view(np.uint64),
+        )
+
+    def test_file_roundtrip(self, tmp_path) -> None:
+        state = simulate(get_circuit("gs", 8))
+        path = tmp_path / "state.qgsv"
+        written = dump_state(state, path)
+        assert path.stat().st_size == written
+        recovered = load_state(path)
+        np.testing.assert_array_equal(recovered.amplitudes, state.amplitudes)
+
+    def test_raw_array_accepted(self, rng) -> None:
+        amplitudes = (rng.normal(size=16) + 1j * rng.normal(size=16)).astype(
+            np.complex128
+        )
+        recovered = load_state(io.BytesIO(roundtrip_bytes(amplitudes)))
+        np.testing.assert_array_equal(recovered.amplitudes, amplitudes)
+
+    def test_structured_states_compress(self) -> None:
+        uniform = simulate(get_circuit("gs", 12))
+        raw_bytes = 16 << 12
+        assert len(roundtrip_bytes(uniform)) < 0.4 * raw_bytes
+
+
+class TestErrors:
+    def test_bad_magic(self) -> None:
+        data = bytearray(roundtrip_bytes(StateVector(3)))
+        data[0] = ord("X")
+        with pytest.raises(CompressionError, match="magic"):
+            load_state(io.BytesIO(bytes(data)))
+
+    def test_truncated_header(self) -> None:
+        with pytest.raises(CompressionError, match="too short"):
+            load_state(io.BytesIO(b"QG"))
+
+    def test_truncated_payload(self) -> None:
+        data = roundtrip_bytes(StateVector(4))
+        with pytest.raises(CompressionError, match="truncated"):
+            load_state(io.BytesIO(data[:-10]))
+
+    def test_version_check(self) -> None:
+        data = bytearray(roundtrip_bytes(StateVector(3)))
+        data[4] = 99  # version byte
+        with pytest.raises(CompressionError, match="version"):
+            load_state(io.BytesIO(bytes(data)))

@@ -1,0 +1,82 @@
+"""Tests for measurement utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import SimulationError
+from repro.statevector.measure import (
+    expectation_z,
+    marginal_probability,
+    most_probable,
+    probabilities,
+    sample_counts,
+)
+from repro.statevector.state import StateVector, simulate
+
+
+@pytest.fixture
+def bell() -> StateVector:
+    return simulate(QuantumCircuit(2).h(0).cx(0, 1))
+
+
+class TestProbabilities:
+    def test_sum_to_one(self, bell: StateVector) -> None:
+        assert probabilities(bell).sum() == pytest.approx(1.0)
+
+    def test_accepts_raw_arrays(self) -> None:
+        probs = probabilities(np.array([1.0, 0.0], dtype=np.complex128))
+        np.testing.assert_allclose(probs, [1.0, 0.0])
+
+    def test_rejects_matrices(self) -> None:
+        with pytest.raises(SimulationError):
+            probabilities(np.zeros((2, 2), dtype=np.complex128))
+
+
+class TestSampling:
+    def test_bell_counts_split_between_00_and_11(self, bell: StateVector) -> None:
+        counts = sample_counts(bell, shots=2000, seed=7)
+        assert set(counts) == {0b00, 0b11}
+        assert counts[0b00] + counts[0b11] == 2000
+        assert abs(counts[0b00] - 1000) < 150
+
+    def test_deterministic_under_seed(self, bell: StateVector) -> None:
+        assert sample_counts(bell, 100, seed=1) == sample_counts(bell, 100, seed=1)
+
+    def test_zero_shots_rejected(self, bell: StateVector) -> None:
+        with pytest.raises(SimulationError):
+            sample_counts(bell, 0)
+
+    def test_unnormalised_state_rejected(self) -> None:
+        state = np.array([1.0, 1.0], dtype=np.complex128)
+        with pytest.raises(SimulationError, match="normalised"):
+            sample_counts(state, 10)
+
+
+class TestMarginals:
+    def test_bell_marginals_are_half(self, bell: StateVector) -> None:
+        assert marginal_probability(bell, 0) == pytest.approx(0.5)
+        assert marginal_probability(bell, 1) == pytest.approx(0.5)
+
+    def test_basis_state_marginal(self) -> None:
+        state = simulate(QuantumCircuit(3).x(1))
+        assert marginal_probability(state, 1) == pytest.approx(1.0)
+        assert marginal_probability(state, 0) == pytest.approx(0.0)
+
+    def test_qubit_out_of_range(self, bell: StateVector) -> None:
+        with pytest.raises(SimulationError):
+            marginal_probability(bell, 5)
+
+    def test_expectation_z_signs(self) -> None:
+        zero = StateVector(1)
+        one = simulate(QuantumCircuit(1).x(0))
+        plus = simulate(QuantumCircuit(1).h(0))
+        assert expectation_z(zero, 0) == pytest.approx(1.0)
+        assert expectation_z(one, 0) == pytest.approx(-1.0)
+        assert expectation_z(plus, 0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_most_probable(self) -> None:
+        state = simulate(QuantumCircuit(3).x(0).x(2))
+        assert most_probable(state) == 0b101

@@ -1,0 +1,82 @@
+"""Tests for mid-circuit measurement and reset on the dense engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import SimulationError
+from repro.statevector.state import StateVector, simulate
+
+
+class TestMeasure:
+    def test_deterministic_outcomes(self) -> None:
+        state = simulate(QuantumCircuit(2).x(1))
+        assert state.measure(0) == 0
+        assert state.measure(1) == 1
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_bell_collapse_correlates(self) -> None:
+        rng = np.random.default_rng(4)
+        seen = set()
+        for _ in range(40):
+            state = simulate(QuantumCircuit(2).h(0).cx(0, 1))
+            a = state.measure(0, rng)
+            b = state.measure(1, rng)
+            assert a == b
+            seen.add(a)
+        assert seen == {0, 1}
+
+    def test_collapse_renormalises(self) -> None:
+        rng = np.random.default_rng(1)
+        state = simulate(QuantumCircuit(1).h(0))
+        state.measure(0, rng)
+        assert state.norm() == pytest.approx(1.0)
+        assert state.nonzero_fraction() == pytest.approx(0.5)
+
+    def test_repeated_measurement_is_stable(self) -> None:
+        rng = np.random.default_rng(2)
+        state = simulate(QuantumCircuit(1).h(0))
+        first = state.measure(0, rng)
+        for _ in range(5):
+            assert state.measure(0, rng) == first
+
+    def test_marginal_statistics(self) -> None:
+        rng = np.random.default_rng(8)
+        ones = sum(
+            simulate(QuantumCircuit(1).h(0)).measure(0, rng) for _ in range(400)
+        )
+        assert 140 < ones < 260
+
+    def test_out_of_range(self) -> None:
+        with pytest.raises(SimulationError):
+            StateVector(2).measure(2)
+
+
+class TestReset:
+    def test_reset_forces_zero(self) -> None:
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            state = simulate(QuantumCircuit(2).h(0).cx(0, 1))
+            state.reset(0, rng)
+            assert state.measure(0, rng) == 0
+
+    def test_reset_preserves_other_qubits_when_product(self) -> None:
+        state = simulate(QuantumCircuit(2).x(1).h(0))
+        state.reset(0)
+        assert state.measure(1) == 1
+
+    def test_entanglement_swapping_feedforward(self) -> None:
+        # Measure half of a Bell pair and apply the classically controlled
+        # correction: qubit 1 collapses deterministically to |0>.
+        from repro.circuits.gates import Gate
+
+        rng = np.random.default_rng(6)
+        for _ in range(10):
+            state = simulate(QuantumCircuit(2).h(0).cx(0, 1))
+            outcome = state.measure(0, rng)
+            if outcome:
+                state.apply(Gate("x", (1,)))
+            assert state.measure(1, rng) == 0
+            assert state.norm() == pytest.approx(1.0, abs=1e-10)

@@ -1,0 +1,115 @@
+"""Tests for the dense StateVector engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import SimulationError
+from repro.statevector.state import StateVector, simulate
+
+
+class TestInitialisation:
+    def test_starts_in_zero_state(self) -> None:
+        state = StateVector(3)
+        assert state.amplitudes[0] == 1.0
+        assert np.count_nonzero(state.amplitudes) == 1
+
+    def test_custom_initial_state_is_copied(self) -> None:
+        initial = np.zeros(4, dtype=np.complex128)
+        initial[3] = 1.0
+        state = StateVector(2, initial)
+        initial[3] = 0.0
+        assert state.amplitudes[3] == 1.0
+
+    def test_wrong_initial_shape_rejected(self) -> None:
+        with pytest.raises(SimulationError):
+            StateVector(2, np.zeros(3, dtype=np.complex128))
+
+    def test_width_limit_enforced(self) -> None:
+        with pytest.raises(SimulationError, match="structural"):
+            StateVector(StateVector.MAX_DENSE_QUBITS + 1)
+
+    def test_non_positive_width_rejected(self) -> None:
+        with pytest.raises(SimulationError):
+            StateVector(0)
+
+
+class TestKnownStates:
+    def test_bell_state(self) -> None:
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        state = simulate(circuit)
+        expected = np.zeros(4, dtype=np.complex128)
+        expected[0b00] = expected[0b11] = 1 / np.sqrt(2)
+        np.testing.assert_allclose(state.amplitudes, expected, atol=1e-12)
+
+    def test_ghz_state(self) -> None:
+        circuit = QuantumCircuit(4).h(0)
+        for q in range(3):
+            circuit.cx(q, q + 1)
+        state = simulate(circuit)
+        assert state.amplitudes[0] == pytest.approx(1 / np.sqrt(2))
+        assert state.amplitudes[-1] == pytest.approx(1 / np.sqrt(2))
+        assert state.nonzero_fraction() == pytest.approx(2 / 16)
+
+    def test_x_gate_flips(self) -> None:
+        state = simulate(QuantumCircuit(1).x(0))
+        np.testing.assert_allclose(state.amplitudes, [0, 1])
+
+    def test_plus_state_probabilities(self) -> None:
+        state = simulate(QuantumCircuit(1).h(0))
+        np.testing.assert_allclose(state.probabilities(), [0.5, 0.5])
+
+
+class TestInvariants:
+    @given(seed=st.integers(0, 300), num_gates=st.integers(1, 40))
+    def test_norm_is_preserved(self, seed: int, num_gates: int) -> None:
+        rng = np.random.default_rng(seed)
+        circuit = QuantumCircuit(4)
+        names = ["h", "x", "s", "t", "sx"]
+        for _ in range(num_gates):
+            choice = int(rng.integers(0, 7))
+            if choice == 5:
+                a, b = rng.choice(4, size=2, replace=False)
+                circuit.cx(int(a), int(b))
+            elif choice == 6:
+                circuit.rz(float(rng.uniform(-3, 3)), int(rng.integers(4)))
+            else:
+                circuit.add(names[choice], int(rng.integers(4)))
+        state = simulate(circuit)
+        assert state.norm() == pytest.approx(1.0, abs=1e-10)
+
+    def test_fidelity_with_self_is_one(self) -> None:
+        state = simulate(QuantumCircuit(3).h(0).cx(0, 1).t(2))
+        assert state.fidelity(state.copy()) == pytest.approx(1.0)
+
+    def test_fidelity_of_orthogonal_states_is_zero(self) -> None:
+        a = simulate(QuantumCircuit(1).x(0))
+        b = StateVector(1)
+        assert a.fidelity(b) == pytest.approx(0.0, abs=1e-15)
+
+    def test_fidelity_width_mismatch_rejected(self) -> None:
+        with pytest.raises(SimulationError):
+            StateVector(2).fidelity(StateVector(3))
+
+
+class TestRun:
+    def test_run_width_mismatch_rejected(self) -> None:
+        with pytest.raises(SimulationError, match="width"):
+            StateVector(2).run(QuantumCircuit(3).h(0))
+
+    def test_apply_out_of_range_gate_rejected(self) -> None:
+        from repro.circuits.gates import Gate
+
+        with pytest.raises(SimulationError, match="exceeds register"):
+            StateVector(2).apply(Gate("h", (4,)))
+
+    def test_copy_is_independent(self) -> None:
+        original = StateVector(2)
+        clone = original.copy()
+        clone.run(QuantumCircuit(2).x(0))
+        assert original.amplitudes[0] == 1.0
+        assert clone.amplitudes[1] == 1.0

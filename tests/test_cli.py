@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.circuits.library import get_circuit
+from repro.circuits.qasm import to_qasm
+
+
+class TestSimulate:
+    def test_family_simulation(self, capsys) -> None:
+        assert main(["simulate", "--family", "bv", "--qubits", "8",
+                     "--shots", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "bv_8" in out
+        assert "pruned chunk updates" in out
+
+    def test_qasm_input(self, tmp_path, capsys) -> None:
+        path = tmp_path / "circ.qasm"
+        path.write_text(to_qasm(get_circuit("gs", 5)))
+        assert main(["simulate", "--qasm", str(path), "--shots", "10"]) == 0
+        assert "circ" in capsys.readouterr().out
+
+    def test_version_selection(self, capsys) -> None:
+        assert main(["simulate", "--family", "gs", "--qubits", "6",
+                     "--version", "Baseline"]) == 0
+        assert "Baseline" in capsys.readouterr().out
+
+
+class TestEstimate:
+    def test_estimate_all_versions(self, capsys) -> None:
+        assert main(["estimate", "--family", "qft", "--qubits", "31",
+                     "--machine", "p100"]) == 0
+        out = capsys.readouterr().out
+        for version in ("Baseline", "Naive", "Overlap", "Pruning", "Q-GPU"):
+            assert version in out
+
+    def test_host_memory_error_reported(self, capsys) -> None:
+        assert main(["estimate", "--family", "gs", "--qubits", "34",
+                     "--machine", "v100"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_profile(self, capsys) -> None:
+        assert main(["profile", "--family", "gs", "--qubits", "10"]) == 0
+        assert "mean GFC ratio" in capsys.readouterr().out
+
+    def test_transpile(self, capsys) -> None:
+        assert main(["transpile", "--family", "gs", "--qubits", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "OPENQASM 2.0;" in out
+
+    def test_experiment_subset(self, capsys) -> None:
+        assert main(["experiment", "tab2"]) == 0
+        assert "[tab2]" in capsys.readouterr().out
+
+    def test_missing_circuit_source_errors(self) -> None:
+        with pytest.raises(SystemExit):
+            main(["simulate"])
+
+    def test_plan(self, capsys) -> None:
+        assert main(["plan", "--family", "iqp", "--qubits", "31"]) == 0
+        out = capsys.readouterr().out
+        assert "plan for iqp_31" in out
+        assert "->" in out
+
+    def test_trace_writes_json(self, tmp_path, capsys) -> None:
+        output = tmp_path / "trace.json"
+        assert main(["trace", "--family", "gs", "--qubits", "33",
+                     "--output", str(output)]) == 0
+        assert output.exists()
+        import json
+
+        payload = json.loads(output.read_text())
+        assert payload["traceEvents"]
+
+    def test_trace_with_nothing_streaming(self, tmp_path, capsys) -> None:
+        output = tmp_path / "trace.json"
+        assert main(["trace", "--family", "gs", "--qubits", "20",
+                     "--output", str(output)]) == 0
+        assert "no trace written" in capsys.readouterr().out
+        assert not output.exists()

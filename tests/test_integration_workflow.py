@@ -1,0 +1,89 @@
+"""End-to-end integration: a downstream user's whole workflow.
+
+Chains the public surface the way an adopter would: generate a workload,
+transpile it, choose a layout, run it exactly through the Q-GPU pipeline,
+persist the state, reload and sample, check observables across engines, and
+finally price the large-width run on several machines via the planner.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.circuits.layout import cache_blocking_layout, apply_layout, permute_statevector
+from repro.circuits.library import get_circuit
+from repro.circuits.passes import transpile
+from repro.circuits.qasm import from_qasm, to_qasm
+from repro.core.planner import plan_execution
+from repro.core.simulator import QGpuSimulator
+from repro.core.versions import QGPU
+from repro.mps import simulate_mps
+from repro.statevector import (
+    dump_state,
+    expectation_pauli,
+    load_state,
+    PauliString,
+    sample_counts,
+    simulate,
+)
+from repro.hardware.specs import A100_MACHINE, PAPER_MACHINE
+
+
+class TestFullWorkflow:
+    def test_generate_transform_run_persist_sample_plan(self, tmp_path) -> None:
+        # 1. Workload generation + interchange.
+        circuit = get_circuit("qaoa", 10)
+        circuit = from_qasm(to_qasm(circuit), name="qaoa_10")
+
+        # 2. Transpile + layout, preserving semantics.
+        lowered = transpile(circuit)
+        mapping = cache_blocking_layout(lowered, 4)
+        placed = apply_layout(lowered, mapping)
+
+        # 3. Exact run through the full Q-GPU functional pipeline.
+        result = QGpuSimulator(version=QGPU, chunk_bits=4).run(placed)
+        reference = permute_statevector(simulate(circuit).amplitudes, mapping)
+        np.testing.assert_allclose(result.amplitudes, reference, atol=1e-9)
+
+        # 4. Persist compressed, reload bit-exact, sample.
+        path = tmp_path / "qaoa10.qgsv"
+        dump_state(result.amplitudes, path)
+        restored = load_state(path)
+        np.testing.assert_array_equal(
+            restored.amplitudes.view(np.uint64),
+            result.amplitudes.view(np.uint64),
+        )
+        counts = sample_counts(restored.amplitudes, shots=500, seed=0)
+        assert sum(counts.values()) == 500
+
+        # 5. Cross-engine observable agreement (original labelling).
+        dense_state = simulate(circuit).amplitudes
+        mps_state = simulate_mps(circuit)
+        observable = PauliString.parse("Z0 Z1")
+        dense_value = expectation_pauli(dense_state, observable)
+        mps_value = expectation_pauli(mps_state.to_dense(), observable)
+        assert dense_value == pytest.approx(mps_value, abs=1e-9)
+
+        # 6. Price the real-size experiment on two machines.
+        large = get_circuit("qaoa", 32)
+        p100_plan = plan_execution(large, machine=PAPER_MACHINE)
+        a100_plan = plan_execution(large, machine=A100_MACHINE)
+        assert p100_plan.best.seconds > 0
+        assert a100_plan.best.seconds > 0
+        assert p100_plan.machine_name != a100_plan.machine_name
+        # The A100's larger device memory gives its static Baseline more
+        # residency than the P100's (paper Section V-D).
+        assert a100_plan.speedup_over("Baseline") < p100_plan.speedup_over("Baseline")
+
+    def test_memory_stream_roundtrip_of_pipeline_output(self) -> None:
+        circuit = get_circuit("gs", 12)
+        result = QGpuSimulator(version=QGPU).run(circuit)
+        buffer = io.BytesIO()
+        dump_state(result.amplitudes, buffer)
+        buffer.seek(0)
+        restored = load_state(buffer)
+        assert restored.num_qubits == 12
+        assert restored.fidelity(simulate(circuit)) == pytest.approx(1.0, abs=1e-10)
