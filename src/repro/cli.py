@@ -17,7 +17,13 @@ Subcommands:
   chosen machine;
 * ``experiment`` - run registered paper reproductions by id;
 * ``profile`` - measure a family's GFC compression profile;
-* ``transpile`` - decompose/merge/cancel a circuit and print QASM.
+* ``transpile`` - decompose/merge/cancel a circuit and print QASM;
+* ``reliability`` - fault-injection demo: verify that recovery keeps the
+  result bit-identical, that checkpoint/resume works mid-circuit, and
+  report the modelled retry overhead.
+
+``simulate`` also understands ``--fault-plan``, ``--checkpoint-every``,
+``--checkpoint`` and ``--resume`` (see ``docs/reliability.md``).
 """
 
 from __future__ import annotations
@@ -53,12 +59,29 @@ def _add_circuit_options(parser: argparse.ArgumentParser, qasm: bool = True) -> 
         parser.add_argument("--qasm", help="OpenQASM 2.0 file instead of a family")
 
 
+def _fault_plan(args: argparse.Namespace):
+    from repro.reliability import FaultPlan
+
+    spec = getattr(args, "fault_plan", None)
+    return FaultPlan.from_spec(spec) if spec else None
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args)
     version = VERSIONS_BY_NAME[args.version]
-    result = QGpuSimulator(version=version).run(circuit)
+    simulator = QGpuSimulator(version=version, fault_plan=_fault_plan(args))
+    result = simulator.run(
+        circuit,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint,
+        resume_from=args.resume,
+    )
     print(f"{circuit.name}: {len(circuit)} gates, version {version.name}")
     print(f"pruned chunk updates: {result.pruned_fraction:.1%}")
+    report = result.reliability
+    if report is not None and (report.total_faults or report.checkpoints_written
+                               or report.resumed_from_gate is not None):
+        print(report.summary())
     counts = sample_counts(result.amplitudes, shots=args.shots, seed=args.seed)
     width = circuit.num_qubits
     for outcome, count in sorted(counts.items(), key=lambda kv: -kv[1])[: args.top]:
@@ -157,6 +180,80 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_reliability(args: argparse.Namespace) -> int:
+    import tempfile
+
+    import numpy as np
+
+    from repro.reliability import FaultPlan
+
+    circuit = _load_circuit(args)
+    version = VERSIONS_BY_NAME[args.version]
+    machine = MACHINES[args.machine]
+    plan = _fault_plan(args) or FaultPlan.from_spec(
+        "seed=7,transfer=0.05,codec=0.02,degrade=0.05"
+    )
+    print(f"{circuit.name}: {len(circuit)} gates, version {version.name}")
+    print(f"fault plan: {plan.describe()}")
+
+    # 1. Recovery keeps the functional result bit-identical.
+    clean = QGpuSimulator(version=version).run(circuit)
+    faulty = QGpuSimulator(version=version, fault_plan=plan).run(circuit)
+    identical = bool(
+        np.array_equal(
+            clean.amplitudes.view(np.uint64), faulty.amplitudes.view(np.uint64)
+        )
+    )
+    print("\n-- fault injection + recovery --")
+    print(faulty.reliability.summary())
+    print(f"final state bit-identical to fault-free run: {identical}")
+
+    # 2. A killed run resumes from its checkpoint bit-identically.
+    kill_at = args.kill_at if args.kill_at is not None else max(2, len(circuit) // 2)
+    every = args.checkpoint_every or max(1, kill_at // 2)
+    print("\n-- checkpoint / resume --")
+    with tempfile.TemporaryDirectory() as tempdir:
+        path = Path(tempdir) / "run.qgck"
+        sim = QGpuSimulator(version=version, fault_plan=plan)
+        interrupted = sim.run(
+            circuit, checkpoint_every=every, checkpoint_path=path, stop_after=kill_at
+        )
+        print(
+            f"killed after gate {interrupted.interrupted_at} "
+            f"({interrupted.reliability.checkpoints_written} checkpoint(s) on disk)"
+        )
+        resumed = sim.run(circuit, resume_from=path)
+        resumed_ok = bool(
+            np.array_equal(
+                clean.amplitudes.view(np.uint64), resumed.amplitudes.view(np.uint64)
+            )
+        )
+        print(f"resumed from gate {resumed.reliability.resumed_from_gate}; "
+              f"final state bit-identical: {resumed_ok}")
+
+    # 3. The timed model itemizes the reliability overhead.  Faults only
+    # cost time when chunks actually stream, so model an out-of-core width
+    # of the same family when the requested circuit is GPU-resident.
+    timed_circuit = circuit
+    if getattr(args, "family", None) and args.qubits < 30:
+        timed_circuit = get_circuit(args.family, 30, seed=args.seed)
+    print(f"\n-- modelled reliability overhead on {machine.name} "
+          f"({timed_circuit.name}) --")
+    clean_t = QGpuSimulator(machine=machine, version=version).estimate(timed_circuit)
+    faulty_t = QGpuSimulator(
+        machine=machine, version=version, fault_plan=plan
+    ).estimate(timed_circuit)
+    overhead = faulty_t.total_seconds - clean_t.total_seconds
+    print(f"fault-free makespan : {clean_t.total_seconds:12.3f} s")
+    print(f"faulty makespan     : {faulty_t.total_seconds:12.3f} s "
+          f"(+{overhead:.3f} s, {faulty_t.faults_injected} faults)")
+    print(f"  retry + backoff   : {faulty_t.retry_seconds:12.3f} s")
+    if faulty_t.compression_disabled_at is not None:
+        print(f"  compression disabled at gate {faulty_t.compression_disabled_at} "
+              "(degradation; remainder streams uncompressed)")
+    return 0 if identical and resumed_ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Q-GPU reproduction toolkit"
@@ -170,6 +267,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the most frequent outcomes")
     simulate.add_argument("--version", default="Q-GPU",
                           choices=sorted(VERSIONS_BY_NAME))
+    simulate.add_argument("--fault-plan", metavar="SPEC",
+                          help="inject faults, e.g. 'seed=7,transfer=0.05'")
+    simulate.add_argument("--checkpoint-every", type=int, metavar="N",
+                          help="checkpoint every N gates (needs --checkpoint)")
+    simulate.add_argument("--checkpoint", metavar="PATH",
+                          help="checkpoint file to write")
+    simulate.add_argument("--resume", metavar="PATH",
+                          help="resume from a checkpoint file")
     simulate.set_defaults(fn=_cmd_simulate)
 
     estimate = sub.add_parser("estimate", help="performance model")
@@ -205,6 +310,22 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--output", default="qgpu_trace.json")
     trace.set_defaults(fn=_cmd_trace)
 
+    reliability = sub.add_parser(
+        "reliability",
+        help="fault-injection demo: recovery, checkpoint/resume, overhead",
+    )
+    _add_circuit_options(reliability)
+    reliability.add_argument("--machine", default="p100", choices=sorted(MACHINES))
+    reliability.add_argument("--version", default="Q-GPU",
+                             choices=sorted(VERSIONS_BY_NAME))
+    reliability.add_argument("--fault-plan", metavar="SPEC",
+                             help="e.g. 'seed=7,transfer=0.05,codec=0.02'")
+    reliability.add_argument("--kill-at", type=int, metavar="GATE",
+                             help="simulated crash point (default: mid-circuit)")
+    reliability.add_argument("--checkpoint-every", type=int, metavar="N",
+                             help="checkpoint cadence for the kill/resume demo")
+    reliability.set_defaults(fn=_cmd_reliability)
+
     return parser
 
 
@@ -212,7 +333,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if getattr(args, "family", None) is None and not getattr(args, "qasm", None) \
-            and args.command in ("simulate", "estimate", "transpile", "plan", "trace"):
+            and args.command in ("simulate", "estimate", "transpile", "plan",
+                                 "trace", "reliability"):
         parser.error("provide --family or --qasm")
     try:
         return args.fn(args)

@@ -1,6 +1,11 @@
 """GFC lossless amplitude compression and compressibility analysis."""
 
-from repro.compression.gfc import compress, compression_ratio, decompress
+from repro.compression.gfc import (
+    compress,
+    compression_ratio,
+    decompress,
+    verify_stream,
+)
 from repro.compression.profile import (
     CompressionProfile,
     family_ratio,
@@ -26,4 +31,5 @@ __all__ = [
     "measure_profile",
     "residual_histogram",
     "residual_stats",
+    "verify_stream",
 ]

@@ -11,6 +11,14 @@
 * :meth:`QGpuSimulator.estimate` - *timed* simulation at any width: runs the
   machine-model executor and returns a :class:`~repro.core.executor.TimedResult`.
 
+Both halves accept a :class:`~repro.reliability.faults.FaultPlan` and a
+:class:`~repro.reliability.policy.RecoveryPolicy`: the functional engine
+injects real corruption into chunk transfers (detected by CRC32 guards
+and recovered by retrying from the pristine source, so a recovered run
+stays bit-identical), while the timed engine charges retry and backoff
+time on the modelled link.  :meth:`QGpuSimulator.run` can also write
+periodic checkpoints and resume from one bit-exactly.
+
 Typical use::
 
     sim = QGpuSimulator()                     # paper's P100 server, Q-GPU
@@ -21,6 +29,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -32,9 +41,13 @@ from repro.core.involvement import InvolvementTracker
 from repro.core.pruning import chunk_is_pruned
 from repro.core.reorder import reorder
 from repro.core.versions import QGPU, VersionConfig
-from repro.errors import SimulationError
+from repro.errors import CheckpointError, FaultInjectionError, SimulationError
 from repro.hardware.machine import Machine
 from repro.hardware.specs import MachineSpec, PAPER_MACHINE
+from repro.reliability.checkpoint import load_checkpoint, save_checkpoint
+from repro.reliability.faults import FaultKind, FaultPlan
+from repro.reliability.integrity import ChunkTransferGuard, check_norm
+from repro.reliability.policy import DEFAULT_POLICY, RecoveryPolicy, ReliabilityReport
 from repro.statevector.apply import apply_gate
 from repro.statevector.chunks import ChunkedStateVector, chunk_pair_groups
 
@@ -51,6 +64,10 @@ class FunctionalResult:
             would perform.
         chunk_updates_skipped: Updates skipped because Algorithm 1 proved
             every member chunk zero.
+        reliability: Fault/recovery accounting (present on every run; all
+            zeros when no plan or guard was active).
+        interrupted_at: Gate cursor where ``stop_after`` halted the run
+            (None = ran to completion).
     """
 
     state: ChunkedStateVector
@@ -58,6 +75,8 @@ class FunctionalResult:
     version: str
     chunk_updates_total: int = 0
     chunk_updates_skipped: int = 0
+    reliability: ReliabilityReport | None = None
+    interrupted_at: int | None = None
 
     @property
     def amplitudes(self) -> np.ndarray:
@@ -85,6 +104,10 @@ class QGpuSimulator:
         version: Execution version (default: full Q-GPU).
         chunk_bits: Within-chunk qubits for the functional engine; the timed
             engine uses Aer's default unless overridden.
+        fault_plan: Deterministic fault plan injected into both engines
+            (None = fault-free).
+        reliability_policy: Detection/recovery policy applied when faults
+            or integrity guards are active.
     """
 
     def __init__(
@@ -92,43 +115,141 @@ class QGpuSimulator:
         machine: MachineSpec = PAPER_MACHINE,
         version: VersionConfig = QGPU,
         chunk_bits: int | None = None,
+        fault_plan: FaultPlan | None = None,
+        reliability_policy: RecoveryPolicy = DEFAULT_POLICY,
     ) -> None:
+        if chunk_bits is not None and chunk_bits <= 0:
+            raise SimulationError(
+                f"chunk_bits must be a positive number of within-chunk "
+                f"qubits, got {chunk_bits}"
+            )
         self.machine = Machine(machine)
         self.version = version
         self.chunk_bits = chunk_bits
+        self.fault_plan = fault_plan
+        self.reliability_policy = reliability_policy
 
     # -- functional ---------------------------------------------------------
 
-    def run(self, circuit: QuantumCircuit) -> FunctionalResult:
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        *,
+        checkpoint_every: int | None = None,
+        checkpoint_path: str | Path | None = None,
+        resume_from: str | Path | None = None,
+        stop_after: int | None = None,
+    ) -> FunctionalResult:
         """Exact simulation with the version's reordering and pruning.
 
+        Args:
+            circuit: Circuit to simulate.
+            checkpoint_every: Write a checkpoint after every N applied
+                gates (requires ``checkpoint_path``).
+            checkpoint_path: File the (single, atomically replaced)
+                checkpoint is written to.
+            resume_from: Checkpoint file to resume from; the prefix of the
+                circuit up to the stored cursor is replayed through the
+                pruning trackers but not re-applied, so the continued run
+                is bit-identical to an uninterrupted one.
+            stop_after: Halt after this many gates have been applied
+                (simulates a crash for checkpoint testing; the result's
+                ``interrupted_at`` records the cursor).
+
         Raises:
-            SimulationError: For widths beyond the functional limit.
+            SimulationError: For widths beyond the functional limit or
+                inconsistent options.
+            CheckpointError: Unusable or mismatched resume checkpoint.
+            IntegrityError: A guard detected corruption and the policy
+                forbids recovery.
+            FaultInjectionError: An injected fault exhausted its retries.
         """
         n = circuit.num_qubits
         chunk_bits = self.chunk_bits if self.chunk_bits is not None else max(1, min(10, n - 2))
         if chunk_bits > n:
             raise SimulationError(f"chunk_bits {chunk_bits} exceeds width {n}")
+        if checkpoint_every is not None:
+            if checkpoint_every <= 0:
+                raise SimulationError(
+                    f"checkpoint_every must be positive, got {checkpoint_every}"
+                )
+            if checkpoint_path is None:
+                raise SimulationError("checkpoint_every requires checkpoint_path")
+
+        policy = self.reliability_policy
+        report = ReliabilityReport()
         ordered = reorder(circuit, self.version.reorder_strategy)
-        state = ChunkedStateVector(n, chunk_bits)
+
+        start_cursor = 0
+        if resume_from is not None:
+            checkpoint = load_checkpoint(resume_from)
+            if checkpoint.num_qubits != n:
+                raise CheckpointError(
+                    f"checkpoint width {checkpoint.num_qubits} != circuit width {n}"
+                )
+            if checkpoint.circuit_name and checkpoint.circuit_name != circuit.name:
+                raise CheckpointError(
+                    f"checkpoint is for circuit {checkpoint.circuit_name!r}, "
+                    f"not {circuit.name!r}"
+                )
+            if checkpoint.version_name and checkpoint.version_name != self.version.name:
+                raise CheckpointError(
+                    f"checkpoint is for version {checkpoint.version_name!r}, "
+                    f"not {self.version.name!r}"
+                )
+            if checkpoint.gate_cursor > len(ordered):
+                raise CheckpointError(
+                    f"checkpoint cursor {checkpoint.gate_cursor} exceeds "
+                    f"circuit length {len(ordered)}"
+                )
+            # Cross-check the stored involvement mask against a replay of
+            # the circuit prefix: a mismatch means the checkpoint belongs
+            # to a different circuit/cursor than it claims.
+            replayed = InvolvementTracker(n)
+            for gate in ordered[: checkpoint.gate_cursor]:
+                replayed.involve(
+                    gate, diagonal_aware=self.version.diagonal_aware_pruning
+                )
+            if checkpoint.involvement_mask not in (0, replayed.mask):
+                raise CheckpointError(
+                    "checkpoint involvement mask does not match the replayed "
+                    "circuit prefix - wrong circuit or corrupted metadata"
+                )
+            state = checkpoint.state
+            start_cursor = checkpoint.gate_cursor
+            report.resumed_from_gate = start_cursor
+        else:
+            state = self._allocate_state(n, chunk_bits, report)
+
+        guard: ChunkTransferGuard | None = None
+        if self.fault_plan is not None and self.fault_plan.active:
+            guard = ChunkTransferGuard(
+                self.fault_plan,
+                policy,
+                compression=self.version.compression,
+                report=report,
+            )
+
         tracker = InvolvementTracker(n)
         basis = BasisTracker(n) if self.version.basis_tracking_pruning else None
         total_updates = 0
         skipped_updates = 0
+        interrupted_at: int | None = None
 
-        for gate in ordered:
+        for index, gate in enumerate(ordered):
+            applying = index >= start_cursor
             if basis is not None:
                 basis.observe(gate)
             tracker.involve(
                 gate, diagonal_aware=self.version.diagonal_aware_pruning
             )
-            groups = chunk_pair_groups(n, chunk_bits, gate.qubits)
+            groups = chunk_pair_groups(n, state.chunk_bits, gate.qubits)
             total_updates += len(groups)
             if self.version.pruning:
                 def pruned(member: int) -> bool:
                     if basis is not None:
-                        return basis.chunk_is_pruned(member, chunk_bits)
-                    return chunk_is_pruned(member, chunk_bits, tracker.mask)
+                        return basis.chunk_is_pruned(member, state.chunk_bits)
+                    return chunk_is_pruned(member, state.chunk_bits, tracker.mask)
 
                 live_groups = []
                 for members in groups:
@@ -137,7 +258,35 @@ class QGpuSimulator:
                     else:
                         live_groups.append(members)
                 groups = live_groups
-            self._apply_groups(state, gate, groups)
+            if not applying:
+                continue
+            if guard is not None:
+                guard.begin_gate(index)
+            self._apply_groups(state, gate, groups, guard)
+            cursor = index + 1
+            if policy.norm_check_every and cursor % policy.norm_check_every == 0:
+                check_norm(
+                    state.chunks,
+                    policy.norm_tolerance,
+                    where=f"{circuit.name} after gate {index}",
+                )
+            if (
+                checkpoint_every is not None
+                and cursor % checkpoint_every == 0
+                and cursor < len(ordered)
+            ):
+                save_checkpoint(
+                    checkpoint_path,
+                    state,
+                    gate_cursor=cursor,
+                    involvement_mask=tracker.mask,
+                    circuit_name=circuit.name,
+                    version_name=self.version.name,
+                )
+                report.checkpoints_written += 1
+            if stop_after is not None and cursor >= stop_after:
+                interrupted_at = cursor
+                break
 
         return FunctionalResult(
             state=state,
@@ -145,17 +294,54 @@ class QGpuSimulator:
             version=self.version.name,
             chunk_updates_total=total_updates,
             chunk_updates_skipped=skipped_updates,
+            reliability=report,
+            interrupted_at=interrupted_at,
+        )
+
+    def _allocate_state(
+        self, n: int, chunk_bits: int, report: ReliabilityReport
+    ) -> ChunkedStateVector:
+        """Allocate the chunked state, degrading chunk size on injected OOM."""
+        plan = self.fault_plan
+        policy = self.reliability_policy
+        bits = chunk_bits
+        for attempt in range(policy.max_alloc_attempts):
+            if plan is not None and plan.oom_fault(attempt):
+                report.record_fault(FaultKind.OOM.value)
+                if policy.halve_chunk_on_oom and bits > 1:
+                    bits -= 1  # halve the chunk size and retry
+                    report.degraded_chunk_bits = bits
+                continue
+            return ChunkedStateVector(n, bits)
+        raise FaultInjectionError(
+            f"state allocation failed {policy.max_alloc_attempts} times "
+            f"(last attempted chunk_bits={bits})"
         )
 
     @staticmethod
     def _apply_groups(
-        state: ChunkedStateVector, gate, groups: list[tuple[int, ...]]
+        state: ChunkedStateVector,
+        gate,
+        groups: list[tuple[int, ...]],
+        guard: ChunkTransferGuard | None = None,
     ) -> None:
-        """Apply ``gate`` to the listed chunk groups only."""
+        """Apply ``gate`` to the listed chunk groups only.
+
+        With a ``guard``, every chunk buffer crosses the simulated link
+        twice (H2D before the update, D2H after), so injected transfer
+        faults corrupt real data and recovery is exercised end-to-end.
+        """
         outside = [q for q in gate.qubits if q >= state.chunk_bits]
         if not outside:
             for (index,) in groups:
-                apply_gate(state.chunks[index], gate)
+                if guard is None:
+                    apply_gate(state.chunks[index], gate)
+                else:
+                    on_device = guard.transfer(state.chunks[index], f"h2d chunk {index}")
+                    apply_gate(on_device, gate)
+                    state.chunks[index][...] = guard.transfer(
+                        on_device, f"d2h chunk {index}"
+                    )
             return
         mapping = {q: q for q in gate.qubits if q < state.chunk_bits}
         for rank, q in enumerate(sorted(outside)):
@@ -163,7 +349,12 @@ class QGpuSimulator:
         remapped = gate.remapped(mapping)
         for members in groups:
             gathered = np.concatenate([state.chunks[m] for m in members])
-            apply_gate(gathered, remapped)
+            if guard is None:
+                apply_gate(gathered, remapped)
+            else:
+                on_device = guard.transfer(gathered, f"h2d group {members[0]}")
+                apply_gate(on_device, remapped)
+                gathered = guard.transfer(on_device, f"d2h group {members[0]}")
             for position, member in enumerate(members):
                 start = position << state.chunk_bits
                 state.chunks[member][...] = gathered[start : start + state.chunk_size]
@@ -176,6 +367,10 @@ class QGpuSimulator:
         compression_ratio: float | None = None,
     ) -> TimedResult:
         """Model the wall-clock execution of ``circuit`` on this machine.
+
+        With a fault plan attached, the timeline charges retransmission
+        and exponential backoff on every injected transfer/codec fault,
+        itemized in ``TimedResult.retry_seconds``.
 
         Args:
             circuit: Circuit at any width the host can hold.
@@ -190,9 +385,10 @@ class QGpuSimulator:
                 if self.version.compression
                 else 1.0
             )
-        executor = (
-            TimedExecutor(self.machine, chunk_bits=self.chunk_bits)
-            if self.chunk_bits is not None
-            else TimedExecutor(self.machine)
+        executor = TimedExecutor(
+            self.machine,
+            **({"chunk_bits": self.chunk_bits} if self.chunk_bits is not None else {}),
+            fault_plan=self.fault_plan,
+            reliability_policy=self.reliability_policy,
         )
         return executor.execute(circuit, self.version, compression_ratio)

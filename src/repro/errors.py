@@ -33,3 +33,25 @@ class CompressionError(ReproError):
 
 class SchedulingError(ReproError):
     """Raised when an execution schedule violates a resource invariant."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised when an injected fault exhausts its recovery policy.
+
+    Examples: a chunk transfer that stays corrupted after the configured
+    number of retries, or an allocation that keeps hitting injected OOM
+    after chunk-size degradation bottomed out.
+    """
+
+
+class IntegrityError(ReproError):
+    """Raised when an integrity guard detects corrupted state.
+
+    Covers per-chunk CRC32 mismatches on transfer receive, payload
+    checksum mismatches in persisted state files, and norm-conservation
+    violations after a gate layer.
+    """
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint cannot be written, read, or resumed from."""

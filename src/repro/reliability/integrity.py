@@ -1,0 +1,191 @@
+"""Integrity guards: per-chunk CRC32, norm conservation, guarded transfers.
+
+Q-GPU streams every live chunk across the PCIe link on every gate, so a
+single silently corrupted copy poisons the final state.  The guards here
+mirror what a production out-of-core runtime does:
+
+* :func:`chunk_crc32` / :func:`verify_chunk` - checksum a chunk's raw
+  bytes at "send" and verify at "receive";
+* :func:`check_norm` - assert the global invariant ||psi||_2 ~= 1 that
+  every unitary circuit preserves (a cheap end-to-end corruption tripwire
+  that works even when per-transfer CRC is off);
+* :class:`ChunkTransferGuard` - the send/link/receive simulation the
+  functional engine routes chunk buffers through, applying a
+  :class:`~repro.reliability.faults.FaultPlan` on the link and a
+  :class:`~repro.reliability.policy.RecoveryPolicy` on detection.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.errors import FaultInjectionError, IntegrityError
+from repro.reliability.faults import FaultEvent, FaultKind, FaultPlan
+from repro.reliability.policy import DEFAULT_POLICY, RecoveryPolicy, ReliabilityReport
+
+
+def chunk_crc32(array: np.ndarray) -> int:
+    """CRC32 of a chunk's raw little-endian bytes."""
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
+
+
+def verify_chunk(array: np.ndarray, expected_crc: int, label: str = "chunk") -> None:
+    """Raise :class:`IntegrityError` unless ``array`` matches its checksum."""
+    actual = chunk_crc32(array)
+    if actual != expected_crc:
+        raise IntegrityError(
+            f"{label}: CRC32 mismatch (expected {expected_crc:#010x}, "
+            f"got {actual:#010x})"
+        )
+
+
+def state_norm_squared(chunks_or_amplitudes) -> float:
+    """||psi||^2 of a dense vector or an iterable of chunk arrays."""
+    if isinstance(chunks_or_amplitudes, np.ndarray):
+        return float(np.sum(np.abs(chunks_or_amplitudes) ** 2))
+    return float(
+        sum(np.sum(np.abs(chunk) ** 2) for chunk in chunks_or_amplitudes)
+    )
+
+
+def check_norm(
+    chunks_or_amplitudes, tolerance: float = 1e-6, where: str = "state"
+) -> float:
+    """Verify norm conservation; returns ||psi||^2 on success.
+
+    Raises:
+        IntegrityError: When |1 - ||psi||^2| exceeds ``tolerance``.
+    """
+    norm_sq = state_norm_squared(chunks_or_amplitudes)
+    if abs(1.0 - norm_sq) > tolerance:
+        raise IntegrityError(
+            f"{where}: norm conservation violated (||psi||^2 = {norm_sq:.9f}, "
+            f"tolerance {tolerance:g})"
+        )
+    return norm_sq
+
+
+def _corrupt(buffer: np.ndarray, event: FaultEvent) -> np.ndarray | None:
+    """Apply one link fault to a received buffer (in place); None = dropped."""
+    if event.kind is FaultKind.DROP:
+        return None
+    raw = buffer.view(np.uint8)
+    if event.kind is FaultKind.BIT_FLIP:
+        bit = int(event.detail) % (raw.size * 8)
+        raw[bit // 8] ^= np.uint8(1 << (bit % 8))
+    elif event.kind is FaultKind.TRUNCATION:
+        raw[raw.size // 2 :] = 0
+    return buffer
+
+
+class ChunkTransferGuard:
+    """Simulated send -> link -> receive path for chunk buffers.
+
+    Every :meth:`transfer` models one one-way chunk copy: checksum at
+    send, fault injection on the link, checksum verification at receive,
+    and bounded retry from the pristine source.  On success the returned
+    buffer is bit-identical to the input, so recovered faults can never
+    change simulation results.
+
+    Args:
+        plan: Fault plan applied on the link (None = fault-free).
+        policy: Detection/recovery policy.
+        compression: Whether the wire is compressed (enables codec-decode
+            faults, which count toward ``policy.codec_fault_limit``).
+        report: Shared report to accumulate into (a fresh one by default).
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan | None = None,
+        policy: RecoveryPolicy = DEFAULT_POLICY,
+        compression: bool = False,
+        report: ReliabilityReport | None = None,
+    ) -> None:
+        self.plan = plan if plan is not None and plan.active else None
+        self.policy = policy
+        self.compression = compression
+        self.report = report if report is not None else ReliabilityReport()
+        self._gate_index = 0
+        self._transfer_in_gate = 0
+        self._codec_faults = 0
+
+    @property
+    def compression_enabled(self) -> bool:
+        """False once codec degradation disabled compression."""
+        return (
+            self.compression
+            and self.report.compression_disabled_at_gate is None
+        )
+
+    def begin_gate(self, gate_index: int) -> None:
+        """Anchor fault positions to the gate, so resume replays identically."""
+        self._gate_index = gate_index
+        self._transfer_in_gate = 0
+
+    def _fault_for(self, attempt: int, transfer_index: int) -> FaultEvent | None:
+        if self.plan is None:
+            return None
+        if self.compression_enabled:
+            codec = self.plan.codec_fault(self._gate_index, transfer_index, attempt)
+            if codec is not None:
+                return codec
+        return self.plan.transfer_fault(self._gate_index, transfer_index, attempt)
+
+    def _note_codec_fault(self) -> None:
+        self._codec_faults += 1
+        if (
+            self.report.compression_disabled_at_gate is None
+            and self._codec_faults >= self.policy.codec_fault_limit
+        ):
+            # Graceful degradation: stop compressing, stop failing to decode.
+            self.report.compression_disabled_at_gate = self._gate_index
+
+    def transfer(self, source: np.ndarray, label: str = "") -> np.ndarray:
+        """Deliver ``source`` across the guarded link; returns the copy.
+
+        Raises:
+            IntegrityError: Detected corruption under ``on_fault="raise"``.
+            FaultInjectionError: Retries exhausted without a clean copy.
+        """
+        transfer_index = self._transfer_in_gate
+        self._transfer_in_gate += 1
+        self.report.transfers += 1
+        where = label or f"gate {self._gate_index} transfer {transfer_index}"
+
+        sent_crc = chunk_crc32(source) if self.policy.verify_crc else None
+        last_kind = "fault"
+        for attempt in range(self.policy.max_transfer_attempts):
+            if attempt:
+                self.report.retries += 1
+            received: np.ndarray | None = source.copy()
+            event = self._fault_for(attempt, transfer_index)
+            if event is not None:
+                self.report.record_fault(event.kind.value)
+                last_kind = event.kind.value
+                if event.kind is FaultKind.DECODE:
+                    self._note_codec_fault()
+                    received = None  # undecodable payload delivers nothing
+                else:
+                    received = _corrupt(received, event)
+
+            if received is None:
+                detected = True  # a missing/undecodable chunk is always seen
+            elif sent_crc is not None:
+                detected = chunk_crc32(received) != sent_crc
+            else:
+                detected = False  # CRC off: corruption sails through
+
+            if not detected:
+                return received  # type: ignore[return-value]
+            if self.policy.on_fault == "raise":
+                raise IntegrityError(
+                    f"{where}: {last_kind} detected (CRC32 mismatch) and "
+                    "policy forbids retry"
+                )
+        raise FaultInjectionError(
+            f"{where}: still corrupted ({last_kind}) after "
+            f"{self.policy.max_transfer_attempts} attempts"
+        )

@@ -5,40 +5,69 @@ Q-GPU uses on the wire (Section IV-D) applied to disk.  Structured states
 (the compressible families) shrink 2-5x; the format is self-describing and
 verified on load.
 
-Layout::
+Format v2 layout (written by :func:`dump_state`)::
 
     magic "QGSV" | uint8 version | uint8 reserved | uint32 num_qubits
-    uint64 payload length | GFC stream (see repro.compression.gfc)
+    uint64 payload length | uint32 payload CRC32 | GFC stream
+
+Format v1 (no CRC32 field) is still readable; v2 additionally verifies
+the payload checksum on load, so bit rot in a stored state surfaces as a
+typed :class:`~repro.errors.IntegrityError` instead of silently wrong
+amplitudes.
 """
 
 from __future__ import annotations
 
 import io
 import struct
+import zlib
 from pathlib import Path
 from typing import BinaryIO
 
 import numpy as np
 
 from repro.compression.gfc import compress, decompress
-from repro.errors import CompressionError, SimulationError
+from repro.errors import CompressionError, IntegrityError, SimulationError
 from repro.statevector.state import StateVector
 
 _MAGIC = b"QGSV"
-_HEADER = struct.Struct("<4sBBIQ")
-_FORMAT_VERSION = 1
+_HEADER_V1 = struct.Struct("<4sBBIQ")
+_CRC_FIELD = struct.Struct("<I")
+_FORMAT_VERSION = 2
+#: Versions :func:`load_state` understands.
+SUPPORTED_VERSIONS = (1, 2)
+
+
+def read_exact(source: BinaryIO, num_bytes: int) -> bytes:
+    """Read exactly ``num_bytes`` from ``source``, looping over short reads.
+
+    ``read(n)`` on sockets, pipes and other non-file streams may legally
+    return fewer bytes than requested; this helper keeps reading until the
+    full count or EOF.  Returns whatever was available (the caller checks
+    the length).
+    """
+    parts: list[bytes] = []
+    remaining = num_bytes
+    while remaining > 0:
+        piece = source.read(remaining)
+        if not piece:
+            break
+        parts.append(piece)
+        remaining -= len(piece)
+    return b"".join(parts)
 
 
 def dump_state(state: StateVector | np.ndarray, destination: BinaryIO | str | Path,
                num_segments: int = 8) -> int:
-    """Write a state vector as a compressed stream; returns bytes written."""
+    """Write a state vector as a compressed v2 stream; returns bytes written."""
     amplitudes = getattr(state, "amplitudes", state)
     amplitudes = np.ascontiguousarray(amplitudes, dtype=np.complex128)
     num_qubits = int(amplitudes.size).bit_length() - 1
     if amplitudes.size != 1 << num_qubits:
         raise SimulationError("amplitude count is not a power of two")
     payload = compress(amplitudes, num_segments=num_segments)
-    header = _HEADER.pack(_MAGIC, _FORMAT_VERSION, 0, num_qubits, len(payload))
+    header = _HEADER_V1.pack(_MAGIC, _FORMAT_VERSION, 0, num_qubits, len(payload))
+    header += _CRC_FIELD.pack(zlib.crc32(payload))
 
     if isinstance(destination, (str, Path)):
         with open(destination, "wb") as handle:
@@ -51,22 +80,40 @@ def dump_state(state: StateVector | np.ndarray, destination: BinaryIO | str | Pa
 
 
 def load_state(source: BinaryIO | str | Path) -> StateVector:
-    """Read a state vector written by :func:`dump_state` (bit-exact)."""
+    """Read a state vector written by :func:`dump_state` (bit-exact).
+
+    Accepts both format v1 (no checksum) and v2 (CRC32-verified payload).
+
+    Raises:
+        CompressionError: Malformed or truncated stream.
+        IntegrityError: v2 payload checksum mismatch.
+    """
     if isinstance(source, (str, Path)):
         with open(source, "rb") as handle:
             return load_state(handle)
 
-    header = source.read(_HEADER.size)
-    if len(header) != _HEADER.size:
+    header = read_exact(source, _HEADER_V1.size)
+    if len(header) != _HEADER_V1.size:
         raise CompressionError("state file too short for header")
-    magic, version, _, num_qubits, payload_length = _HEADER.unpack(header)
+    magic, version, _, num_qubits, payload_length = _HEADER_V1.unpack(header)
     if magic != _MAGIC:
         raise CompressionError(f"not a Q-GPU state file (magic {magic!r})")
-    if version != _FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise CompressionError(f"unsupported state format version {version}")
-    payload = source.read(payload_length)
+    expected_crc: int | None = None
+    if version >= 2:
+        crc_bytes = read_exact(source, _CRC_FIELD.size)
+        if len(crc_bytes) != _CRC_FIELD.size:
+            raise CompressionError("state file too short for checksum field")
+        (expected_crc,) = _CRC_FIELD.unpack(crc_bytes)
+    payload = read_exact(source, payload_length)
     if len(payload) != payload_length:
         raise CompressionError("truncated state payload")
+    if expected_crc is not None and zlib.crc32(payload) != expected_crc:
+        raise IntegrityError(
+            f"state payload CRC32 mismatch (expected {expected_crc:#010x}, "
+            f"got {zlib.crc32(payload):#010x})"
+        )
     doubles = decompress(payload)
     if doubles.size != 2 << num_qubits:
         raise CompressionError(

@@ -1,0 +1,80 @@
+"""Tests for retryable tasks in the discrete-event timeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.hardware.events import EventTimeline
+
+
+class TestRetryableTiming:
+    def test_no_failures_matches_plain_add(self) -> None:
+        plain = EventTimeline()
+        plain.add("xfer", "h2d", 2.0)
+        retry = EventTimeline()
+        retry.add_retryable("xfer", "h2d", 2.0, fail_attempts=0)
+        assert retry.run().makespan == plain.run().makespan == 2.0
+        assert len(retry) == 1
+
+    def test_failures_charge_duration_plus_backoff(self) -> None:
+        timeline = EventTimeline()
+        timeline.add_retryable(
+            "xfer", "h2d", 2.0, fail_attempts=2,
+            backoff_base=0.5, backoff_factor=2.0,
+        )
+        result = timeline.run()
+        # 3 attempts x 2.0s on the link + backoffs 0.5 and 1.0.
+        assert result.makespan == pytest.approx(3 * 2.0 + 0.5 + 1.0)
+        assert result.busy["h2d"] == pytest.approx(6.0)
+
+    def test_backoff_waits_do_not_occupy_the_link(self) -> None:
+        timeline = EventTimeline()
+        timeline.add_retryable(
+            "xfer", "h2d", 1.0, fail_attempts=1, backoff_base=5.0
+        )
+        # Another transfer on the same link can slot in during the backoff.
+        timeline.add("other", "h2d", 1.0)
+        result = timeline.run()
+        assert result.busy["h2d"] == pytest.approx(3.0)
+        assert result.records["other"].start == pytest.approx(1.0)
+        assert result.makespan == pytest.approx(1.0 + 5.0 + 1.0)
+
+    def test_dependents_reference_the_plain_name(self) -> None:
+        timeline = EventTimeline()
+        timeline.add_retryable("xfer", "h2d", 1.0, fail_attempts=1, backoff_base=0.25)
+        timeline.add("compute", "gpu", 1.0, deps=("xfer",))
+        result = timeline.run()
+        assert result.records["compute"].start == pytest.approx(
+            result.records["xfer"].finish
+        )
+        assert result.makespan == pytest.approx(1.0 + 0.25 + 1.0 + 1.0)
+
+    def test_deps_gate_the_first_attempt(self) -> None:
+        timeline = EventTimeline()
+        timeline.add("prep", "cpu", 1.5)
+        timeline.add_retryable("xfer", "h2d", 1.0, deps=("prep",), fail_attempts=1)
+        result = timeline.run()
+        assert result.records["xfer@try0"].start == pytest.approx(1.5)
+
+
+class TestRetryableValidation:
+    def test_exhausted_budget_rejected(self) -> None:
+        timeline = EventTimeline()
+        with pytest.raises(SchedulingError, match="budgeted"):
+            timeline.add_retryable("xfer", "h2d", 1.0, fail_attempts=4, max_attempts=4)
+
+    def test_negative_fail_attempts_rejected(self) -> None:
+        timeline = EventTimeline()
+        with pytest.raises(SchedulingError, match="out of range"):
+            timeline.add_retryable("xfer", "h2d", 1.0, fail_attempts=-1)
+
+    def test_shrinking_backoff_rejected(self) -> None:
+        timeline = EventTimeline()
+        with pytest.raises(SchedulingError, match="backoff"):
+            timeline.add_retryable("xfer", "h2d", 1.0, backoff_factor=0.5)
+
+    def test_negative_backoff_rejected(self) -> None:
+        timeline = EventTimeline()
+        with pytest.raises(SchedulingError, match="backoff"):
+            timeline.add_retryable("xfer", "h2d", 1.0, backoff_base=-1.0)

@@ -1,0 +1,111 @@
+"""Tests for seeded deterministic fault plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.reliability import FaultEvent, FaultKind, FaultPlan
+
+
+class TestDeterminism:
+    def test_same_seed_same_faults(self) -> None:
+        plans = [FaultPlan(seed=11, transfer_rate=0.1, codec_rate=0.05) for _ in range(2)]
+        events = []
+        for plan in plans:
+            events.append([
+                (plan.transfer_fault(g, t, a), plan.codec_fault(g, t, a))
+                for g in range(50) for t in range(4) for a in range(3)
+            ])
+        assert events[0] == events[1]
+
+    def test_query_order_does_not_matter(self) -> None:
+        plan = FaultPlan(seed=5, transfer_rate=0.2)
+        forward = [plan.transfer_fault(g, 0, 0) for g in range(100)]
+        backward = [plan.transfer_fault(g, 0, 0) for g in reversed(range(100))]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_differ(self) -> None:
+        a = FaultPlan(seed=1, transfer_rate=0.3)
+        b = FaultPlan(seed=2, transfer_rate=0.3)
+        faults_a = [a.transfer_fault(g, 0, 0) is not None for g in range(200)]
+        faults_b = [b.transfer_fault(g, 0, 0) is not None for g in range(200)]
+        assert faults_a != faults_b
+
+    def test_link_degradation_replays(self) -> None:
+        plan = FaultPlan(seed=9, degrade_rate=0.5)
+        first = [plan.link_degradation(g) for g in range(50)]
+        second = [plan.link_degradation(g) for g in range(50)]
+        assert first == second
+        assert any(f > 1.0 for f in first)
+        assert all(f >= 1.0 for f in first)
+
+
+class TestRates:
+    def test_zero_rates_inject_nothing(self) -> None:
+        plan = FaultPlan(seed=3)
+        assert not plan.active
+        assert all(
+            plan.transfer_fault(g, t, 0) is None
+            for g in range(100) for t in range(4)
+        )
+        assert all(plan.link_degradation(g) == 1.0 for g in range(100))
+        assert not plan.oom_fault(0)
+
+    def test_rate_roughly_respected(self) -> None:
+        plan = FaultPlan(seed=17, transfer_rate=0.25)
+        hits = sum(
+            plan.transfer_fault(g, t, 0) is not None
+            for g in range(100) for t in range(10)
+        )
+        assert 150 < hits < 350  # 250 expected over 1000 draws
+
+    def test_transfer_kinds_cover_taxonomy(self) -> None:
+        plan = FaultPlan(seed=23, transfer_rate=1.0)
+        kinds = {
+            plan.transfer_fault(g, 0, 0).kind for g in range(200)
+        }
+        assert kinds == {FaultKind.BIT_FLIP, FaultKind.TRUNCATION, FaultKind.DROP}
+
+    def test_invalid_rate_rejected(self) -> None:
+        with pytest.raises(FaultInjectionError, match="transfer_rate"):
+            FaultPlan(seed=0, transfer_rate=1.5)
+        with pytest.raises(FaultInjectionError, match="oom"):
+            FaultPlan(seed=0, oom_failures=-1)
+
+
+class TestOom:
+    def test_leading_allocations_fail(self) -> None:
+        plan = FaultPlan(seed=0, oom_failures=2)
+        assert plan.oom_fault(0) and plan.oom_fault(1)
+        assert not plan.oom_fault(2)
+
+
+class TestForced:
+    def test_forced_event_fires_at_position(self) -> None:
+        event = FaultEvent(FaultKind.BIT_FLIP, gate_index=3, transfer_index=1, attempt=0)
+        plan = FaultPlan(seed=0, forced=(event,))
+        assert plan.active
+        assert plan.transfer_fault(3, 1, 0) is event
+        assert plan.transfer_fault(3, 1, 1) is None
+        assert plan.transfer_fault(3, 0, 0) is None
+        assert plan.transfer_fault(2, 1, 0) is None
+
+
+class TestSpec:
+    def test_spec_round_trip(self) -> None:
+        plan = FaultPlan.from_spec("seed=7,transfer=0.05,codec=0.02,degrade=0.1,oom=1")
+        assert plan == FaultPlan.from_spec(plan.to_spec())
+        assert plan.seed == 7
+        assert plan.transfer_rate == 0.05
+        assert plan.oom_failures == 1
+
+    def test_bad_spec_rejected(self) -> None:
+        with pytest.raises(FaultInjectionError, match="clause"):
+            FaultPlan.from_spec("bogus=1")
+        with pytest.raises(FaultInjectionError, match="value"):
+            FaultPlan.from_spec("transfer=lots")
+
+    def test_describe_mentions_rates(self) -> None:
+        assert "transfer faults" in FaultPlan(seed=1, transfer_rate=0.1).describe()
+        assert "no faults" in FaultPlan(seed=1).describe()

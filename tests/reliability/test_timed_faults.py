@@ -1,0 +1,106 @@
+"""Tests for fault charging in the timed (DES) model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.library import get_circuit
+from repro.core.simulator import QGpuSimulator
+from repro.core.versions import OVERLAP, QGPU
+from repro.errors import FaultInjectionError, IntegrityError
+from repro.reliability import FaultPlan, RecoveryPolicy
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return get_circuit("qft", 30)  # out of core on the P100: everything streams
+
+
+class TestRetryOverhead:
+    def test_faulty_makespan_strictly_larger_and_itemized(self, circuit) -> None:
+        clean = QGpuSimulator().estimate(circuit)
+        plan = FaultPlan(seed=3, transfer_rate=0.02)
+        faulty = QGpuSimulator(fault_plan=plan).estimate(circuit)
+        assert faulty.faults_injected > 0
+        assert faulty.total_seconds > clean.total_seconds
+        assert faulty.retry_seconds > 0
+        # Transfer faults only: the overhead is exactly the itemized retry
+        # time (no degradation, no link slowdown in this plan).
+        assert faulty.total_seconds - faulty.retry_seconds == pytest.approx(
+            clean.total_seconds, rel=1e-9
+        )
+
+    def test_retry_time_appears_in_breakdown_and_csv(self, circuit) -> None:
+        plan = FaultPlan(seed=3, transfer_rate=0.02)
+        faulty = QGpuSimulator(fault_plan=plan).estimate(circuit)
+        assert faulty.breakdown()["retry"] > 0
+        assert "retry_seconds" in faulty.to_csv().splitlines()[0]
+
+    def test_fault_free_plan_changes_nothing(self, circuit) -> None:
+        clean = QGpuSimulator().estimate(circuit)
+        with_empty_plan = QGpuSimulator(fault_plan=FaultPlan(seed=3)).estimate(circuit)
+        assert with_empty_plan.total_seconds == clean.total_seconds
+        assert with_empty_plan.retry_seconds == 0.0
+        assert with_empty_plan.faults_injected == 0
+
+    def test_same_seed_same_timeline(self, circuit) -> None:
+        plan = FaultPlan(seed=8, transfer_rate=0.03, degrade_rate=0.05)
+        first = QGpuSimulator(fault_plan=plan).estimate(circuit)
+        second = QGpuSimulator(fault_plan=plan).estimate(circuit)
+        assert first.total_seconds == second.total_seconds
+        assert first.faults_injected == second.faults_injected
+
+    def test_backoff_grows_overhead(self, circuit) -> None:
+        plan = FaultPlan(seed=3, transfer_rate=0.02)
+        cheap = QGpuSimulator(
+            fault_plan=plan,
+            reliability_policy=RecoveryPolicy(backoff_base=1e-4),
+        ).estimate(circuit)
+        costly = QGpuSimulator(
+            fault_plan=plan,
+            reliability_policy=RecoveryPolicy(backoff_base=1.0),
+        ).estimate(circuit)
+        assert costly.retry_seconds > cheap.retry_seconds
+
+
+class TestLinkDegradation:
+    def test_degradation_stretches_transfers_without_retries(self, circuit) -> None:
+        clean = QGpuSimulator(version=OVERLAP).estimate(circuit)
+        plan = FaultPlan(seed=4, degrade_rate=0.2)
+        degraded = QGpuSimulator(version=OVERLAP, fault_plan=plan).estimate(circuit)
+        assert degraded.faults_injected > 0
+        assert degraded.total_seconds > clean.total_seconds
+        assert degraded.retry_seconds == 0.0  # delays, never corruption
+
+
+class TestCodecDegradation:
+    def test_repeated_codec_faults_disable_compression(self, circuit) -> None:
+        plan = FaultPlan(seed=6, codec_rate=0.1)
+        policy = RecoveryPolicy(codec_fault_limit=3)
+        result = QGpuSimulator(
+            version=QGPU, fault_plan=plan, reliability_policy=policy
+        ).estimate(circuit)
+        assert result.compression_disabled_at is not None
+        after = [
+            g for g in result.per_gate
+            if g.index > result.compression_disabled_at and g.bytes_h2d > 0
+        ]
+        assert after and all(g.codec_seconds == 0.0 for g in after)
+
+
+class TestStrictPolicy:
+    def test_raise_policy_propagates(self, circuit) -> None:
+        plan = FaultPlan(seed=3, transfer_rate=0.05)
+        with pytest.raises(IntegrityError):
+            QGpuSimulator(
+                fault_plan=plan,
+                reliability_policy=RecoveryPolicy(on_fault="raise"),
+            ).estimate(circuit)
+
+    def test_exhausted_budget_raises(self, circuit) -> None:
+        plan = FaultPlan(seed=3, transfer_rate=1.0)
+        with pytest.raises(FaultInjectionError, match="attempts"):
+            QGpuSimulator(
+                fault_plan=plan,
+                reliability_policy=RecoveryPolicy(max_transfer_attempts=2),
+            ).estimate(circuit)

@@ -83,3 +83,39 @@ class TestOtherCommands:
                      "--output", str(output)]) == 0
         assert "no trace written" in capsys.readouterr().out
         assert not output.exists()
+
+
+class TestReliability:
+    def test_simulate_with_fault_plan_reports_recovery(self, capsys) -> None:
+        assert main(["simulate", "--family", "qft", "--qubits", "7",
+                     "--fault-plan", "seed=42,transfer=0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out
+        assert "retries spent" in out
+
+    def test_simulate_checkpoint_then_resume(self, tmp_path, capsys) -> None:
+        ckpt = tmp_path / "run.qgck"
+        assert main(["simulate", "--family", "qft", "--qubits", "7",
+                     "--checkpoint-every", "5", "--checkpoint", str(ckpt)]) == 0
+        assert ckpt.exists()
+        assert main(["simulate", "--family", "qft", "--qubits", "7",
+                     "--resume", str(ckpt)]) == 0
+        assert "resumed from gate" in capsys.readouterr().out
+
+    def test_reliability_command_passes_bit_identity(self, capsys) -> None:
+        assert main(["reliability", "--family", "qft", "--qubits", "7",
+                     "--fault-plan", "seed=7,transfer=0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to fault-free run: True" in out
+        assert "final state bit-identical: True" in out
+        assert "modelled reliability overhead" in out
+
+    def test_reliability_rejects_bad_plan_spec(self, capsys) -> None:
+        assert main(["reliability", "--family", "bv", "--qubits", "6",
+                     "--fault-plan", "transfer=lots"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_checkpoint_every_without_path_errors(self, capsys) -> None:
+        assert main(["simulate", "--family", "bv", "--qubits", "6",
+                     "--checkpoint-every", "3"]) == 1
+        assert "checkpoint_path" in capsys.readouterr().err
