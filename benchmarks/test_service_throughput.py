@@ -1,0 +1,106 @@
+"""Batch-service throughput bench: jobs/sec and cache hit-rate per policy.
+
+Runs the same duplicate-heavy, mixed-family workload (the circuit-library
+families of Table I) through the batch service once per scheduling policy
+and records
+
+* end-to-end throughput in jobs/sec (wall time, 4 workers),
+* the cache hit rate the duplicate structure achieves,
+* admission deferrals under a constrained memory budget.
+
+Results are printed as a table and written to ``BENCH_service.json`` next
+to the working directory for the CI artifact trail.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.capacity import host_footprint_bytes
+from repro.service import BatchService, JobSpec
+
+POLICIES = ("fifo", "priority", "sjf")
+
+# Mixed-family workload, duplicate-heavy on purpose: 20 jobs, 9 distinct.
+WORKLOAD: list[tuple[str, int, int, int]] = [
+    # (family, qubits, shots, copies)
+    ("bv", 10, 100, 4),
+    ("gs", 8, 100, 3),
+    ("qft", 8, 0, 3),
+    ("hlf", 8, 50, 2),
+    ("iqp", 8, 50, 2),
+    ("qaoa", 8, 0, 2),
+    ("bv", 12, 100, 2),
+    ("rqc", 8, 0, 1),
+    ("qf", 8, 0, 1),
+]
+
+RESULTS_PATH = Path("BENCH_service.json")
+_results: dict[str, dict] = {}
+
+
+def run_workload(policy: str) -> BatchService:
+    # Budget of ~3 concurrent 12-qubit jobs: admission control is active
+    # but never starves the pool.
+    service = BatchService(
+        policy=policy,
+        workers=4,
+        memory_budget_bytes=3.5 * host_footprint_bytes(12),
+        seed=7,
+    )
+    priority = 0
+    for family, qubits, shots, copies in WORKLOAD:
+        priority = (priority + 3) % 10  # spread priorities for the policy
+        for _ in range(copies):
+            service.submit(JobSpec(
+                family=family, qubits=qubits, shots=shots, priority=priority,
+            ))
+    service.run_until_complete()
+    return service
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_service_throughput(benchmark, policy: str) -> None:
+    service = benchmark.pedantic(run_workload, args=(policy,),
+                                 rounds=1, iterations=1)
+    snap = service.snapshot()
+    total = snap["counters"]["jobs_succeeded"]
+    assert total == sum(copies for *_, copies in WORKLOAD)
+    assert snap["cache"]["hits"] > 0  # the duplicate structure paid off
+
+    elapsed = benchmark.stats["mean"]
+    _results[policy] = {
+        "jobs": total,
+        "jobs_per_second": round(total / elapsed, 2),
+        "elapsed_seconds": round(elapsed, 4),
+        "cache_hit_rate": round(snap["cache"]["hit_rate"], 4),
+        "cache_hits": snap["cache"]["hits"],
+        "cache_misses": snap["cache"]["misses"],
+        "admission_deferrals": snap["admission"]["deferrals"],
+        "admission_peak_bytes": snap["admission"]["peak_bytes"],
+    }
+    print(f"\n  {policy}: {total} jobs in {elapsed:.2f}s "
+          f"({_results[policy]['jobs_per_second']:.1f} jobs/s, "
+          f"hit rate {_results[policy]['cache_hit_rate']:.0%})")
+
+    if len(_results) == len(POLICIES):
+        _emit_report()
+
+
+def _emit_report() -> None:
+    """Print the policy comparison and write BENCH_service.json."""
+    header = f"  {'policy':<10} {'jobs/s':>8} {'hit rate':>9} {'deferrals':>10}"
+    print("\n" + header)
+    print("  " + "-" * (len(header) - 2))
+    for policy in POLICIES:
+        row = _results[policy]
+        print(f"  {policy:<10} {row['jobs_per_second']:>8.1f} "
+              f"{row['cache_hit_rate']:>8.0%} {row['admission_deferrals']:>10}")
+
+    RESULTS_PATH.write_text(json.dumps(
+        {"workload_jobs": sum(c for *_, c in WORKLOAD),
+         "workers": 4, "policies": _results},
+        indent=2, sort_keys=True) + "\n")

@@ -25,9 +25,27 @@ HOST_SLACK = 1.05
 
 
 def host_footprint_bytes(num_qubits: int, compression_ratio: float = 1.0) -> float:
-    """Host bytes to hold an ``n``-qubit state at a given GFC ratio."""
-    if not 0 < compression_ratio <= 1.0:
-        raise ValueError(f"ratio must be in (0, 1], got {compression_ratio}")
+    """Host bytes to hold an ``n``-qubit state at a given GFC ratio.
+
+    ``compression_ratio`` is compressed-size over raw-size and must be
+    strictly positive: ratios below 1 mean the codec shrinks the state,
+    1.0 means raw storage, and ratios above 1 model *expansion* (an
+    adversarial stream that inflates under GFC, or codec framing overhead
+    on incompressible data).  Earlier revisions silently assumed
+    ``ratio <= 1``; expansion is now priced honestly instead of rejected.
+
+    Raises:
+        ValueError: If ``compression_ratio <= 0`` (a non-positive size is
+            meaningless and used to yield absurd negative/zero footprints)
+            or ``num_qubits`` is negative.
+    """
+    if compression_ratio <= 0:
+        raise ValueError(
+            f"compression_ratio must be > 0 (got {compression_ratio}); "
+            "ratios < 1 compress, ratios > 1 expand"
+        )
+    if num_qubits < 0:
+        raise ValueError(f"num_qubits must be >= 0, got {num_qubits}")
     return AMP_BYTES * 2.0**num_qubits * compression_ratio * HOST_SLACK
 
 

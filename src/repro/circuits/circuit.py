@@ -8,6 +8,7 @@ optimizations need (involvement profile, depth, gate counts).
 
 from __future__ import annotations
 
+import hashlib
 import math
 from typing import Iterable, Iterator, Sequence
 
@@ -161,6 +162,24 @@ class QuantumCircuit:
         return self.add("ccz", c0, c1, target)
 
     # -- structural queries ---------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 content hash of the circuit's semantics.
+
+        The digest covers the register width and the ordered gate sequence
+        (mnemonic, qubit tuple, parameter tuple); the display ``name`` is
+        deliberately excluded so renamed copies of the same circuit hash
+        equal.  Parameters are hashed via their IEEE-754 shortest ``repr``,
+        so any representable perturbation changes the digest.  Used as the
+        content-address for the service result cache.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(f"qgpu-circuit-v1:{self.num_qubits}\n".encode())
+        for gate in self._gates:
+            qubits = ",".join(str(q) for q in gate.qubits)
+            params = ",".join(repr(float(p)) for p in gate.params)
+            hasher.update(f"{gate.name}|{qubits}|{params}\n".encode())
+        return hasher.hexdigest()
 
     def gate_counts(self) -> dict[str, int]:
         """Histogram of gate mnemonics."""

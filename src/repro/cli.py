@@ -17,10 +17,15 @@ Subcommands:
   chosen machine;
 * ``experiment`` - run registered paper reproductions by id;
 * ``profile`` - measure a family's GFC compression profile;
-* ``transpile`` - decompose/merge/cancel a circuit and print QASM;
+* ``transpile`` - decompose/merge/cancel a circuit and print QASM
+  (``--fingerprint`` prints the content hash instead);
 * ``reliability`` - fault-injection demo: verify that recovery keeps the
   result bit-identical, that checkpoint/resume works mid-circuit, and
-  report the modelled retry overhead.
+  report the modelled retry overhead;
+* ``serve-batch`` - run a JSON manifest of jobs through the batch service
+  (admission control, scheduling policy, worker pool, result cache);
+* ``submit`` / ``status`` / ``cancel`` - manage jobs in a JSONL journal
+  across processes (see ``docs/service.md``).
 
 ``simulate`` also understands ``--fault-plan``, ``--checkpoint-every``,
 ``--checkpoint`` and ``--resume`` (see ``docs/reliability.md``).
@@ -124,6 +129,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_transpile(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args)
     lowered = transpile(circuit)
+    if args.fingerprint:
+        print(f"{circuit.fingerprint()}  {circuit.name}")
+        print(f"{lowered.fingerprint()}  {lowered.name} (transpiled)")
+        return 0
     print(f"// {circuit.name}: {len(circuit)} gates -> {len(lowered)} gates")
     print(to_qasm(lowered), end="")
     return 0
@@ -254,6 +263,118 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
     return 0 if identical and resumed_ok else 1
 
 
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from repro.reliability.policy import (
+        DEFAULT_POLICY,
+        STRICT_POLICY,
+        RecoveryPolicy,
+    )
+    from repro.service import BatchService, load_manifest
+
+    recovery = DEFAULT_POLICY
+    if args.max_attempts is not None:
+        recovery = RecoveryPolicy(max_transfer_attempts=args.max_attempts)
+    sim_recovery = (
+        STRICT_POLICY if args.sim_recovery == "strict" else DEFAULT_POLICY
+    )
+    service = BatchService(
+        machine=MACHINES[args.machine],
+        policy=args.policy,
+        workers=args.workers,
+        memory_budget_bytes=(
+            args.memory_budget_gb * 1e9 if args.memory_budget_gb else None
+        ),
+        cache_budget_bytes=int(args.cache_mb * 1e6),
+        recovery=recovery,
+        sim_recovery=sim_recovery,
+        seed=args.seed,
+        journal=args.journal,
+    )
+    if args.manifest:
+        for spec in load_manifest(args.manifest):
+            service.submit(spec)
+    if args.journal and not args.manifest:
+        service.adopt_pending()
+    if not service.jobs:
+        print("no jobs to run (empty manifest/journal)")
+        return 0
+    snapshot = service.run_until_complete()
+    counters = snapshot["counters"]
+    cache = snapshot["cache"]
+    admission = snapshot["admission"]
+    print(f"policy={service.policy.name} workers={service.workers} "
+          f"deterministic={service.deterministic}")
+    print(f"jobs      : {counters.get('jobs_submitted', 0) + counters.get('jobs_adopted', 0)} "
+          f"submitted, {counters.get('jobs_succeeded', 0)} succeeded, "
+          f"{counters.get('jobs_failed', 0)} failed, "
+          f"{counters.get('jobs_retried', 0)} retries")
+    print(f"cache     : {cache['hits']} hits, {cache['misses']} misses, "
+          f"{cache['evictions']} evictions (hit rate {cache['hit_rate']:.1%})")
+    print(f"admission : peak {admission['peak_bytes']:.0f} B of "
+          f"{admission['budget_bytes']:.0f} B budget, "
+          f"{admission['deferrals']} deferrals")
+    if args.metrics:
+        Path(args.metrics).write_text(service.metrics_json())
+        print(f"metrics written to {args.metrics}")
+    return 1 if counters.get("jobs_failed", 0) else 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import BatchService, JobSpec
+
+    service = BatchService(
+        machine=MACHINES[args.machine], workers=1, journal=args.journal
+    )
+    qasm_text = Path(args.qasm).read_text() if getattr(args, "qasm", None) else None
+    job = service.submit(JobSpec(
+        family=None if qasm_text else args.family,
+        qubits=args.qubits,
+        seed=args.seed,
+        qasm=qasm_text,
+        version=args.version,
+        shots=args.shots,
+        priority=args.priority,
+    ))
+    print(f"submitted {job.job_id} ({job.spec.display_name}) "
+          f"fingerprint={job.fingerprint[:16]}...")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import JobStore
+
+    store = JobStore(args.journal)
+    jobs = [store.get(args.job)] if args.job else list(store.load().values())
+    if not jobs:
+        print(f"no jobs in {args.journal}")
+        return 0
+    print(f"{'id':<8} {'name':<14} {'state':<10} {'attempts':>8} "
+          f"{'cache':>5}  error")
+    for job in sorted(jobs, key=lambda j: j.seq):
+        hit = "hit" if job.cache_hit else ""
+        print(f"{job.job_id:<8} {job.spec.display_name:<14} "
+              f"{job.state.value:<10} {job.attempts:>8} {hit:>5}  "
+              f"{job.error or ''}")
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service import JobState, JobStore
+
+    store = JobStore(args.journal)
+    job = store.get(args.job)
+    if job.state is not JobState.PENDING:
+        raise ServiceError(
+            f"job {job.job_id} is {job.state.value}; only PENDING jobs "
+            "can be cancelled from the journal"
+        )
+    job.transition(JobState.CANCELLED)
+    store.record_transition(job, None)
+    print(f"cancelled {job.job_id}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Q-GPU reproduction toolkit"
@@ -294,6 +415,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     transpile_cmd = sub.add_parser("transpile", help="lower and simplify")
     _add_circuit_options(transpile_cmd)
+    transpile_cmd.add_argument("--fingerprint", action="store_true",
+                               help="print the circuit content hash instead of QASM")
     transpile_cmd.set_defaults(fn=_cmd_transpile)
 
     plan = sub.add_parser("plan", help="rank engines/versions for a workload")
@@ -326,6 +449,53 @@ def build_parser() -> argparse.ArgumentParser:
                              help="checkpoint cadence for the kill/resume demo")
     reliability.set_defaults(fn=_cmd_reliability)
 
+    serve = sub.add_parser(
+        "serve-batch",
+        help="run a manifest of jobs through the batch service",
+    )
+    serve.add_argument("--manifest", metavar="PATH",
+                       help="JSON job manifest (list or {'jobs': [...]})")
+    serve.add_argument("--journal", metavar="PATH",
+                       help="JSONL job journal to record to / adopt pending jobs from")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker threads (1 = deterministic mode)")
+    serve.add_argument("--policy", default="fifo",
+                       choices=["fifo", "priority", "sjf"])
+    serve.add_argument("--machine", default="p100", choices=sorted(MACHINES))
+    serve.add_argument("--memory-budget-gb", type=float, metavar="GB",
+                       help="admission budget (default: machine host DRAM)")
+    serve.add_argument("--cache-mb", type=float, default=16.0,
+                       help="result-cache byte budget in MB")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--max-attempts", type=int, metavar="N",
+                       help="job-level retry budget for failing jobs")
+    serve.add_argument("--sim-recovery", default="default",
+                       choices=["default", "strict"],
+                       help="in-run fault policy (strict: faults raise)")
+    serve.add_argument("--metrics", metavar="PATH",
+                       help="write the metrics JSON here")
+    serve.set_defaults(fn=_cmd_serve_batch)
+
+    submit = sub.add_parser("submit", help="append a job to a journal")
+    _add_circuit_options(submit)
+    submit.add_argument("--journal", required=True, metavar="PATH")
+    submit.add_argument("--shots", type=int, default=0)
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--version", default="Q-GPU",
+                        choices=sorted(VERSIONS_BY_NAME))
+    submit.add_argument("--machine", default="p100", choices=sorted(MACHINES))
+    submit.set_defaults(fn=_cmd_submit)
+
+    status = sub.add_parser("status", help="show jobs recorded in a journal")
+    status.add_argument("--journal", required=True, metavar="PATH")
+    status.add_argument("--job", metavar="ID", help="show one job only")
+    status.set_defaults(fn=_cmd_status)
+
+    cancel = sub.add_parser("cancel", help="cancel a PENDING journal job")
+    cancel.add_argument("--journal", required=True, metavar="PATH")
+    cancel.add_argument("job", metavar="ID")
+    cancel.set_defaults(fn=_cmd_cancel)
+
     return parser
 
 
@@ -334,8 +504,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "family", None) is None and not getattr(args, "qasm", None) \
             and args.command in ("simulate", "estimate", "transpile", "plan",
-                                 "trace", "reliability"):
+                                 "trace", "reliability", "submit"):
         parser.error("provide --family or --qasm")
+    if args.command == "serve-batch" and not (args.manifest or args.journal):
+        parser.error("provide --manifest and/or --journal")
     try:
         return args.fn(args)
     except ReproError as error:

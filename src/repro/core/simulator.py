@@ -361,6 +361,22 @@ class QGpuSimulator:
 
     # -- timed ---------------------------------------------------------------
 
+    def estimate_cost(
+        self, circuit: QuantumCircuit, compression_ratio: float = 1.0
+    ) -> float:
+        """Cheap modelled-seconds estimate for scheduling decisions.
+
+        Unlike :meth:`estimate`, this never measures a compression profile
+        (which runs real functional simulations): the caller supplies the
+        ratio, defaulting to raw storage.  The shortest-estimated-job-first
+        scheduler in :mod:`repro.service` prices every queued job with this
+        hook, so it must stay closed-form fast at any width.
+
+        Raises:
+            SimulationError: If the state fits no engine on this machine.
+        """
+        return self.estimate(circuit, compression_ratio=compression_ratio).total_seconds
+
     def estimate(
         self,
         circuit: QuantumCircuit,

@@ -55,3 +55,23 @@ class IntegrityError(ReproError):
 
 class CheckpointError(ReproError):
     """Raised when a checkpoint cannot be written, read, or resumed from."""
+
+
+class ServiceError(ReproError):
+    """Raised for invalid batch-service operations.
+
+    Covers illegal job state transitions, malformed job manifests, and
+    corrupt job journals.
+    """
+
+
+class AdmissionError(ServiceError):
+    """Raised when a job can never be admitted.
+
+    A job whose estimated resident footprint exceeds the service's entire
+    byte budget is rejected outright rather than queued forever.
+    """
+
+
+class JobNotFound(ServiceError):
+    """Raised when a job id is absent from the store or journal."""

@@ -1,0 +1,67 @@
+"""Batch simulation job service.
+
+Turns the blocking :class:`~repro.core.QGpuSimulator` into a servable
+system: a job model with a validated lifecycle state machine, pluggable
+scheduling policies (FIFO / priority / shortest-estimated-job-first),
+admission control that bounds the aggregate resident footprint using the
+capacity model, a worker pool, a content-addressed result cache with LRU
+byte-budget eviction, a metrics registry, and a JSONL job journal for
+cross-process ``status``/``cancel``.
+
+See ``docs/service.md`` for the architecture and worked examples, and the
+``repro serve-batch`` / ``submit`` / ``status`` / ``cancel`` CLI commands.
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.cache import ResultCache
+from repro.service.job import (
+    ALLOWED_TRANSITIONS,
+    Job,
+    JobResult,
+    JobSpec,
+    JobState,
+    cache_key,
+)
+from repro.service.metrics import LogicalClock, MetricsRegistry, WallClock
+from repro.service.scheduling import (
+    FifoPolicy,
+    POLICIES,
+    PriorityPolicy,
+    SchedulingPolicy,
+    SjfPolicy,
+    get_policy,
+)
+from repro.service.service import (
+    BatchService,
+    DEFAULT_CACHE_BUDGET,
+    SERVICE_VERSIONS,
+    execute_job,
+    load_manifest,
+)
+from repro.service.store import JobStore
+
+__all__ = [
+    "ALLOWED_TRANSITIONS",
+    "AdmissionController",
+    "BatchService",
+    "DEFAULT_CACHE_BUDGET",
+    "FifoPolicy",
+    "Job",
+    "JobResult",
+    "JobSpec",
+    "JobState",
+    "JobStore",
+    "LogicalClock",
+    "MetricsRegistry",
+    "POLICIES",
+    "PriorityPolicy",
+    "ResultCache",
+    "SERVICE_VERSIONS",
+    "SchedulingPolicy",
+    "SjfPolicy",
+    "WallClock",
+    "cache_key",
+    "execute_job",
+    "get_policy",
+    "load_manifest",
+]

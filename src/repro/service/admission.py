@@ -1,0 +1,105 @@
+"""Admission control: bound the aggregate resident footprint of running jobs.
+
+The service prices every job's host footprint with the capacity model
+(:func:`repro.analysis.capacity.host_footprint_bytes`) and refuses to let
+the sum of *admitted* (running) footprints exceed a byte budget.  A job
+that would overcommit right now stays queued and is retried on the next
+dispatch pass; a job whose footprint alone exceeds the entire budget can
+never run and is rejected with :class:`~repro.errors.AdmissionError`.
+
+The controller is bookkeeping only - it is always called from the
+scheduler thread, so it needs no locking - and it tracks the high-water
+mark (``peak_bytes``) so tests and metrics can *prove* the bound held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AdmissionError, ServiceError
+
+
+@dataclass
+class AdmissionController:
+    """Byte-budget gate over concurrently admitted jobs.
+
+    Attributes:
+        budget_bytes: Aggregate resident-byte ceiling across admitted jobs.
+        admitted: Footprint of each currently admitted job, by job id.
+        peak_bytes: Largest aggregate footprint ever admitted at once.
+        deferrals: Dispatch attempts that were queued for lack of budget.
+        rejections: Jobs rejected because they can never fit.
+    """
+
+    budget_bytes: float
+    admitted: dict[str, float] = field(default_factory=dict)
+    peak_bytes: float = 0.0
+    deferrals: int = 0
+    rejections: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget_bytes <= 0:
+            raise ServiceError(
+                f"admission budget must be positive, got {self.budget_bytes}"
+            )
+
+    @property
+    def in_use_bytes(self) -> float:
+        return sum(self.admitted.values())
+
+    @property
+    def available_bytes(self) -> float:
+        return self.budget_bytes - self.in_use_bytes
+
+    def check(self, footprint_bytes: float) -> None:
+        """Reject footprints that can never be admitted.
+
+        Raises:
+            AdmissionError: If ``footprint_bytes`` exceeds the entire budget.
+        """
+        if footprint_bytes > self.budget_bytes:
+            self.rejections += 1
+            raise AdmissionError(
+                f"job footprint {footprint_bytes:.0f} B exceeds the service "
+                f"budget of {self.budget_bytes:.0f} B - it can never be admitted"
+            )
+
+    def try_admit(self, job_id: str, footprint_bytes: float) -> bool:
+        """Reserve ``footprint_bytes`` for ``job_id`` if the budget allows.
+
+        Returns False (and counts a deferral) when admitting now would
+        overcommit; the caller should leave the job queued.
+
+        Raises:
+            AdmissionError: If the footprint can never fit (see :meth:`check`).
+            ServiceError: If ``job_id`` is already admitted.
+        """
+        self.check(footprint_bytes)
+        if job_id in self.admitted:
+            raise ServiceError(f"job {job_id} is already admitted")
+        if footprint_bytes > self.available_bytes:
+            self.deferrals += 1
+            return False
+        self.admitted[job_id] = footprint_bytes
+        self.peak_bytes = max(self.peak_bytes, self.in_use_bytes)
+        return True
+
+    def release(self, job_id: str) -> None:
+        """Return ``job_id``'s reservation to the budget.
+
+        Raises:
+            ServiceError: If ``job_id`` holds no reservation.
+        """
+        if job_id not in self.admitted:
+            raise ServiceError(f"job {job_id} holds no admission reservation")
+        del self.admitted[job_id]
+
+    def snapshot(self) -> dict[str, float | int]:
+        """Counters for the metrics export."""
+        return {
+            "budget_bytes": self.budget_bytes,
+            "in_use_bytes": self.in_use_bytes,
+            "peak_bytes": self.peak_bytes,
+            "deferrals": self.deferrals,
+            "rejections": self.rejections,
+        }

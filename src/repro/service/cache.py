@@ -1,0 +1,106 @@
+"""Content-addressed result cache with LRU byte-budget eviction.
+
+Keys are the job cache keys from :func:`repro.service.job.cache_key` -
+SHA-256 over the circuit fingerprint plus every result-affecting knob - so
+two textually different submissions that mean the same simulation share an
+entry.  Values are :class:`~repro.service.job.JobResult` payloads; each
+entry is charged its canonical-JSON size so the ``budget_bytes`` bound is
+deterministic across runs and platforms.
+
+Eviction is least-recently-*used*: both hits and inserts refresh recency.
+Counters (hits / misses / evictions / stored bytes) feed the metrics
+registry.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+
+from repro.errors import ServiceError
+from repro.service.job import JobResult
+
+
+class ResultCache:
+    """LRU byte-budgeted map from cache key to result payload.
+
+    Args:
+        budget_bytes: Total bytes of stored payloads allowed; inserting
+            past the budget evicts least-recently-used entries.  A single
+            payload larger than the whole budget is simply not stored.
+    """
+
+    def __init__(self, budget_bytes: int) -> None:
+        if budget_bytes <= 0:
+            raise ServiceError(f"cache budget must be positive, got {budget_bytes}")
+        self.budget_bytes = int(budget_bytes)
+        self._entries: "OrderedDict[str, tuple[str, int]]" = OrderedDict()
+        self.stored_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @staticmethod
+    def _encode(result: JobResult) -> tuple[str, int]:
+        payload = json.dumps(result.to_dict(), sort_keys=True)
+        return payload, len(payload.encode())
+
+    def get(self, key: str) -> JobResult | None:
+        """Look up ``key``, counting a hit or miss and refreshing recency.
+
+        Returns a fresh :class:`JobResult` decoded from the stored payload,
+        so callers can never mutate the cached copy.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return JobResult.from_dict(json.loads(entry[0]))
+
+    def peek(self, key: str) -> bool:
+        """Whether ``key`` is cached, without touching counters or recency."""
+        return key in self._entries
+
+    def record_miss(self) -> None:
+        """Count a miss observed via :meth:`peek` (the scheduler peeks on
+        every pass but charges one miss per actual execution)."""
+        self.misses += 1
+
+    def put(self, key: str, result: JobResult) -> None:
+        """Store ``result`` under ``key``, evicting LRU entries to fit."""
+        payload, cost = self._encode(result)
+        if key in self._entries:
+            self.stored_bytes -= self._entries.pop(key)[1]
+        if cost > self.budget_bytes:
+            return  # can never fit; do not flush the whole cache for it
+        while self.stored_bytes + cost > self.budget_bytes and self._entries:
+            _, (_, evicted_cost) = self._entries.popitem(last=False)
+            self.stored_bytes -= evicted_cost
+            self.evictions += 1
+        self._entries[key] = (payload, cost)
+        self.stored_bytes += cost
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, float | int]:
+        """Counters for the metrics export."""
+        return {
+            "budget_bytes": self.budget_bytes,
+            "entries": len(self._entries),
+            "stored_bytes": self.stored_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,129 @@
+"""Metrics registry and the clocks that time the service.
+
+Two clocks implement the same two-method interface:
+
+* :class:`WallClock` - ``time.monotonic`` readings; right for throughput
+  numbers on a real box.
+* :class:`LogicalClock` - an integer that advances by one on every
+  scheduler event.  Under ``workers=1`` every event happens in a
+  deterministic order, so every recorded wait/run duration - and therefore
+  the whole exported metrics JSON - is byte-identical across runs.  This
+  is the ``--workers 1 --seed N`` reproducibility mode.
+
+The registry itself is plain counters plus per-job records; the service
+merges in cache and admission snapshots at export time.  ``to_json``
+serializes with sorted keys and fixed separators so deterministic runs
+diff clean.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.service.job import Job
+
+
+class WallClock:
+    """Monotonic wall-clock seconds, zeroed at construction."""
+
+    deterministic = False
+
+    def __init__(self) -> None:
+        self._start = time.monotonic()
+
+    def tick(self) -> float:
+        """Advance (a no-op for wall time) and return the current reading."""
+        return time.monotonic() - self._start
+
+    def now(self) -> float:
+        return time.monotonic() - self._start
+
+
+class LogicalClock:
+    """Event counter: each scheduler event is one tick."""
+
+    deterministic = True
+
+    def __init__(self) -> None:
+        self._now = 0
+
+    def tick(self) -> int:
+        """Advance by one event and return the new reading."""
+        self._now += 1
+        return self._now
+
+    def now(self) -> int:
+        return self._now
+
+
+@dataclass
+class MetricsRegistry:
+    """Counters, gauges and per-job records for one service run.
+
+    Attributes:
+        counters: Monotonic named counts (submissions, completions,
+            retries, ...).
+        max_queue_depth: Largest PENDING-queue length observed at any
+            dispatch pass.
+        retry_backoff_seconds: Modelled backoff charged by the recovery
+            policy across all job retries (never slept, only accounted).
+        job_records: One summary dict per terminal job, in submission
+            order.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    max_queue_depth: int = 0
+    retry_backoff_seconds: float = 0.0
+    job_records: list[dict[str, Any]] = field(default_factory=list)
+
+    def count(self, name: str, increment: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + increment
+
+    def observe_queue_depth(self, depth: int) -> None:
+        self.max_queue_depth = max(self.max_queue_depth, depth)
+
+    def charge_backoff(self, seconds: float) -> None:
+        self.retry_backoff_seconds += seconds
+
+    def record_job(self, job: Job) -> None:
+        """Append the terminal summary of ``job``."""
+        self.job_records.append({
+            "id": job.job_id,
+            "name": job.spec.display_name,
+            "state": job.state.value,
+            "fingerprint": job.fingerprint,
+            "priority": job.spec.priority,
+            "attempts": job.attempts,
+            "cache_hit": job.cache_hit,
+            "footprint_bytes": job.footprint_bytes,
+            "estimated_seconds": job.estimated_seconds,
+            "wait_time": job.wait_time,
+            "run_time": job.run_time,
+            "error": job.error,
+        })
+
+    def snapshot(
+        self,
+        *,
+        cache: dict[str, Any] | None = None,
+        admission: dict[str, Any] | None = None,
+        config: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Assemble the full export dict."""
+        return {
+            "config": config or {},
+            "counters": dict(sorted(self.counters.items())),
+            "max_queue_depth": self.max_queue_depth,
+            "retry_backoff_seconds": self.retry_backoff_seconds,
+            "cache": cache or {},
+            "admission": admission or {},
+            "jobs": self.job_records,
+        }
+
+    @staticmethod
+    def to_json(snapshot: dict[str, Any]) -> str:
+        """Canonical JSON: sorted keys, fixed separators, trailing newline."""
+        return json.dumps(snapshot, sort_keys=True, separators=(",", ": "), indent=1) + "\n"

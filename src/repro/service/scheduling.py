@@ -1,0 +1,89 @@
+"""Pluggable scheduling policies: who runs next when a worker frees up.
+
+A policy is a pure ordering over the PENDING queue - it never mutates jobs
+and never blocks, so the scheduler can re-order on every dispatch pass.
+Every policy breaks ties on the submission sequence number, which is what
+makes single-worker runs fully deterministic regardless of policy.
+
+* :class:`FifoPolicy` - strict submission order.
+* :class:`PriorityPolicy` - higher ``spec.priority`` first.
+* :class:`SjfPolicy` - shortest-estimated-job-first, using the modelled
+  seconds the DES cost model (:meth:`QGpuSimulator.estimate_cost`) priced
+  the job at on submission; unpriceable jobs sort last.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence
+
+from repro.errors import ServiceError
+from repro.service.job import Job
+
+
+class SchedulingPolicy(Protocol):
+    """Ordering strategy over the pending queue."""
+
+    name: str
+
+    def order(self, pending: Sequence[Job]) -> list[Job]:
+        """Return ``pending`` sorted so the next job to dispatch is first."""
+        ...
+
+
+class FifoPolicy:
+    """First come, first served."""
+
+    name = "fifo"
+
+    def order(self, pending: Sequence[Job]) -> list[Job]:
+        return sorted(pending, key=lambda job: job.seq)
+
+
+class PriorityPolicy:
+    """Higher ``spec.priority`` first; FIFO within a priority level."""
+
+    name = "priority"
+
+    def order(self, pending: Sequence[Job]) -> list[Job]:
+        return sorted(pending, key=lambda job: (-job.spec.priority, job.seq))
+
+
+class SjfPolicy:
+    """Shortest estimated job first (non-preemptive SJF).
+
+    Uses ``Job.estimated_seconds`` - the closed-form pipeline cost the
+    service computed at submit time.  Jobs the cost model could not price
+    (e.g. widths no engine fits) sort last so they cannot starve priceable
+    work.
+    """
+
+    name = "sjf"
+
+    def order(self, pending: Sequence[Job]) -> list[Job]:
+        def key(job: Job) -> tuple[float, int]:
+            cost = job.estimated_seconds
+            return (cost if cost is not None else math.inf, job.seq)
+
+        return sorted(pending, key=key)
+
+
+POLICIES: dict[str, type] = {
+    FifoPolicy.name: FifoPolicy,
+    PriorityPolicy.name: PriorityPolicy,
+    SjfPolicy.name: SjfPolicy,
+}
+
+
+def get_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a policy by name.
+
+    Raises:
+        ServiceError: For an unknown policy name.
+    """
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ServiceError(
+            f"unknown scheduling policy {name!r} (choose from {sorted(POLICIES)})"
+        ) from None

@@ -1,0 +1,437 @@
+"""The batch simulation service: admission + scheduling + workers + cache.
+
+:class:`BatchService` turns the blocking :class:`~repro.core.QGpuSimulator`
+into a servable system.  Jobs are submitted as declarative
+:class:`~repro.service.job.JobSpec` records, priced up-front (circuit
+fingerprint, host footprint from the capacity model, modelled runtime from
+the DES cost model), and drained by :meth:`BatchService.run_until_complete`:
+
+1. a **dispatch pass** orders the PENDING queue with the scheduling policy,
+   serves duplicates straight from the content-addressed result cache,
+   holds back jobs whose footprint would overcommit the admission budget,
+   and hands admitted jobs to the thread pool;
+2. **completions** are processed in deterministic (submission) order:
+   successes populate the cache and journal, failures consult the
+   reliability policy for the ``FAILED -> PENDING`` retry edge.
+
+All job-state mutation happens on the coordinator thread - workers are
+pure functions from spec to result payload - so the service needs no
+locks.  With ``workers=1`` the whole schedule is deterministic and the
+logical clock makes the exported metrics byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.capacity import host_footprint_bytes
+from repro.core.planner import QGPU_BASIS_TRACKING, QGPU_DIAGONAL_AWARE
+from repro.core.simulator import QGpuSimulator
+from repro.core.versions import VERSIONS_BY_NAME, VersionConfig
+from repro.errors import AdmissionError, JobNotFound, ReproError, ServiceError, SimulationError
+from repro.hardware.specs import MachineSpec, PAPER_MACHINE
+from repro.reliability.faults import FaultPlan
+from repro.reliability.policy import DEFAULT_POLICY, RecoveryPolicy
+from repro.service.admission import AdmissionController
+from repro.service.cache import ResultCache
+from repro.service.job import Job, JobResult, JobSpec, JobState
+from repro.service.metrics import LogicalClock, MetricsRegistry, WallClock
+from repro.service.scheduling import SchedulingPolicy, get_policy
+from repro.service.store import JobStore
+from repro.statevector.measure import sample_counts
+
+#: Default result-cache budget (bytes of canonical-JSON payloads).
+DEFAULT_CACHE_BUDGET = 16 * 1024 * 1024
+
+#: Versions servable by name: the paper's six plus the planner extensions.
+SERVICE_VERSIONS: dict[str, VersionConfig] = {
+    **VERSIONS_BY_NAME,
+    QGPU_DIAGONAL_AWARE.name: QGPU_DIAGONAL_AWARE,
+    QGPU_BASIS_TRACKING.name: QGPU_BASIS_TRACKING,
+}
+
+
+def execute_job(
+    spec: JobSpec,
+    machine: MachineSpec,
+    sim_recovery: RecoveryPolicy,
+) -> JobResult:
+    """Run one job to completion (worker-thread body).
+
+    Pure: reads only its arguments, mutates no shared state, and returns
+    the result payload; any :class:`ReproError` propagates to the
+    coordinator as the job's failure.
+    """
+    circuit = spec.build_circuit()
+    version = SERVICE_VERSIONS[spec.version]
+    plan = FaultPlan.from_spec(spec.fault_plan) if spec.fault_plan else None
+    simulator = QGpuSimulator(
+        machine=machine,
+        version=version,
+        chunk_bits=spec.chunk_bits,
+        fault_plan=plan,
+        reliability_policy=sim_recovery,
+    )
+    outcome = simulator.run(circuit)
+    amplitudes = outcome.amplitudes
+    counts: dict[str, int] = {}
+    if spec.shots > 0:
+        counts = {
+            str(outcome_index): count
+            for outcome_index, count in sample_counts(
+                amplitudes, shots=spec.shots, seed=spec.seed
+            ).items()
+        }
+    return JobResult(
+        counts=counts,
+        state_sha256=hashlib.sha256(amplitudes.tobytes()).hexdigest(),
+        pruned_fraction=outcome.pruned_fraction,
+        num_qubits=circuit.num_qubits,
+    )
+
+
+class BatchService:
+    """Admission-controlled, cached, multi-worker batch simulation service.
+
+    Args:
+        machine: Hardware model used for footprint and cost estimates and
+            for the timed engine.
+        policy: Scheduling policy instance or name (``fifo`` / ``priority``
+            / ``sjf``).
+        workers: Concurrent worker threads.  ``1`` selects deterministic
+            mode: a logical event clock replaces wall time, so metrics are
+            byte-identical across runs.
+        memory_budget_bytes: Admission ceiling on the aggregate estimated
+            resident bytes of running jobs (default: the machine's host
+            DRAM).
+        cache_budget_bytes: Result-cache byte budget.
+        recovery: Job-level retry policy: a failed job re-enters the queue
+            while ``on_fault == "retry"`` and its attempts are below
+            ``max_transfer_attempts``; each retry charges the policy's
+            backoff to the metrics (modelled, never slept).
+        sim_recovery: In-run reliability policy handed to the simulator
+            (fault detection/recovery inside one attempt).
+        seed: Run seed recorded in the metrics and used as the default for
+            specs that carry none.
+        journal: Optional :class:`JobStore` (or path) receiving every job
+            event for cross-process ``status``/``cancel``.
+    """
+
+    def __init__(
+        self,
+        *,
+        machine: MachineSpec = PAPER_MACHINE,
+        policy: SchedulingPolicy | str = "fifo",
+        workers: int = 4,
+        memory_budget_bytes: float | None = None,
+        cache_budget_bytes: int = DEFAULT_CACHE_BUDGET,
+        recovery: RecoveryPolicy = DEFAULT_POLICY,
+        sim_recovery: RecoveryPolicy = DEFAULT_POLICY,
+        seed: int = 0,
+        journal: JobStore | str | Path | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"need at least one worker, got {workers}")
+        self.machine = machine
+        self.policy = get_policy(policy) if isinstance(policy, str) else policy
+        self.workers = workers
+        self.deterministic = workers == 1
+        self.admission = AdmissionController(
+            budget_bytes=(
+                memory_budget_bytes
+                if memory_budget_bytes is not None
+                else float(machine.host_memory_bytes)
+            )
+        )
+        self.cache = ResultCache(cache_budget_bytes)
+        self.recovery = recovery
+        self.sim_recovery = sim_recovery
+        self.seed = seed
+        self.clock = LogicalClock() if self.deterministic else WallClock()
+        self.metrics = MetricsRegistry()
+        self.journal = (
+            journal if isinstance(journal, (JobStore, type(None))) else JobStore(journal)
+        )
+        self._jobs: dict[str, Job] = {}
+        self._next_seq = self.journal.next_seq() if self.journal is not None else 1
+        self._inflight: dict[str, str] = {}  # cache key -> running job id
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, spec: JobSpec | dict[str, Any]) -> Job:
+        """Register a job, pricing it and vetting it against the budget.
+
+        Raises:
+            AdmissionError: If the job's estimated footprint exceeds the
+                entire admission budget (it could never run).
+            ServiceError: For malformed specs or unknown versions.
+        """
+        if isinstance(spec, dict):
+            spec = JobSpec.from_dict(spec)
+        if spec.version not in SERVICE_VERSIONS:
+            raise ServiceError(
+                f"unknown version {spec.version!r} "
+                f"(choose from {sorted(SERVICE_VERSIONS)})"
+            )
+        circuit = spec.build_circuit()
+        footprint = host_footprint_bytes(circuit.num_qubits)
+        self.admission.check(footprint)  # reject-never-fits at the door
+        version = SERVICE_VERSIONS[spec.version]
+        try:
+            estimated = QGpuSimulator(
+                machine=self.machine, version=version
+            ).estimate_cost(circuit)
+        except SimulationError:
+            estimated = None
+        seq = self._next_seq
+        self._next_seq += 1
+        job = Job(
+            job_id=f"j{seq:04d}",
+            seq=seq,
+            spec=spec,
+            fingerprint=circuit.fingerprint(),
+            footprint_bytes=footprint,
+            estimated_seconds=estimated,
+            submitted_at=self.clock.tick(),
+        )
+        self._jobs[job.job_id] = job
+        self.metrics.count("jobs_submitted")
+        if self.journal is not None:
+            self.journal.record_submit(job)
+        return job
+
+    def adopt_pending(self) -> list[Job]:
+        """Adopt the journal's PENDING jobs into this service instance.
+
+        Used by ``repro serve-batch --journal``: jobs submitted by another
+        process are scheduled here; terminal jobs are left untouched.
+
+        Raises:
+            ServiceError: If the service has no journal.
+        """
+        if self.journal is None:
+            raise ServiceError("adopt_pending requires a journal")
+        adopted = []
+        for job in self.journal.load().values():
+            if job.state is JobState.PENDING and job.job_id not in self._jobs:
+                self._jobs[job.job_id] = job
+                self.metrics.count("jobs_adopted")
+                adopted.append(job)
+        return adopted
+
+    def job(self, job_id: str) -> Job:
+        """Look up a job by id.
+
+        Raises:
+            JobNotFound: If no such job was submitted here.
+        """
+        if job_id not in self._jobs:
+            raise JobNotFound(f"no job {job_id!r} in this service")
+        return self._jobs[job_id]
+
+    @property
+    def jobs(self) -> list[Job]:
+        return sorted(self._jobs.values(), key=lambda job: job.seq)
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job that has not started running.
+
+        A PENDING job is guaranteed never to execute after this returns.
+
+        Raises:
+            JobNotFound: Unknown id.
+            ServiceError: If the job is already running or terminal.
+        """
+        job = self.job(job_id)
+        if job.state not in (JobState.PENDING, JobState.ADMITTED):
+            raise ServiceError(
+                f"job {job_id} is {job.state.value}; only queued jobs can be cancelled"
+            )
+        job.transition(JobState.CANCELLED, at=self.clock.tick())
+        self.metrics.count("jobs_cancelled")
+        self.metrics.record_job(job)
+        if self.journal is not None:
+            self.journal.record_transition(job, job.finished_at)
+        return job
+
+    # -- scheduling loop -----------------------------------------------------
+
+    def run_until_complete(self) -> dict[str, Any]:
+        """Drain the queue and return the metrics snapshot."""
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures: dict[Future, str] = {}
+            while True:
+                self._dispatch(pool, futures)
+                if not futures:
+                    stuck = [j for j in self._jobs.values() if j.state is JobState.PENDING]
+                    if stuck:  # pragma: no cover - defensive; admission vets at submit
+                        raise ServiceError(
+                            f"{len(stuck)} pending job(s) cannot be dispatched"
+                        )
+                    break
+                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                for future in sorted(done, key=lambda f: self._jobs[futures[f]].seq):
+                    self._complete(future, futures.pop(future))
+        return self.snapshot()
+
+    def _dispatch(self, pool: ThreadPoolExecutor, futures: dict[Future, str]) -> None:
+        """One scheduling pass: fill free worker slots from the queue."""
+        pending = [job for job in self._jobs.values() if job.state is JobState.PENDING]
+        self.metrics.observe_queue_depth(len(pending))
+        for job in self.policy.order(pending):
+            key = job.cache_key
+            if self.cache.peek(key):
+                self._complete_from_cache(job, key)
+                continue
+            if key in self._inflight:
+                # A duplicate is computing right now; next pass hits the cache.
+                continue
+            if len(futures) >= self.workers:
+                break
+            try:
+                admitted = self.admission.try_admit(job.job_id, job.footprint_bytes)
+            except AdmissionError as error:  # pragma: no cover - vetted at submit
+                self._fail_terminal(job, str(error))
+                continue
+            if not admitted:
+                continue  # queued: would overcommit the byte budget right now
+            self.cache.record_miss()
+            job.attempts += 1
+            job.transition(JobState.ADMITTED, at=self.clock.tick())
+            self._journal_transition(job, job.admitted_at)
+            job.transition(JobState.RUNNING, at=self.clock.tick())
+            self._journal_transition(job, job.started_at)
+            self._inflight[key] = job.job_id
+            futures[pool.submit(execute_job, job.spec, self.machine, self.sim_recovery)] = (
+                job.job_id
+            )
+
+    def _complete_from_cache(self, job: Job, key: str) -> None:
+        """Serve a queued job instantly from the result cache."""
+        result = self.cache.get(key)  # counts the hit, refreshes recency
+        assert result is not None
+        job.attempts += 1
+        job.cache_hit = True
+        job.transition(JobState.ADMITTED, at=self.clock.tick())
+        self._journal_transition(job, job.admitted_at)
+        job.transition(JobState.RUNNING, at=self.clock.tick())
+        self._journal_transition(job, job.started_at)
+        job.result = result
+        job.transition(JobState.SUCCEEDED, at=self.clock.tick())
+        self._journal_transition(job, job.finished_at)
+        if self.journal is not None:
+            self.journal.record_result(job)
+        self.metrics.count("jobs_succeeded")
+        self.metrics.record_job(job)
+
+    def _complete(self, future: Future, job_id: str) -> None:
+        """Process one finished worker future (coordinator thread)."""
+        job = self._jobs[job_id]
+        self.admission.release(job_id)
+        self._inflight.pop(job.cache_key, None)
+        error = future.exception()
+        if error is None:
+            job.result = future.result()
+            job.transition(JobState.SUCCEEDED, at=self.clock.tick())
+            self._journal_transition(job, job.finished_at)
+            if self.journal is not None:
+                self.journal.record_result(job)
+            self.cache.put(job.cache_key, job.result)
+            self.metrics.count("jobs_succeeded")
+            self.metrics.record_job(job)
+            return
+        if not isinstance(error, ReproError):
+            raise error  # a bug, not a simulation fault - do not swallow it
+        job.error = str(error)
+        job.transition(JobState.FAILED, at=self.clock.tick())
+        self._journal_transition(job, job.finished_at)
+        if self.journal is not None:
+            self.journal.record_error(job, str(error))
+        self.metrics.count("job_attempt_failures")
+        if (
+            self.recovery.on_fault == "retry"
+            and job.attempts < self.recovery.max_transfer_attempts
+        ):
+            self.metrics.count("jobs_retried")
+            self.metrics.charge_backoff(self.recovery.backoff_seconds(job.attempts))
+            job.transition(JobState.PENDING, at=self.clock.tick())
+            self._journal_transition(job, None)
+        else:
+            self.metrics.count("jobs_failed")
+            self.metrics.record_job(job)
+
+    def _fail_terminal(self, job: Job, message: str) -> None:
+        """Mark a job FAILED with no retry (admission can never succeed)."""
+        job.error = message
+        job.attempts += 1
+        job.transition(JobState.ADMITTED, at=self.clock.tick())
+        job.transition(JobState.RUNNING, at=self.clock.tick())
+        job.transition(JobState.FAILED, at=self.clock.tick())
+        self._journal_transition(job, job.finished_at)
+        self.metrics.count("jobs_failed")
+        self.metrics.record_job(job)
+
+    def _journal_transition(self, job: Job, at: float | None) -> None:
+        if self.journal is not None:
+            self.journal.record_transition(job, at)
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """The full metrics export for this run."""
+        config = {
+            "machine": self.machine.name,
+            "policy": self.policy.name,
+            "workers": self.workers,
+            "deterministic": self.deterministic,
+            "seed": self.seed,
+            "memory_budget_bytes": self.admission.budget_bytes,
+            "cache_budget_bytes": self.cache.budget_bytes,
+        }
+        return self.metrics.snapshot(
+            cache=self.cache.snapshot(),
+            admission=self.admission.snapshot(),
+            config=config,
+        )
+
+    def metrics_json(self) -> str:
+        """Canonical JSON metrics (byte-identical in deterministic mode)."""
+        return MetricsRegistry.to_json(self.snapshot())
+
+
+def load_manifest(path: str | Path) -> list[JobSpec]:
+    """Parse a JSON job manifest into specs.
+
+    The manifest is either a bare list of job objects or ``{"jobs": [...]}``;
+    each entry takes :class:`JobSpec` fields plus an optional ``"copies"``
+    count that expands into that many identical submissions (the easy way
+    to build duplicate-heavy, cache-exercising workloads).
+
+    Raises:
+        ServiceError: On unreadable or malformed manifests.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as error:
+        raise ServiceError(f"cannot read manifest {path}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise ServiceError(f"{path}: not valid JSON ({error})") from None
+    entries = data.get("jobs") if isinstance(data, dict) else data
+    if not isinstance(entries, list):
+        raise ServiceError(f"{path}: manifest must be a list or {{'jobs': [...]}}")
+    specs: list[JobSpec] = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ServiceError(f"{path}: job {index} is not an object")
+        entry = dict(entry)
+        copies = entry.pop("copies", 1)
+        if not isinstance(copies, int) or copies < 1:
+            raise ServiceError(f"{path}: job {index} has invalid copies {copies!r}")
+        spec = JobSpec.from_dict(entry)
+        specs.extend([spec] * copies)
+    return specs

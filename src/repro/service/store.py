@@ -1,0 +1,159 @@
+"""Persistent job store: an append-only JSONL journal.
+
+Every externally visible job event - submission, state transition, result,
+error - is one JSON object per line.  Reloading a journal replays the
+events through the :class:`~repro.service.job.Job` state machine, so
+``repro status`` and ``repro cancel`` work from a different process than
+the one that submitted or ran the jobs, and a crashed ``serve-batch`` can
+be re-run over the same journal (terminal jobs are simply not re-executed).
+
+The journal is the source of truth for cross-process state; the in-memory
+:class:`~repro.service.service.BatchService` is the source of truth while
+a scheduler is live.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import JobNotFound, ServiceError
+from repro.service.job import Job, JobResult, JobSpec, JobState
+
+
+class JobStore:
+    """Append-only JSONL journal of job events.
+
+    Args:
+        path: Journal file; created (with parents) on first append.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, event: dict[str, Any]) -> None:
+        """Append one event object as a JSON line."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def record_submit(self, job: Job) -> None:
+        self.append({
+            "event": "submit",
+            "id": job.job_id,
+            "seq": job.seq,
+            "at": job.submitted_at,
+            "fingerprint": job.fingerprint,
+            "footprint_bytes": job.footprint_bytes,
+            "estimated_seconds": job.estimated_seconds,
+            "spec": job.spec.to_dict(),
+        })
+
+    def record_transition(self, job: Job, at: float | None) -> None:
+        self.append({
+            "event": "transition",
+            "id": job.job_id,
+            "to": job.state.value,
+            "at": at,
+            "attempts": job.attempts,
+        })
+
+    def record_result(self, job: Job) -> None:
+        assert job.result is not None
+        self.append({
+            "event": "result",
+            "id": job.job_id,
+            "cache_hit": job.cache_hit,
+            "attempts": job.attempts,
+            "result": job.result.to_dict(),
+        })
+
+    def record_error(self, job: Job, message: str) -> None:
+        self.append({"event": "error", "id": job.job_id, "message": message})
+
+    # -- reading -------------------------------------------------------------
+
+    def iter_events(self) -> Iterator[dict[str, Any]]:
+        """Yield events in journal order; a missing file yields nothing.
+
+        Raises:
+            ServiceError: On an unparsable journal line.
+        """
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ServiceError(
+                        f"{self.path}:{lineno}: corrupt journal line ({error})"
+                    ) from None
+
+    def load(self) -> dict[str, Job]:
+        """Replay the journal into jobs keyed by id, in submission order.
+
+        Transitions are applied through the state machine, so a journal
+        recording an illegal lifecycle is rejected rather than trusted.
+        """
+        jobs: dict[str, Job] = {}
+        for event in self.iter_events():
+            kind = event.get("event")
+            if kind == "submit":
+                spec = JobSpec.from_dict(event["spec"])
+                job = Job(
+                    job_id=event["id"],
+                    seq=event["seq"],
+                    spec=spec,
+                    fingerprint=event.get("fingerprint", ""),
+                    footprint_bytes=event.get("footprint_bytes", 0.0),
+                    estimated_seconds=event.get("estimated_seconds"),
+                    submitted_at=event.get("at", 0.0),
+                )
+                jobs[job.job_id] = job
+            elif kind == "transition":
+                job = self._known(jobs, event)
+                job.attempts = event.get("attempts", job.attempts)
+                job.transition(JobState(event["to"]), at=event.get("at"))
+            elif kind == "result":
+                job = self._known(jobs, event)
+                job.cache_hit = event.get("cache_hit", False)
+                job.attempts = event.get("attempts", job.attempts)
+                job.result = JobResult.from_dict(event["result"])
+            elif kind == "error":
+                job = self._known(jobs, event)
+                job.error = event["message"]
+            else:
+                raise ServiceError(f"unknown journal event {kind!r}")
+        return jobs
+
+    @staticmethod
+    def _known(jobs: dict[str, Job], event: dict[str, Any]) -> Job:
+        job = jobs.get(event.get("id", ""))
+        if job is None:
+            raise ServiceError(
+                f"journal references unknown job {event.get('id')!r}"
+            )
+        return job
+
+    def get(self, job_id: str) -> Job:
+        """Load one job.
+
+        Raises:
+            JobNotFound: If the journal has no such job.
+        """
+        jobs = self.load()
+        if job_id not in jobs:
+            raise JobNotFound(f"no job {job_id!r} in {self.path}")
+        return jobs[job_id]
+
+    def next_seq(self) -> int:
+        """The next submission sequence number for this journal."""
+        jobs = self.load()
+        return 1 + max((job.seq for job in jobs.values()), default=0)

@@ -23,11 +23,36 @@ class TestFootprint:
             0.5 * host_footprint_bytes(20, 1.0)
         )
 
-    def test_ratio_bounds(self) -> None:
-        with pytest.raises(ValueError):
+    def test_nonpositive_ratio_rejected(self) -> None:
+        # A non-positive ratio used to silently produce zero/negative
+        # footprints downstream; it is now a hard error.
+        with pytest.raises(ValueError, match="compression_ratio must be > 0"):
             host_footprint_bytes(10, 0.0)
-        with pytest.raises(ValueError):
-            host_footprint_bytes(10, 1.5)
+        with pytest.raises(ValueError, match="compression_ratio must be > 0"):
+            host_footprint_bytes(10, -0.5)
+
+    def test_expansion_ratio_allowed(self) -> None:
+        # Ratios above 1 model codec expansion (incompressible streams
+        # plus framing overhead) and scale the footprint up honestly.
+        assert host_footprint_bytes(10, 1.5) == pytest.approx(
+            1.5 * host_footprint_bytes(10, 1.0)
+        )
+
+    def test_expansion_shrinks_capacity(self) -> None:
+        assert max_qubits(PAPER_MACHINE, 2.0) == 33  # one qubit lost to expansion
+
+    def test_zero_qubit_state(self) -> None:
+        # A 0-qubit register is one amplitude: the smallest legal footprint.
+        assert host_footprint_bytes(0) == pytest.approx(AMP_BYTES * 1.05)
+        assert fits_host(0, PAPER_MACHINE)
+
+    def test_one_qubit_state(self) -> None:
+        assert host_footprint_bytes(1) == pytest.approx(2 * AMP_BYTES * 1.05)
+        assert host_footprint_bytes(1, 0.5) == pytest.approx(AMP_BYTES * 1.05)
+
+    def test_negative_qubits_rejected(self) -> None:
+        with pytest.raises(ValueError, match="num_qubits must be >= 0"):
+            host_footprint_bytes(-1)
 
 
 class TestCapacity:

@@ -116,3 +116,59 @@ class TestInverse:
         state = simulate(circ)
         state.run(circ.inverse())
         assert state.fidelity(StateVector(4)) == pytest.approx(1.0, abs=1e-10)
+
+
+class TestFingerprint:
+    @staticmethod
+    def base() -> QuantumCircuit:
+        circ = QuantumCircuit(3, name="base")
+        circ.h(0).cx(0, 1).rz(0.5, 2)
+        return circ
+
+    def test_equal_circuits_hash_equal(self) -> None:
+        assert self.base().fingerprint() == self.base().fingerprint()
+
+    def test_name_is_excluded(self) -> None:
+        renamed = self.base()
+        renamed.name = "totally_different"
+        assert renamed.fingerprint() == self.base().fingerprint()
+
+    def test_stable_across_releases(self) -> None:
+        # The digest is a persisted cache key: pin it so accidental format
+        # changes (which would silently invalidate every cache) fail loudly.
+        circ = QuantumCircuit(3, name="pinned")
+        circ.h(0).cx(0, 1).rz(0.5, 2)
+        assert circ.fingerprint() == (
+            "fa54b5ab6100b4979a666aa1410af8cf841425f8d03d3917a9e06fc24809fbd2"
+        )
+
+    def test_width_perturbation_changes_hash(self) -> None:
+        wider = QuantumCircuit(4, name="base")
+        wider.h(0).cx(0, 1).rz(0.5, 2)
+        assert wider.fingerprint() != self.base().fingerprint()
+
+    def test_gate_name_perturbation_changes_hash(self) -> None:
+        changed = QuantumCircuit(3)
+        changed.h(0).cz(0, 1).rz(0.5, 2)
+        assert changed.fingerprint() != self.base().fingerprint()
+
+    def test_qubit_perturbation_changes_hash(self) -> None:
+        changed = QuantumCircuit(3)
+        changed.h(0).cx(1, 0).rz(0.5, 2)
+        assert changed.fingerprint() != self.base().fingerprint()
+
+    def test_param_perturbation_changes_hash(self) -> None:
+        changed = QuantumCircuit(3)
+        changed.h(0).cx(0, 1).rz(0.5 + 1e-15, 2)
+        assert changed.fingerprint() != self.base().fingerprint()
+
+    def test_gate_order_matters(self) -> None:
+        reordered = QuantumCircuit(3)
+        reordered.cx(0, 1).h(0).rz(0.5, 2)
+        assert reordered.fingerprint() != self.base().fingerprint()
+
+    def test_empty_vs_identity_gate(self) -> None:
+        empty = QuantumCircuit(2)
+        with_id = QuantumCircuit(2)
+        with_id.i(0)
+        assert empty.fingerprint() != with_id.fingerprint()

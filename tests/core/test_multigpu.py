@@ -70,3 +70,53 @@ class TestInvariants:
     def test_at_least_one_gpu(self) -> None:
         with pytest.raises(SchedulingError):
             assign_round_robin(6, 2, Gate("h", (0,)), 0)
+
+
+class TestOwnershipRoundTrip:
+    """Per-GPU chunk ownership partitions and reassembles exactly."""
+
+    @pytest.mark.parametrize("num_gpus", [1, 2, 3, 4, 5])
+    def test_groups_round_trip_through_owners(self, num_gpus: int) -> None:
+        # Collecting every GPU's groups and re-sorting by original index
+        # must reproduce the assignment's group list exactly.
+        assignment = assign_round_robin(9, 4, Gate("cx", (7, 8)), num_gpus)
+        regrouped = [
+            group for gpu in range(num_gpus) for group in assignment.groups_of(gpu)
+        ]
+        assert sorted(regrouped) == sorted(assignment.groups)
+        assert len(regrouped) == len(assignment.groups)
+
+    def test_owner_is_recoverable_from_position(self) -> None:
+        assignment = assign_round_robin(8, 3, Gate("h", (6,)), 3)
+        for index, owner in enumerate(assignment.owners):
+            assert owner == index % 3
+            assert assignment.groups[index] in assignment.groups_of(owner)
+
+    @pytest.mark.parametrize("chunk_bits", [2, 3, 4])
+    def test_amplitude_conservation(self, chunk_bits: int) -> None:
+        # Summed per-GPU amplitude loads must equal the full register:
+        # every amplitude is updated exactly once per gate.
+        n = 8
+        assignment = assign_round_robin(n, chunk_bits, Gate("h", (7,)), 3)
+        assert sum(per_gpu_amplitudes(assignment, chunk_bits)) == 1 << n
+
+    def test_inside_chunk_gate_gives_singleton_groups(self) -> None:
+        # A gate on within-chunk qubits needs no chunk pairing: every chunk
+        # is its own group, spread round-robin.
+        assignment = assign_round_robin(7, 4, Gate("h", (1,)), 2)
+        assert all(len(group) == 1 for group in assignment.groups)
+        owned = sorted(index for g in range(2) for index in assignment.chunks_of(g))
+        assert owned == list(range(8))
+
+    def test_two_outside_qubits_quadruple_groups(self) -> None:
+        # Two outside qubits -> groups of 4 co-resident chunks.
+        assignment = assign_round_robin(8, 4, Gate("cx", (6, 7)), 2)
+        assert all(len(group) == 4 for group in assignment.groups)
+        assignment.validate()
+
+    def test_uneven_group_remainder_goes_to_low_gpus(self) -> None:
+        # 8 singleton groups over 3 GPUs: loads 3/3/2, remainder on the
+        # lowest-indexed GPUs.
+        assignment = assign_round_robin(7, 4, Gate("h", (0,)), 3)
+        loads = [len(assignment.groups_of(gpu)) for gpu in range(3)]
+        assert loads == [3, 3, 2]

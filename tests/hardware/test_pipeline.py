@@ -130,3 +130,54 @@ class TestValidation:
     def test_zero_buffers_rejected(self) -> None:
         with pytest.raises(SchedulingError):
             double_buffered_roundtrip(2, StageTimes(1, 1, 1), buffers=0)
+
+
+class TestOverlapWindowArithmetic:
+    """Hand-computed window arithmetic of the double-buffered discipline."""
+
+    def test_single_buffer_degenerates_to_serial(self) -> None:
+        # With one buffer half, batch k's H2D waits for batch k-1's D2H:
+        # the overlap window closes completely and the pipeline serialises.
+        stages = StageTimes(2.0, 3.0, 4.0)
+        for batches in (1, 2, 5, 9):
+            assert double_buffered_roundtrip(batches, stages, buffers=1) == (
+                pytest.approx(serial_roundtrip(batches, stages))
+            )
+
+    def test_two_buffer_window_hand_computed(self) -> None:
+        # stages (2, 3, 4), 3 batches, 2 buffers:
+        #   k0: in 2,  comp 5,  out 9
+        #   k1: in 4,  comp 8,  out 13
+        #   k2: in waits out0=9 -> 11, comp 14, out 18
+        assert double_buffered_roundtrip(3, StageTimes(2, 3, 4), 2) == pytest.approx(18.0)
+
+    def test_third_buffer_widens_the_window(self) -> None:
+        # Same schedule with 3 buffers: k2's H2D no longer waits for out0
+        # (in 6, comp 11, out 17) - one extra buffer saves exactly the
+        # exposed wait of the 2-buffer window.
+        assert double_buffered_roundtrip(3, StageTimes(2, 3, 4), 3) == pytest.approx(17.0)
+
+    def test_steady_state_is_periodic_in_buffer_count(self) -> None:
+        # After pipeline fill the schedule repeats with period = buffer
+        # count: every pair of extra batches costs the same 9.0 (the
+        # per-batch increments alternate 4, 5 with buffer parity).
+        stages = StageTimes(2.0, 3.0, 4.0)
+        spans = [double_buffered_roundtrip(n, stages) for n in range(8, 14)]
+        pair_costs = [b - a for a, b in zip(spans, spans[2:])]
+        assert all(cost == pytest.approx(9.0) for cost in pair_costs)
+
+    def test_window_never_exceeds_buffer_count(self) -> None:
+        # A window of b buffers can hide at most (b-1) batches of D2H
+        # behind H2D: growing buffers beyond the batch count changes
+        # nothing.
+        stages = StageTimes(5.0, 1.0, 5.0)
+        unconstrained = double_buffered_roundtrip(4, stages, buffers=4)
+        assert double_buffered_roundtrip(4, stages, buffers=9) == (
+            pytest.approx(unconstrained)
+        )
+
+    def test_exposure_zero_when_compute_dominates(self) -> None:
+        # A compute-bound pipeline hides all transfers except fill/drain.
+        stages = StageTimes(1.0, 10.0, 1.0)
+        exposure = pipeline_transfer_exposure(6, stages)
+        assert exposure == pytest.approx(1.0 + 1.0)  # one fill + one drain

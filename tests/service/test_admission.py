@@ -1,0 +1,66 @@
+"""Admission-control tests: the byte budget is a hard aggregate bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AdmissionError, ServiceError
+from repro.service.admission import AdmissionController
+
+
+class TestAdmit:
+    def test_admits_within_budget(self) -> None:
+        gate = AdmissionController(budget_bytes=100.0)
+        assert gate.try_admit("a", 60.0)
+        assert gate.in_use_bytes == 60.0
+        assert gate.available_bytes == 40.0
+
+    def test_defers_when_overcommitted(self) -> None:
+        gate = AdmissionController(budget_bytes=100.0)
+        assert gate.try_admit("a", 60.0)
+        assert not gate.try_admit("b", 60.0)
+        assert gate.deferrals == 1
+        assert gate.in_use_bytes == 60.0
+
+    def test_release_frees_budget(self) -> None:
+        gate = AdmissionController(budget_bytes=100.0)
+        gate.try_admit("a", 60.0)
+        gate.release("a")
+        assert gate.try_admit("b", 90.0)
+
+    def test_never_fitting_job_rejected(self) -> None:
+        gate = AdmissionController(budget_bytes=100.0)
+        with pytest.raises(AdmissionError, match="can never be admitted"):
+            gate.try_admit("a", 101.0)
+        assert gate.rejections == 1
+
+    def test_peak_tracks_high_water_mark(self) -> None:
+        gate = AdmissionController(budget_bytes=100.0)
+        gate.try_admit("a", 40.0)
+        gate.try_admit("b", 50.0)
+        gate.release("a")
+        gate.try_admit("c", 10.0)
+        assert gate.peak_bytes == 90.0
+        assert gate.in_use_bytes == 60.0
+
+    def test_double_admit_rejected(self) -> None:
+        gate = AdmissionController(budget_bytes=100.0)
+        gate.try_admit("a", 10.0)
+        with pytest.raises(ServiceError, match="already admitted"):
+            gate.try_admit("a", 10.0)
+
+    def test_release_without_reservation(self) -> None:
+        with pytest.raises(ServiceError, match="no admission reservation"):
+            AdmissionController(budget_bytes=10.0).release("ghost")
+
+    def test_budget_must_be_positive(self) -> None:
+        with pytest.raises(ServiceError):
+            AdmissionController(budget_bytes=0.0)
+
+    def test_snapshot(self) -> None:
+        gate = AdmissionController(budget_bytes=100.0)
+        gate.try_admit("a", 30.0)
+        snap = gate.snapshot()
+        assert snap["in_use_bytes"] == 30.0
+        assert snap["peak_bytes"] == 30.0
+        assert snap["budget_bytes"] == 100.0

@@ -1,0 +1,97 @@
+"""Result-cache tests: content addressing, LRU byte-budget eviction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.cache import ResultCache
+from repro.service.job import JobResult
+
+
+def payload(tag: str, qubits: int = 4) -> JobResult:
+    return JobResult(counts={"0": 1}, state_sha256=tag * 64, num_qubits=qubits)
+
+
+def entry_cost(result: JobResult) -> int:
+    cache = ResultCache(1 << 20)
+    cache.put("probe", result)
+    return cache.stored_bytes
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self) -> None:
+        cache = ResultCache(1 << 16)
+        assert cache.get("k") is None
+        cache.put("k", payload("a"))
+        hit = cache.get("k")
+        assert hit is not None and hit.state_sha256 == "a" * 64
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_get_returns_isolated_copy(self) -> None:
+        cache = ResultCache(1 << 16)
+        cache.put("k", payload("a"))
+        first = cache.get("k")
+        first.counts["0"] = 999
+        assert cache.get("k").counts["0"] == 1
+
+    def test_peek_and_record_miss_leave_recency_alone(self) -> None:
+        cache = ResultCache(1 << 16)
+        cache.put("k", payload("a"))
+        assert cache.peek("k")
+        assert not cache.peek("other")
+        cache.record_miss()
+        assert cache.hits == 0 and cache.misses == 1
+
+
+class TestEviction:
+    def test_lru_eviction_respects_budget(self) -> None:
+        cost = entry_cost(payload("a"))
+        cache = ResultCache(2 * cost)
+        cache.put("first", payload("a"))
+        cache.put("second", payload("b"))
+        cache.put("third", payload("c"))  # evicts "first"
+        assert cache.evictions == 1
+        assert not cache.peek("first")
+        assert cache.peek("second") and cache.peek("third")
+        assert cache.stored_bytes <= cache.budget_bytes
+
+    def test_hit_refreshes_recency(self) -> None:
+        cost = entry_cost(payload("a"))
+        cache = ResultCache(2 * cost)
+        cache.put("first", payload("a"))
+        cache.put("second", payload("b"))
+        cache.get("first")  # now "second" is LRU
+        cache.put("third", payload("c"))
+        assert cache.peek("first") and not cache.peek("second")
+
+    def test_oversized_payload_not_stored(self) -> None:
+        big = JobResult(counts={str(i): 1 for i in range(1000)})
+        cache = ResultCache(64)
+        cache.put("big", big)
+        assert len(cache) == 0 and cache.stored_bytes == 0
+
+    def test_overwrite_same_key_reclaims_bytes(self) -> None:
+        cache = ResultCache(1 << 16)
+        cache.put("k", payload("a"))
+        before = cache.stored_bytes
+        cache.put("k", payload("b"))
+        assert len(cache) == 1
+        assert cache.stored_bytes == pytest.approx(before, abs=4)
+
+
+class TestValidation:
+    def test_positive_budget_required(self) -> None:
+        with pytest.raises(ServiceError):
+            ResultCache(0)
+
+    def test_snapshot_counters(self) -> None:
+        cache = ResultCache(1 << 16)
+        cache.put("k", payload("a"))
+        cache.get("k")
+        cache.get("absent")
+        snap = cache.snapshot()
+        assert snap["hits"] == 1 and snap["misses"] == 1
+        assert snap["entries"] == 1
+        assert snap["stored_bytes"] > 0

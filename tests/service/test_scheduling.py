@@ -1,0 +1,68 @@
+"""Scheduling-policy ordering tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.job import Job, JobSpec
+from repro.service.scheduling import (
+    FifoPolicy,
+    PriorityPolicy,
+    SjfPolicy,
+    get_policy,
+)
+
+
+def job(seq: int, priority: int = 0, cost: float | None = None) -> Job:
+    return Job(
+        job_id=f"j{seq:04d}",
+        seq=seq,
+        spec=JobSpec(family="bv", qubits=6, priority=priority),
+        estimated_seconds=cost,
+    )
+
+
+class TestFifo:
+    def test_submission_order(self) -> None:
+        jobs = [job(3), job(1), job(2)]
+        assert [j.seq for j in FifoPolicy().order(jobs)] == [1, 2, 3]
+
+
+class TestPriority:
+    def test_higher_priority_first(self) -> None:
+        jobs = [job(1, priority=0), job(2, priority=5), job(3, priority=2)]
+        assert [j.seq for j in PriorityPolicy().order(jobs)] == [2, 3, 1]
+
+    def test_fifo_within_level(self) -> None:
+        jobs = [job(2, priority=1), job(1, priority=1)]
+        assert [j.seq for j in PriorityPolicy().order(jobs)] == [1, 2]
+
+
+class TestSjf:
+    def test_shortest_estimate_first(self) -> None:
+        jobs = [job(1, cost=9.0), job(2, cost=1.0), job(3, cost=4.0)]
+        assert [j.seq for j in SjfPolicy().order(jobs)] == [2, 3, 1]
+
+    def test_unpriced_jobs_sort_last(self) -> None:
+        jobs = [job(1, cost=None), job(2, cost=100.0)]
+        assert [j.seq for j in SjfPolicy().order(jobs)] == [2, 1]
+
+    def test_tie_breaks_on_submission(self) -> None:
+        jobs = [job(2, cost=1.0), job(1, cost=1.0)]
+        assert [j.seq for j in SjfPolicy().order(jobs)] == [1, 2]
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["fifo", "priority", "sjf"])
+    def test_lookup(self, name: str) -> None:
+        assert get_policy(name).name == name
+
+    def test_unknown_policy(self) -> None:
+        with pytest.raises(ServiceError, match="unknown scheduling policy"):
+            get_policy("lottery")
+
+    def test_policies_do_not_mutate_input(self) -> None:
+        jobs = [job(2), job(1)]
+        FifoPolicy().order(jobs)
+        assert [j.seq for j in jobs] == [2, 1]

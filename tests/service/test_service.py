@@ -1,0 +1,282 @@
+"""End-to-end batch-service tests: the ISSUE's acceptance criteria live here.
+
+* duplicate submissions hit the cache and return results identical to a
+  fresh simulation;
+* ``workers=1`` runs are deterministic down to the exported metrics bytes;
+* admission control provably bounds the aggregate admitted footprint;
+* policies order execution as specified (priority, SJF via the cost model);
+* cancelling a PENDING job guarantees it never runs;
+* a job failing under an injected fault plan is retried per the
+  reliability policy, visibly in the metrics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.analysis.capacity import host_footprint_bytes
+from repro.circuits.library import get_circuit
+from repro.core.simulator import QGpuSimulator
+from repro.errors import AdmissionError, JobNotFound, ServiceError
+from repro.reliability.policy import STRICT_POLICY, RecoveryPolicy
+from repro.service import BatchService, JobSpec, JobState, load_manifest
+
+
+def service(**kwargs) -> BatchService:
+    kwargs.setdefault("workers", 1)
+    return BatchService(**kwargs)
+
+
+class TestCacheIntegration:
+    def test_duplicates_hit_cache_with_identical_results(self) -> None:
+        svc = service()
+        first = svc.submit(JobSpec(family="bv", qubits=8, shots=50))
+        other = svc.submit(JobSpec(family="gs", qubits=6, shots=50))
+        duplicate = svc.submit(JobSpec(family="bv", qubits=8, shots=50))
+        snap = svc.run_until_complete()
+
+        assert snap["cache"]["hits"] == 1
+        assert snap["cache"]["misses"] == 2
+        assert not first.cache_hit and duplicate.cache_hit and not other.cache_hit
+        # Hit and miss paths agree exactly - counts and amplitude digest.
+        assert duplicate.result.state_sha256 == first.result.state_sha256
+        assert duplicate.result.counts == first.result.counts
+        # ... and both equal a direct simulator run of the same circuit.
+        direct = QGpuSimulator().run(get_circuit("bv", 8))
+        digest = hashlib.sha256(direct.amplitudes.tobytes()).hexdigest()
+        assert first.result.state_sha256 == digest
+
+    def test_concurrent_duplicates_deduplicate_in_flight(self) -> None:
+        svc = service(workers=4)
+        jobs = [svc.submit(JobSpec(family="qft", qubits=8, shots=10))
+                for _ in range(4)]
+        snap = svc.run_until_complete()
+        # Only one execution: the other three were held while the first
+        # was in flight, then served from the cache.
+        assert snap["cache"]["misses"] == 1
+        assert snap["cache"]["hits"] == 3
+        digests = {job.result.state_sha256 for job in jobs}
+        assert len(digests) == 1
+
+    def test_eviction_under_tiny_budget(self) -> None:
+        svc = service(cache_budget_bytes=600)
+        for seed in range(4):
+            svc.submit(JobSpec(family="rqc", qubits=6, seed=seed))
+        snap = svc.run_until_complete()
+        assert snap["cache"]["evictions"] > 0
+        assert snap["cache"]["stored_bytes"] <= 600
+        assert all(job.state is JobState.SUCCEEDED for job in svc.jobs)
+
+
+class TestDeterminism:
+    @staticmethod
+    def _run(policy: str) -> str:
+        svc = service(policy=policy, seed=11)
+        for fam, n, shots in [("bv", 8, 40), ("gs", 6, 40), ("bv", 8, 40),
+                              ("qft", 6, 0), ("gs", 6, 40), ("bv", 8, 40)]:
+            svc.submit(JobSpec(family=fam, qubits=n, shots=shots))
+        svc.run_until_complete()
+        return svc.metrics_json()
+
+    @pytest.mark.parametrize("policy", ["fifo", "priority", "sjf"])
+    def test_single_worker_metrics_are_byte_identical(self, policy: str) -> None:
+        assert self._run(policy) == self._run(policy)
+
+    def test_deterministic_mode_uses_logical_clock(self) -> None:
+        svc = service()
+        assert svc.deterministic
+        svc.submit(JobSpec(family="bv", qubits=6))
+        svc.run_until_complete()
+        record = json.loads(svc.metrics_json())["jobs"][0]
+        assert isinstance(record["wait_time"], int)
+        assert isinstance(record["run_time"], int)
+
+
+class TestAdmissionControl:
+    def test_aggregate_footprint_bounded_while_all_complete(self) -> None:
+        footprint = host_footprint_bytes(8)
+        budget = 2.5 * footprint  # at most two concurrent 8-qubit jobs
+        svc = BatchService(workers=4, memory_budget_bytes=budget)
+        for seed in range(6):  # distinct circuits: no cache short-circuit
+            svc.submit(JobSpec(family="rqc", qubits=8, seed=seed))
+        combined = sum(job.footprint_bytes for job in svc.jobs)
+        assert combined > budget  # the workload genuinely overcommits
+        snap = svc.run_until_complete()
+
+        assert snap["admission"]["peak_bytes"] <= budget
+        assert snap["admission"]["deferrals"] > 0  # contention really happened
+        assert all(job.state is JobState.SUCCEEDED for job in svc.jobs)
+
+    def test_never_fitting_job_rejected_at_submit(self) -> None:
+        svc = service(memory_budget_bytes=host_footprint_bytes(6))
+        with pytest.raises(AdmissionError, match="can never be admitted"):
+            svc.submit(JobSpec(family="bv", qubits=12))
+        assert svc.jobs == []  # the rejected job never entered the queue
+
+
+class TestPolicies:
+    def test_priority_order_respected(self) -> None:
+        svc = service(policy="priority")
+        low = svc.submit(JobSpec(family="bv", qubits=6, priority=0))
+        high = svc.submit(JobSpec(family="gs", qubits=6, priority=5))
+        mid = svc.submit(JobSpec(family="qft", qubits=6, priority=2))
+        svc.run_until_complete()
+        assert high.started_at < mid.started_at < low.started_at
+
+    def test_sjf_runs_cheapest_estimate_first(self) -> None:
+        svc = service(policy="sjf")
+        wide = svc.submit(JobSpec(family="bv", qubits=12))
+        narrow = svc.submit(JobSpec(family="bv", qubits=6))
+        assert narrow.estimated_seconds < wide.estimated_seconds
+        svc.run_until_complete()
+        assert narrow.started_at < wide.started_at
+
+    def test_fifo_ignores_priority(self) -> None:
+        svc = service(policy="fifo")
+        first = svc.submit(JobSpec(family="bv", qubits=6, priority=0))
+        second = svc.submit(JobSpec(family="gs", qubits=6, priority=9))
+        svc.run_until_complete()
+        assert first.started_at < second.started_at
+
+
+class TestCancellation:
+    def test_cancelled_pending_job_never_runs(self) -> None:
+        svc = service()
+        keep = svc.submit(JobSpec(family="bv", qubits=6))
+        doomed = svc.submit(JobSpec(family="gs", qubits=6))
+        svc.cancel(doomed.job_id)
+        snap = svc.run_until_complete()
+        assert doomed.state is JobState.CANCELLED
+        assert doomed.attempts == 0 and doomed.result is None
+        assert keep.state is JobState.SUCCEEDED
+        assert snap["counters"]["jobs_cancelled"] == 1
+
+    def test_cannot_cancel_terminal_job(self) -> None:
+        svc = service()
+        job = svc.submit(JobSpec(family="bv", qubits=6))
+        svc.run_until_complete()
+        with pytest.raises(ServiceError, match="only queued jobs"):
+            svc.cancel(job.job_id)
+
+    def test_unknown_job_raises(self) -> None:
+        with pytest.raises(JobNotFound):
+            service().cancel("j9999")
+
+
+class TestRetries:
+    def test_faulting_job_retried_per_reliability_policy(self) -> None:
+        # The strict in-run policy turns the first injected transfer fault
+        # into an IntegrityError; the service-level policy then retries the
+        # whole job up to its attempt budget.
+        retry3 = RecoveryPolicy(max_transfer_attempts=3)
+        svc = service(recovery=retry3, sim_recovery=STRICT_POLICY)
+        bad = svc.submit(JobSpec(
+            family="bv", qubits=6, fault_plan="seed=3,transfer=1.0"
+        ))
+        good = svc.submit(JobSpec(family="bv", qubits=6))
+        snap = svc.run_until_complete()
+
+        assert bad.state is JobState.FAILED
+        assert bad.attempts == 3
+        assert snap["counters"]["jobs_retried"] == 2
+        assert snap["counters"]["job_attempt_failures"] == 3
+        assert snap["counters"]["jobs_failed"] == 1
+        assert snap["retry_backoff_seconds"] == pytest.approx(
+            retry3.backoff_seconds(1) + retry3.backoff_seconds(2)
+        )
+        assert bad.error  # failure message recorded on the job
+        assert good.state is JobState.SUCCEEDED
+
+    def test_no_retry_when_policy_raises(self) -> None:
+        svc = service(recovery=STRICT_POLICY, sim_recovery=STRICT_POLICY)
+        job = svc.submit(JobSpec(
+            family="bv", qubits=6, fault_plan="seed=3,transfer=1.0"
+        ))
+        snap = svc.run_until_complete()
+        assert job.state is JobState.FAILED
+        assert job.attempts == 1
+        assert snap["counters"].get("jobs_retried", 0) == 0
+
+    def test_retries_recorded_in_job_metrics(self) -> None:
+        svc = service(sim_recovery=STRICT_POLICY)
+        svc.submit(JobSpec(family="bv", qubits=6, fault_plan="seed=3,transfer=1.0"))
+        snap = svc.run_until_complete()
+        record = snap["jobs"][0]
+        assert record["state"] == "FAILED"
+        assert record["attempts"] == 4  # DEFAULT_POLICY budget
+        assert record["error"]
+
+
+class TestManifest:
+    def test_copies_expand(self, tmp_path) -> None:
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({"jobs": [
+            {"family": "bv", "qubits": 6, "copies": 3},
+            {"family": "gs", "qubits": 6},
+        ]}))
+        specs = load_manifest(path)
+        assert len(specs) == 4
+        assert sum(1 for s in specs if s.family == "bv") == 3
+
+    def test_bare_list_accepted(self, tmp_path) -> None:
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps([{"family": "bv", "qubits": 6}]))
+        assert len(load_manifest(path)) == 1
+
+    @pytest.mark.parametrize("text", [
+        "not json", '{"jobs": 5}', '[{"family": "bv", "qubits": 6, "copies": 0}]',
+        '[["nope"]]',
+    ])
+    def test_malformed_manifest_rejected(self, tmp_path, text: str) -> None:
+        path = tmp_path / "jobs.json"
+        path.write_text(text)
+        with pytest.raises(ServiceError):
+            load_manifest(path)
+
+
+class TestJournalIntegration:
+    def test_submit_run_status_across_instances(self, tmp_path) -> None:
+        journal = tmp_path / "jobs.jsonl"
+        producer = service(journal=journal)
+        producer.submit(JobSpec(family="bv", qubits=6, shots=10))
+        producer.submit(JobSpec(family="gs", qubits=6))
+
+        runner = service(journal=journal)
+        adopted = runner.adopt_pending()
+        assert [job.job_id for job in adopted] == ["j0001", "j0002"]
+        runner.run_until_complete()
+
+        from repro.service import JobStore
+
+        jobs = JobStore(journal).load()
+        assert all(job.state is JobState.SUCCEEDED for job in jobs.values())
+        assert jobs["j0001"].result.counts  # results persisted
+
+    def test_journal_seq_continues_across_instances(self, tmp_path) -> None:
+        journal = tmp_path / "jobs.jsonl"
+        service(journal=journal).submit(JobSpec(family="bv", qubits=6))
+        job = service(journal=journal).submit(JobSpec(family="gs", qubits=6))
+        assert job.job_id == "j0002"
+
+    def test_adopt_requires_journal(self) -> None:
+        with pytest.raises(ServiceError, match="requires a journal"):
+            service().adopt_pending()
+
+
+class TestValidation:
+    def test_unknown_version_rejected(self) -> None:
+        with pytest.raises(ServiceError, match="unknown version"):
+            service().submit(JobSpec(family="bv", qubits=6, version="Q-TPU"))
+
+    def test_workers_must_be_positive(self) -> None:
+        with pytest.raises(ServiceError):
+            BatchService(workers=0)
+
+    def test_extension_versions_servable(self) -> None:
+        svc = service()
+        job = svc.submit(JobSpec(family="bv", qubits=6, version="Q-GPU+basis"))
+        svc.run_until_complete()
+        assert job.state is JobState.SUCCEEDED

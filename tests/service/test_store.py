@@ -1,0 +1,113 @@
+"""JSONL job-journal tests: round-trip, corruption, cross-process flows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JobNotFound, ServiceError
+from repro.service.job import Job, JobSpec, JobState
+from repro.service.store import JobStore
+
+
+def make_job(seq: int = 1, **spec_kwargs) -> Job:
+    spec_kwargs.setdefault("family", "bv")
+    spec_kwargs.setdefault("qubits", 6)
+    return Job(
+        job_id=f"j{seq:04d}", seq=seq, spec=JobSpec(**spec_kwargs),
+        fingerprint="f" * 64, footprint_bytes=123.0, submitted_at=1,
+    )
+
+
+class TestRoundTrip:
+    def test_submit_and_reload(self, tmp_path) -> None:
+        store = JobStore(tmp_path / "jobs.jsonl")
+        job = make_job(shots=10, priority=2)
+        store.record_submit(job)
+        loaded = store.load()["j0001"]
+        assert loaded.spec == job.spec
+        assert loaded.state is JobState.PENDING
+        assert loaded.fingerprint == job.fingerprint
+        assert loaded.footprint_bytes == 123.0
+
+    def test_transitions_replay_through_state_machine(self, tmp_path) -> None:
+        store = JobStore(tmp_path / "jobs.jsonl")
+        job = make_job()
+        store.record_submit(job)
+        for state, at in ((JobState.ADMITTED, 2), (JobState.RUNNING, 3)):
+            job.transition(state, at=at)
+            store.record_transition(job, at)
+        loaded = store.load()["j0001"]
+        assert loaded.state is JobState.RUNNING
+        assert loaded.started_at == 3
+
+    def test_result_round_trip(self, tmp_path) -> None:
+        from repro.service.job import JobResult
+
+        store = JobStore(tmp_path / "jobs.jsonl")
+        job = make_job()
+        store.record_submit(job)
+        job.result = JobResult(counts={"0": 5}, state_sha256="s" * 64, num_qubits=6)
+        job.attempts = 1
+        store.record_result(job)
+        loaded = store.load()["j0001"]
+        assert loaded.result.counts == {"0": 5}
+        assert loaded.attempts == 1
+
+    def test_missing_file_is_empty(self, tmp_path) -> None:
+        store = JobStore(tmp_path / "absent.jsonl")
+        assert store.load() == {}
+        assert store.next_seq() == 1
+
+
+class TestValidation:
+    def test_corrupt_line_rejected(self, tmp_path) -> None:
+        path = tmp_path / "jobs.jsonl"
+        path.write_text('{"event": "submit"\n')
+        with pytest.raises(ServiceError, match="corrupt journal line"):
+            JobStore(path).load()
+
+    def test_unknown_event_rejected(self, tmp_path) -> None:
+        path = tmp_path / "jobs.jsonl"
+        path.write_text('{"event": "explode", "id": "j0001"}\n')
+        with pytest.raises(ServiceError, match="unknown journal event"):
+            JobStore(path).load()
+
+    def test_orphan_transition_rejected(self, tmp_path) -> None:
+        path = tmp_path / "jobs.jsonl"
+        path.write_text('{"event": "transition", "id": "ghost", "to": "RUNNING"}\n')
+        with pytest.raises(ServiceError, match="unknown job"):
+            JobStore(path).load()
+
+    def test_illegal_journalled_transition_rejected(self, tmp_path) -> None:
+        store = JobStore(tmp_path / "jobs.jsonl")
+        store.record_submit(make_job())
+        store.append({"event": "transition", "id": "j0001", "to": "SUCCEEDED"})
+        with pytest.raises(ServiceError, match="illegal transition"):
+            store.load()
+
+    def test_get_unknown_job(self, tmp_path) -> None:
+        store = JobStore(tmp_path / "jobs.jsonl")
+        store.record_submit(make_job())
+        with pytest.raises(JobNotFound):
+            store.get("j9999")
+        assert store.get("j0001").job_id == "j0001"
+
+
+class TestCrossProcess:
+    def test_next_seq_continues_numbering(self, tmp_path) -> None:
+        store = JobStore(tmp_path / "jobs.jsonl")
+        store.record_submit(make_job(seq=1))
+        store.record_submit(make_job(seq=2))
+        assert JobStore(tmp_path / "jobs.jsonl").next_seq() == 3
+
+    def test_cancel_from_second_process(self, tmp_path) -> None:
+        path = tmp_path / "jobs.jsonl"
+        first = JobStore(path)
+        first.record_submit(make_job())
+        # Second process: load, cancel, append.
+        second = JobStore(path)
+        job = second.get("j0001")
+        job.transition(JobState.CANCELLED, at=None)
+        second.record_transition(job, None)
+        # Third process sees the cancellation.
+        assert JobStore(path).get("j0001").state is JobState.CANCELLED

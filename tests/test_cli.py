@@ -119,3 +119,116 @@ class TestReliability:
         assert main(["simulate", "--family", "bv", "--qubits", "6",
                      "--checkpoint-every", "3"]) == 1
         assert "checkpoint_path" in capsys.readouterr().err
+
+
+class TestFingerprintFlag:
+    def test_transpile_fingerprint(self, capsys) -> None:
+        assert main(["transpile", "--family", "gs", "--qubits", "4",
+                     "--fingerprint"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == 2  # original + transpiled
+        for line in lines:
+            digest = line.split()[0]
+            assert len(digest) == 64
+            int(digest, 16)  # hex sha256
+
+    def test_fingerprint_suppresses_qasm(self, capsys) -> None:
+        assert main(["transpile", "--family", "gs", "--qubits", "4",
+                     "--fingerprint"]) == 0
+        assert "OPENQASM" not in capsys.readouterr().out
+
+
+class TestServeBatch:
+    def test_manifest_run_writes_metrics(self, tmp_path, capsys) -> None:
+        import json
+
+        manifest = tmp_path / "jobs.json"
+        manifest.write_text(json.dumps({"jobs": [
+            {"family": "bv", "qubits": 6, "shots": 10, "copies": 2},
+            {"family": "gs", "qubits": 6},
+        ]}))
+        metrics = tmp_path / "metrics.json"
+        assert main(["serve-batch", "--manifest", str(manifest),
+                     "--workers", "2", "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "3 submitted" in out
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["jobs_succeeded"] == 3
+        assert snap["cache"]["hits"] == 1
+
+    def test_deterministic_metrics_reproducible(self, tmp_path) -> None:
+        import json
+
+        manifest = tmp_path / "jobs.json"
+        manifest.write_text(json.dumps([
+            {"family": "bv", "qubits": 6, "shots": 5, "copies": 2},
+        ]))
+        exports = []
+        for run in range(2):
+            metrics = tmp_path / f"metrics{run}.json"
+            assert main(["serve-batch", "--manifest", str(manifest),
+                         "--workers", "1", "--seed", "3",
+                         "--metrics", str(metrics)]) == 0
+            exports.append(metrics.read_bytes())
+        assert exports[0] == exports[1]
+
+    def test_failed_job_sets_exit_code(self, tmp_path, capsys) -> None:
+        import json
+
+        manifest = tmp_path / "jobs.json"
+        manifest.write_text(json.dumps([
+            {"family": "bv", "qubits": 6, "fault_plan": "seed=3,transfer=1.0"},
+        ]))
+        assert main(["serve-batch", "--manifest", str(manifest),
+                     "--sim-recovery", "strict", "--max-attempts", "2"]) == 1
+        assert "failed" in capsys.readouterr().out
+
+    def test_requires_manifest_or_journal(self) -> None:
+        with pytest.raises(SystemExit):
+            main(["serve-batch"])
+
+
+class TestJournalCommands:
+    def test_submit_status_serve_cancel_flow(self, tmp_path, capsys) -> None:
+        journal = str(tmp_path / "jobs.jsonl")
+        assert main(["submit", "--family", "bv", "--qubits", "6",
+                     "--shots", "10", "--journal", journal]) == 0
+        assert "j0001" in capsys.readouterr().out
+        assert main(["submit", "--family", "gs", "--qubits", "6",
+                     "--journal", journal]) == 0
+        capsys.readouterr()
+
+        assert main(["cancel", "j0002", "--journal", journal]) == 0
+        capsys.readouterr()
+
+        assert main(["serve-batch", "--journal", journal]) == 0
+        capsys.readouterr()
+
+        assert main(["status", "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "SUCCEEDED" in out
+        assert "CANCELLED" in out
+
+    def test_status_single_job(self, tmp_path, capsys) -> None:
+        journal = str(tmp_path / "jobs.jsonl")
+        main(["submit", "--family", "bv", "--qubits", "6",
+              "--journal", journal])
+        capsys.readouterr()
+        assert main(["status", "--journal", journal, "--job", "j0001"]) == 0
+        assert "PENDING" in capsys.readouterr().out
+
+    def test_status_unknown_job_errors(self, tmp_path, capsys) -> None:
+        journal = str(tmp_path / "jobs.jsonl")
+        main(["submit", "--family", "bv", "--qubits", "6",
+              "--journal", journal])
+        capsys.readouterr()
+        assert main(["status", "--journal", journal, "--job", "j0042"]) == 1
+
+    def test_cancel_terminal_job_errors(self, tmp_path, capsys) -> None:
+        journal = str(tmp_path / "jobs.jsonl")
+        main(["submit", "--family", "bv", "--qubits", "6",
+              "--journal", journal])
+        main(["serve-batch", "--journal", journal])
+        capsys.readouterr()
+        assert main(["cancel", "j0001", "--journal", journal]) == 1
