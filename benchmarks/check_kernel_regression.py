@@ -1,0 +1,120 @@
+"""CI gate: fail when the chunk-engine speedups regress past tolerance.
+
+Compares the *dimensionless speedup ratios* in a fresh ``BENCH_kernels.json``
+(produced by ``benchmarks/test_chunk_engine.py``) against the committed
+baseline for the same mode in ``benchmarks/baselines/``.  Ratios - parallel
+over legacy on identical work in the same process - are what stays
+comparable across hosts; absolute Mamp/s depends on the machine and would
+gate on hardware, not code.
+
+A case regresses when its current speedup falls below ``(1 - tolerance)``
+of the baseline speedup (default tolerance 20%).  Improvements never fail.
+
+Usage::
+
+    python benchmarks/check_kernel_regression.py [RESULTS] [--tolerance 0.2]
+
+exits 0 when every case is within tolerance, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_DIR = Path(__file__).parent / "baselines"
+
+#: Ratio metrics gated per case (higher is better).  Only the speedups the
+#: zero-copy/parallel recipe actually claims are gated: ``inside_h`` runs
+#: identical code on both sides (its ratio is noise around 1.0), and the
+#: cross-chunk ``serial_speedup`` is likewise 1.0 by design (the serial
+#: engine keeps the bit-exact gather arithmetic for non-diagonal gates).
+GATED_METRICS: dict[str, tuple[str, ...]] = {
+    "cross_chunk_h": ("parallel_speedup",),
+    "diagonal_rz": ("parallel_speedup", "serial_speedup"),
+}
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except OSError as error:
+        sys.exit(f"cannot read {path}: {error}")
+    except json.JSONDecodeError as error:
+        sys.exit(f"{path}: not valid JSON ({error})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "results",
+        nargs="?",
+        default="BENCH_kernels.json",
+        help="fresh benchmark output (default: ./BENCH_kernels.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: benchmarks/baselines/ for the run's mode)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional drop below the baseline speedup (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load(Path(args.results))
+    mode = current.get("mode", "full")
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline
+        else BASELINE_DIR / f"BENCH_kernels_baseline_{mode}.json"
+    )
+    baseline = load(baseline_path)
+    if baseline.get("mode", "full") != mode:
+        sys.exit(
+            f"mode mismatch: results are {mode!r} but baseline "
+            f"{baseline_path} is {baseline.get('mode')!r}"
+        )
+
+    failures: list[str] = []
+    print(f"kernel regression gate ({mode} mode, tolerance {args.tolerance:.0%})")
+    print(f"{'case':<18} {'metric':<18} {'baseline':>9} {'current':>9} {'floor':>7}")
+    for case, metrics in sorted(GATED_METRICS.items()):
+        base_row = baseline["results"].get(case)
+        if base_row is None:
+            failures.append(f"case {case!r} missing from baseline")
+            continue
+        row = current["results"].get(case)
+        if row is None:
+            failures.append(f"case {case!r} missing from current results")
+            continue
+        for metric in metrics:
+            base_value = base_row[metric]
+            value = row[metric]
+            floor = base_value * (1.0 - args.tolerance)
+            verdict = "" if value >= floor else "  REGRESSION"
+            print(
+                f"{case:<18} {metric:<18} {base_value:>9.2f} "
+                f"{value:>9.2f} {floor:>7.2f}{verdict}"
+            )
+            if value < floor:
+                failures.append(
+                    f"{case}.{metric}: {value:.2f} < floor {floor:.2f} "
+                    f"(baseline {base_value:.2f})"
+                )
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nall speedups within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

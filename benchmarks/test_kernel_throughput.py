@@ -25,12 +25,21 @@ KERNEL_QUBITS = 20
 
 
 @pytest.fixture(scope="module")
-def dense_state(rng=None) -> np.ndarray:
+def _dense_state_template() -> np.ndarray:
     generator = np.random.default_rng(0)
     state = generator.normal(size=1 << KERNEL_QUBITS) + 1j * generator.normal(
         size=1 << KERNEL_QUBITS
     )
     return (state / np.linalg.norm(state)).astype(np.complex128)
+
+
+@pytest.fixture
+def dense_state(_dense_state_template: np.ndarray) -> np.ndarray:
+    # The kernels mutate the state in place; hand every benchmark its own
+    # fresh copy so one test's repeated applications never drift the input
+    # of the next (module scope here once meant later benchmarks timed a
+    # progressively transformed, unnormalised vector).
+    return _dense_state_template.copy()
 
 
 def test_kernel_single_qubit_dense(benchmark, dense_state) -> None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import cmath
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable
 
 import numpy as np
@@ -230,6 +231,33 @@ GATE_SPECS: dict[str, GateSpec] = {
 }
 
 
+#: Bound on the memoized-matrix working set: parameterised circuits with
+#: unboundedly many distinct angles must not grow the cache forever.
+_MATRIX_CACHE_SIZE = 4096
+
+
+@lru_cache(maxsize=_MATRIX_CACHE_SIZE)
+def _cached_matrix(name: str, params: tuple[float, ...]) -> np.ndarray:
+    """Build (once) and freeze the unitary for a (name, params) pair.
+
+    Gate instances are value objects, so every ``h`` or every ``rz(0.3)``
+    shares one matrix; the chunked engine applies the same gate to
+    thousands of chunks and must not rebuild it per chunk.  The array is
+    marked read-only because it is shared - callers that need a private
+    mutable copy must take one explicitly.
+    """
+    matrix = GATE_SPECS[name].matrix_fn(*params)
+    matrix.setflags(write=False)
+    return matrix
+
+
+@lru_cache(maxsize=_MATRIX_CACHE_SIZE)
+def _cached_diagonal(name: str, params: tuple[float, ...]) -> np.ndarray:
+    diagonal = np.ascontiguousarray(np.diag(_cached_matrix(name, params)))
+    diagonal.setflags(write=False)
+    return diagonal
+
+
 @dataclass(frozen=True)
 class Gate:
     """A gate instance: a gate type applied to concrete qubits.
@@ -278,8 +306,24 @@ class Gate:
         return self.spec.diagonal
 
     def matrix(self) -> np.ndarray:
-        """Return the gate's unitary as a ``2^k x 2^k`` complex matrix."""
-        return self.spec.matrix_fn(*self.params)
+        """Return the gate's unitary as a ``2^k x 2^k`` complex matrix.
+
+        The matrix is memoized per ``(name, params)`` and returned as a
+        shared *read-only* array: it is built once per distinct gate, not
+        once per chunk it is applied to.  Copy before mutating.
+        """
+        return _cached_matrix(self.name, self.params)
+
+    def diagonal(self) -> np.ndarray:
+        """The ``2^k`` diagonal entries of a diagonal gate (memoized, read-only).
+
+        Raises:
+            CircuitError: If the gate is not diagonal in the computational
+                basis (its action is not described by a diagonal).
+        """
+        if not self.is_diagonal:
+            raise CircuitError(f"gate {self.name!r} is not diagonal")
+        return _cached_diagonal(self.name, self.params)
 
     def remapped(self, mapping: dict[int, int]) -> "Gate":
         """Return a copy acting on ``mapping[q]`` for each qubit ``q``."""

@@ -71,10 +71,29 @@ def _fault_plan(args: argparse.Namespace):
     return FaultPlan.from_spec(spec) if spec else None
 
 
+def _workers_arg(value: str) -> int | str:
+    """Parse a chunk-workers knob: 'auto' or a positive integer."""
+    if value == "auto":
+        return value
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be 'auto' or a positive integer, got {value!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError(
+            f"workers must be 'auto' or a positive integer, got {value!r}"
+        )
+    return workers
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args)
     version = VERSIONS_BY_NAME[args.version]
-    simulator = QGpuSimulator(version=version, fault_plan=_fault_plan(args))
+    simulator = QGpuSimulator(
+        version=version, fault_plan=_fault_plan(args), workers=args.workers
+    )
     result = simulator.run(
         circuit,
         checkpoint_every=args.checkpoint_every,
@@ -287,6 +306,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         cache_budget_bytes=int(args.cache_mb * 1e6),
         recovery=recovery,
         sim_recovery=sim_recovery,
+        sim_workers=args.sim_workers,
         seed=args.seed,
         journal=args.journal,
     )
@@ -396,6 +416,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="checkpoint file to write")
     simulate.add_argument("--resume", metavar="PATH",
                           help="resume from a checkpoint file")
+    simulate.add_argument("--workers", type=_workers_arg, default="auto",
+                          metavar="N|auto",
+                          help="chunk-worker threads (1 = bit-exact serial)")
     simulate.set_defaults(fn=_cmd_simulate)
 
     estimate = sub.add_parser("estimate", help="performance model")
@@ -472,6 +495,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--sim-recovery", default="default",
                        choices=["default", "strict"],
                        help="in-run fault policy (strict: faults raise)")
+    serve.add_argument("--sim-workers", type=_workers_arg, default=1,
+                       metavar="N|auto",
+                       help="chunk-worker threads inside each simulation "
+                            "(1 = bit-exact serial)")
     serve.add_argument("--metrics", metavar="PATH",
                        help="write the metrics JSON here")
     serve.set_defaults(fn=_cmd_serve_batch)

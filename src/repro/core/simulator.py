@@ -50,6 +50,7 @@ from repro.reliability.integrity import ChunkTransferGuard, check_norm
 from repro.reliability.policy import DEFAULT_POLICY, RecoveryPolicy, ReliabilityReport
 from repro.statevector.apply import apply_gate
 from repro.statevector.chunks import ChunkedStateVector, chunk_pair_groups
+from repro.statevector.parallel import ParallelChunkEngine, resolve_workers
 
 
 @dataclass
@@ -108,6 +109,12 @@ class QGpuSimulator:
             (None = fault-free).
         reliability_policy: Detection/recovery policy applied when faults
             or integrity guards are active.
+        workers: Chunk-worker threads for the functional engine.  The
+            default ``"auto"`` keeps small states on the bit-exact serial
+            path and sizes a thread pool to the host for large ones;
+            ``1`` forces serial everywhere; ``N > 1`` forces a pool of
+            ``N``.  Fault-guarded runs always execute serially (the
+            transfer guard is stateful), whatever this says.
     """
 
     def __init__(
@@ -117,17 +124,20 @@ class QGpuSimulator:
         chunk_bits: int | None = None,
         fault_plan: FaultPlan | None = None,
         reliability_policy: RecoveryPolicy = DEFAULT_POLICY,
+        workers: int | str | None = "auto",
     ) -> None:
         if chunk_bits is not None and chunk_bits <= 0:
             raise SimulationError(
                 f"chunk_bits must be a positive number of within-chunk "
                 f"qubits, got {chunk_bits}"
             )
+        resolve_workers(workers, 1)  # validate eagerly; resolved per run
         self.machine = Machine(machine)
         self.version = version
         self.chunk_bits = chunk_bits
         self.fault_plan = fault_plan
         self.reliability_policy = reliability_policy
+        self.workers = workers
 
     # -- functional ---------------------------------------------------------
 
@@ -139,11 +149,14 @@ class QGpuSimulator:
         checkpoint_path: str | Path | None = None,
         resume_from: str | Path | None = None,
         stop_after: int | None = None,
+        workers: int | str | None = None,
     ) -> FunctionalResult:
         """Exact simulation with the version's reordering and pruning.
 
         Args:
             circuit: Circuit to simulate.
+            workers: Per-run override of the constructor's ``workers``
+                knob (None = use the constructor's setting).
             checkpoint_every: Write a checkpoint after every N applied
                 gates (requires ``checkpoint_path``).
             checkpoint_path: File the (single, atomically replaced)
@@ -230,63 +243,74 @@ class QGpuSimulator:
                 report=report,
             )
 
+        # Guarded runs stay serial: the transfer guard mutates shared fault
+        # and CRC state per transfer, and injection order must be
+        # deterministic for recovery to be reproducible.
+        requested = workers if workers is not None else self.workers
+        resolved = 1 if guard is not None else resolve_workers(requested, 1 << n)
+        engine = ParallelChunkEngine(resolved) if resolved > 1 else None
+
         tracker = InvolvementTracker(n)
         basis = BasisTracker(n) if self.version.basis_tracking_pruning else None
         total_updates = 0
         skipped_updates = 0
         interrupted_at: int | None = None
 
-        for index, gate in enumerate(ordered):
-            applying = index >= start_cursor
-            if basis is not None:
-                basis.observe(gate)
-            tracker.involve(
-                gate, diagonal_aware=self.version.diagonal_aware_pruning
-            )
-            groups = chunk_pair_groups(n, state.chunk_bits, gate.qubits)
-            total_updates += len(groups)
-            if self.version.pruning:
-                def pruned(member: int) -> bool:
-                    if basis is not None:
-                        return basis.chunk_is_pruned(member, state.chunk_bits)
-                    return chunk_is_pruned(member, state.chunk_bits, tracker.mask)
+        try:
+            for index, gate in enumerate(ordered):
+                applying = index >= start_cursor
+                if basis is not None:
+                    basis.observe(gate)
+                tracker.involve(
+                    gate, diagonal_aware=self.version.diagonal_aware_pruning
+                )
+                groups = chunk_pair_groups(n, state.chunk_bits, gate.qubits)
+                total_updates += len(groups)
+                if self.version.pruning:
+                    def pruned(member: int) -> bool:
+                        if basis is not None:
+                            return basis.chunk_is_pruned(member, state.chunk_bits)
+                        return chunk_is_pruned(member, state.chunk_bits, tracker.mask)
 
-                live_groups = []
-                for members in groups:
-                    if all(pruned(m) for m in members):
-                        skipped_updates += 1
-                    else:
-                        live_groups.append(members)
-                groups = live_groups
-            if not applying:
-                continue
-            if guard is not None:
-                guard.begin_gate(index)
-            self._apply_groups(state, gate, groups, guard)
-            cursor = index + 1
-            if policy.norm_check_every and cursor % policy.norm_check_every == 0:
-                check_norm(
-                    state.chunks,
-                    policy.norm_tolerance,
-                    where=f"{circuit.name} after gate {index}",
-                )
-            if (
-                checkpoint_every is not None
-                and cursor % checkpoint_every == 0
-                and cursor < len(ordered)
-            ):
-                save_checkpoint(
-                    checkpoint_path,
-                    state,
-                    gate_cursor=cursor,
-                    involvement_mask=tracker.mask,
-                    circuit_name=circuit.name,
-                    version_name=self.version.name,
-                )
-                report.checkpoints_written += 1
-            if stop_after is not None and cursor >= stop_after:
-                interrupted_at = cursor
-                break
+                    live_groups = []
+                    for members in groups:
+                        if all(pruned(m) for m in members):
+                            skipped_updates += 1
+                        else:
+                            live_groups.append(members)
+                    groups = live_groups
+                if not applying:
+                    continue
+                if guard is not None:
+                    guard.begin_gate(index)
+                self._apply_groups(state, gate, groups, guard, engine)
+                cursor = index + 1
+                if policy.norm_check_every and cursor % policy.norm_check_every == 0:
+                    check_norm(
+                        state.chunks,
+                        policy.norm_tolerance,
+                        where=f"{circuit.name} after gate {index}",
+                    )
+                if (
+                    checkpoint_every is not None
+                    and cursor % checkpoint_every == 0
+                    and cursor < len(ordered)
+                ):
+                    save_checkpoint(
+                        checkpoint_path,
+                        state,
+                        gate_cursor=cursor,
+                        involvement_mask=tracker.mask,
+                        circuit_name=circuit.name,
+                        version_name=self.version.name,
+                    )
+                    report.checkpoints_written += 1
+                if stop_after is not None and cursor >= stop_after:
+                    interrupted_at = cursor
+                    break
+        finally:
+            if engine is not None:
+                engine.close()
 
         return FunctionalResult(
             state=state,
@@ -324,24 +348,28 @@ class QGpuSimulator:
         gate,
         groups: list[tuple[int, ...]],
         guard: ChunkTransferGuard | None = None,
+        engine: ParallelChunkEngine | None = None,
     ) -> None:
         """Apply ``gate`` to the listed chunk groups only.
 
-        With a ``guard``, every chunk buffer crosses the simulated link
-        twice (H2D before the update, D2H after), so injected transfer
-        faults corrupt real data and recovery is exercised end-to-end.
+        Unguarded runs delegate to the state's group application (serial
+        bit-exact path, or the ``engine``'s worker pool when one is
+        given).  With a ``guard``, every chunk buffer crosses the
+        simulated link twice (H2D before the update, D2H after), so
+        injected transfer faults corrupt real data and recovery is
+        exercised end-to-end; guarded application is always serial.
         """
+        if guard is None:
+            state.apply_groups(gate, groups, engine)
+            return
         outside = [q for q in gate.qubits if q >= state.chunk_bits]
         if not outside:
             for (index,) in groups:
-                if guard is None:
-                    apply_gate(state.chunks[index], gate)
-                else:
-                    on_device = guard.transfer(state.chunks[index], f"h2d chunk {index}")
-                    apply_gate(on_device, gate)
-                    state.chunks[index][...] = guard.transfer(
-                        on_device, f"d2h chunk {index}"
-                    )
+                on_device = guard.transfer(state.chunks[index], f"h2d chunk {index}")
+                apply_gate(on_device, gate)
+                state.chunks[index][...] = guard.transfer(
+                    on_device, f"d2h chunk {index}"
+                )
             return
         mapping = {q: q for q in gate.qubits if q < state.chunk_bits}
         for rank, q in enumerate(sorted(outside)):
@@ -349,12 +377,9 @@ class QGpuSimulator:
         remapped = gate.remapped(mapping)
         for members in groups:
             gathered = np.concatenate([state.chunks[m] for m in members])
-            if guard is None:
-                apply_gate(gathered, remapped)
-            else:
-                on_device = guard.transfer(gathered, f"h2d group {members[0]}")
-                apply_gate(on_device, remapped)
-                gathered = guard.transfer(on_device, f"d2h group {members[0]}")
+            on_device = guard.transfer(gathered, f"h2d group {members[0]}")
+            apply_gate(on_device, remapped)
+            gathered = guard.transfer(on_device, f"d2h group {members[0]}")
             for position, member in enumerate(members):
                 start = position << state.chunk_bits
                 state.chunks[member][...] = gathered[start : start + state.chunk_size]

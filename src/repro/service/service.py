@@ -43,6 +43,7 @@ from repro.service.metrics import LogicalClock, MetricsRegistry, WallClock
 from repro.service.scheduling import SchedulingPolicy, get_policy
 from repro.service.store import JobStore
 from repro.statevector.measure import sample_counts
+from repro.statevector.parallel import resolve_workers
 
 #: Default result-cache budget (bytes of canonical-JSON payloads).
 DEFAULT_CACHE_BUDGET = 16 * 1024 * 1024
@@ -59,12 +60,15 @@ def execute_job(
     spec: JobSpec,
     machine: MachineSpec,
     sim_recovery: RecoveryPolicy,
+    sim_workers: int | str | None = 1,
 ) -> JobResult:
     """Run one job to completion (worker-thread body).
 
     Pure: reads only its arguments, mutates no shared state, and returns
     the result payload; any :class:`ReproError` propagates to the
-    coordinator as the job's failure.
+    coordinator as the job's failure.  ``sim_workers`` is the functional
+    engine's chunk-worker knob (see :class:`~repro.core.QGpuSimulator`);
+    the default ``1`` keeps every job on the bit-exact serial path.
     """
     circuit = spec.build_circuit()
     version = SERVICE_VERSIONS[spec.version]
@@ -75,6 +79,7 @@ def execute_job(
         chunk_bits=spec.chunk_bits,
         fault_plan=plan,
         reliability_policy=sim_recovery,
+        workers=sim_workers,
     )
     outcome = simulator.run(circuit)
     amplitudes = outcome.amplitudes
@@ -115,6 +120,10 @@ class BatchService:
             backoff to the metrics (modelled, never slept).
         sim_recovery: In-run reliability policy handed to the simulator
             (fault detection/recovery inside one attempt).
+        sim_workers: Chunk-worker threads *inside* each simulation (the
+            functional engine's ``workers`` knob).  Independent of
+            ``workers``, which is the number of concurrent jobs; the
+            default ``1`` keeps every job bit-deterministic.
         seed: Run seed recorded in the metrics and used as the default for
             specs that carry none.
         journal: Optional :class:`JobStore` (or path) receiving every job
@@ -131,11 +140,13 @@ class BatchService:
         cache_budget_bytes: int = DEFAULT_CACHE_BUDGET,
         recovery: RecoveryPolicy = DEFAULT_POLICY,
         sim_recovery: RecoveryPolicy = DEFAULT_POLICY,
+        sim_workers: int | str | None = 1,
         seed: int = 0,
         journal: JobStore | str | Path | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"need at least one worker, got {workers}")
+        resolve_workers(sim_workers, 1)  # fail fast on a bad knob
         self.machine = machine
         self.policy = get_policy(policy) if isinstance(policy, str) else policy
         self.workers = workers
@@ -150,6 +161,7 @@ class BatchService:
         self.cache = ResultCache(cache_budget_bytes)
         self.recovery = recovery
         self.sim_recovery = sim_recovery
+        self.sim_workers = sim_workers
         self.seed = seed
         self.clock = LogicalClock() if self.deterministic else WallClock()
         self.metrics = MetricsRegistry()
@@ -306,9 +318,11 @@ class BatchService:
             job.transition(JobState.RUNNING, at=self.clock.tick())
             self._journal_transition(job, job.started_at)
             self._inflight[key] = job.job_id
-            futures[pool.submit(execute_job, job.spec, self.machine, self.sim_recovery)] = (
-                job.job_id
-            )
+            futures[
+                pool.submit(
+                    execute_job, job.spec, self.machine, self.sim_recovery, self.sim_workers
+                )
+            ] = job.job_id
 
     def _complete_from_cache(self, job: Job, key: str) -> None:
         """Serve a queued job instantly from the result cache."""
@@ -387,6 +401,7 @@ class BatchService:
             "machine": self.machine.name,
             "policy": self.policy.name,
             "workers": self.workers,
+            "sim_workers": self.sim_workers,
             "deterministic": self.deterministic,
             "seed": self.seed,
             "memory_budget_bytes": self.admission.budget_bytes,

@@ -23,6 +23,12 @@ from repro.statevector.expectation import (
     ising_energy,
 )
 from repro.statevector.io import dump_state, load_state, roundtrip_bytes
+from repro.statevector.kernels import (
+    apply_diagonal_chunk,
+    apply_pair,
+    apply_single_qubit_fused,
+    chunk_diagonal_factor,
+)
 from repro.statevector.measure import (
     expectation_z,
     marginal_probability,
@@ -30,21 +36,35 @@ from repro.statevector.measure import (
     probabilities,
     sample_counts,
 )
+from repro.statevector.parallel import (
+    AUTO_PARALLEL_THRESHOLD,
+    ChunkWorkerPool,
+    ParallelChunkEngine,
+    resolve_workers,
+    worker_assignment,
+)
 from repro.statevector.state import StateVector, simulate
 
 __all__ = [
+    "AUTO_PARALLEL_THRESHOLD",
+    "ChunkWorkerPool",
     "ChunkedStateVector",
     "DensityMatrix",
     "KrausChannel",
     "Observable",
+    "ParallelChunkEngine",
     "PauliString",
     "StateVector",
     "amplitude_damping",
     "apply_controlled",
     "apply_diagonal",
+    "apply_diagonal_chunk",
     "apply_gate",
     "apply_matrix",
+    "apply_pair",
     "apply_pauli",
+    "apply_single_qubit_fused",
+    "chunk_diagonal_factor",
     "chunk_pair_groups",
     "depolarizing",
     "dump_state",
@@ -56,7 +76,9 @@ __all__ = [
     "most_probable",
     "phase_damping",
     "probabilities",
+    "resolve_workers",
     "roundtrip_bytes",
     "sample_counts",
     "simulate",
+    "worker_assignment",
 ]

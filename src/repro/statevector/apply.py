@@ -28,6 +28,10 @@ from repro.errors import SimulationError
 
 
 def _num_qubits_of(state: np.ndarray) -> int:
+    if state.size == 0:
+        raise SimulationError(
+            "state vector is empty: a state needs at least 2^0 = 1 amplitude"
+        )
     n = int(state.size).bit_length() - 1
     if state.size != 1 << n:
         raise SimulationError(f"state size {state.size} is not a power of two")
@@ -107,7 +111,9 @@ def apply_controlled(
 def apply_gate(state: np.ndarray, gate: Gate) -> None:
     """Apply ``gate`` to ``state`` in place, dispatching to the best kernel."""
     if gate.is_diagonal:
-        apply_diagonal(state, np.diag(gate.matrix()).copy(), gate.qubits)
+        # The memoized diagonal avoids building the full 2^k x 2^k matrix
+        # just to read its diagonal, once per call.
+        apply_diagonal(state, gate.diagonal(), gate.qubits)
     elif gate.name in ("cx", "cy"):
         base = gate.matrix()[np.ix_([1, 3], [1, 3])]
         apply_controlled(state, base, gate.qubits[:1], gate.qubits[1:])

@@ -8,11 +8,21 @@ bits address *within* a chunk, the high ``n-m`` bits select the chunk.
   independently.
 * A gate touching qubits ``>= m`` ("Case 2") pairs chunks whose indices
   differ in the corresponding chunk-index bits; the paired chunks must be
-  gathered before the update.
+  co-resident before the update.
 
 This module implements those mechanics exactly, so the timed executor's
 chunk-schedule logic can be validated against a functional ground truth:
 running a circuit chunked must be bit-identical to running it dense.
+
+Storage is one contiguous backing buffer with the chunks as views into it
+(chunk ``i`` occupies ``[i * 2^m, (i + 1) * 2^m)``), so cross-chunk
+kernels can address amplitude pairs directly instead of gathering copies;
+see :mod:`repro.statevector.kernels`.  The serial (``workers=1``) path
+keeps the baseline gather arithmetic for non-diagonal cross-chunk gates -
+bit-identical to the original engine - while diagonal gates always take
+the in-place zero-copy kernel (provably the same multiply per amplitude).
+``workers > 1`` hands whole chunk groups to the persistent thread pool of
+:class:`~repro.statevector.parallel.ParallelChunkEngine`.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Gate
 from repro.errors import SimulationError
 from repro.statevector.apply import apply_gate
+from repro.statevector.kernels import apply_diagonal_chunk, chunk_diagonal_factor
 
 
 def chunk_pair_groups(
@@ -58,7 +69,7 @@ def chunk_pair_groups(
 
 
 class ChunkedStateVector:
-    """State vector stored as equally sized chunks.
+    """State vector stored as equally sized chunks over one backing buffer.
 
     Args:
         num_qubits: Register width ``n``.
@@ -78,20 +89,50 @@ class ChunkedStateVector:
         self.num_qubits = num_qubits
         self.chunk_bits = chunk_bits
         self.num_chunks = 1 << (num_qubits - chunk_bits)
-        self.chunks = [
-            np.zeros(1 << chunk_bits, dtype=np.complex128)
-            for _ in range(self.num_chunks)
-        ]
-        self.chunks[0][0] = 1.0
+        self._backing = np.zeros(1 << num_qubits, dtype=np.complex128)
+        self._backing[0] = 1.0
+        self._chunks: list[np.ndarray] | None = None
 
     @property
     def chunk_size(self) -> int:
         """Amplitudes per chunk."""
         return 1 << self.chunk_bits
 
+    @property
+    def backing(self) -> np.ndarray:
+        """The contiguous ``2^n`` amplitude buffer the chunks are views of."""
+        return self._backing
+
+    @property
+    def chunks(self) -> list[np.ndarray]:
+        """Per-chunk views into :attr:`backing` (writes go through)."""
+        if self._chunks is None:
+            size = self.chunk_size
+            self._chunks = [
+                self._backing[index * size : (index + 1) * size]
+                for index in range(self.num_chunks)
+            ]
+        return self._chunks
+
+    def swap_backing(self, new_backing: np.ndarray) -> np.ndarray:
+        """Adopt ``new_backing`` as the amplitude buffer; return the old one.
+
+        The double-buffer handoff of the fused kernels: after a whole-state
+        kernel writes the updated amplitudes into a scratch buffer, the
+        buffers trade places instead of copying back.  Chunk views are
+        re-derived lazily; any previously obtained views keep addressing
+        the *old* buffer.
+        """
+        if new_backing.shape != self._backing.shape or new_backing.dtype != self._backing.dtype:
+            raise SimulationError("swap_backing buffer must match the state layout")
+        old = self._backing
+        self._backing = new_backing
+        self._chunks = None
+        return old
+
     def to_dense(self) -> np.ndarray:
-        """Concatenate all chunks into the full ``2^n`` vector."""
-        return np.concatenate(self.chunks)
+        """A dense copy of the full ``2^n`` vector."""
+        return self._backing.copy()
 
     @classmethod
     def from_dense(cls, amplitudes: np.ndarray, chunk_bits: int) -> "ChunkedStateVector":
@@ -100,45 +141,127 @@ class ChunkedStateVector:
         if amplitudes.size != 1 << num_qubits:
             raise SimulationError("amplitude count is not a power of two")
         out = cls(num_qubits, chunk_bits)
-        for index in range(out.num_chunks):
-            start = index << chunk_bits
-            out.chunks[index][...] = amplitudes[start : start + out.chunk_size]
+        out._backing[...] = amplitudes
         return out
 
-    def apply(self, gate: Gate) -> "ChunkedStateVector":
-        """Apply one gate, gathering cross-chunk groups as Fig. 1 requires."""
+    def apply(self, gate: Gate, engine=None) -> "ChunkedStateVector":
+        """Apply one gate to every chunk group (Fig. 1 mechanics).
+
+        Args:
+            gate: The gate to apply.
+            engine: Optional
+                :class:`~repro.statevector.parallel.ParallelChunkEngine`;
+                when given, chunk groups execute on its worker pool.
+        """
         groups = chunk_pair_groups(self.num_qubits, self.chunk_bits, gate.qubits)
+        return self.apply_groups(gate, groups, engine)
+
+    def apply_groups(
+        self,
+        gate: Gate,
+        groups: list[tuple[int, ...]],
+        engine=None,
+    ) -> "ChunkedStateVector":
+        """Apply ``gate`` to the listed chunk groups only.
+
+        The pruning-aware callers (:class:`~repro.core.QGpuSimulator` and
+        :meth:`run` with ``pruning=True``) pass the live subset of
+        :func:`chunk_pair_groups`; a skipped group is provably all-zero
+        and unchanged by any unitary.
+        """
+        if engine is not None:
+            engine.apply_groups(self, gate, groups)
+            return self
+        if gate.is_diagonal:
+            # Diagonal gates never mix amplitudes: multiply each member
+            # chunk in place (zero-copy, bit-identical to the gathered
+            # path - the same multiplier hits the same amplitude).
+            cache: dict[int, np.ndarray | complex] = {}
+            chunks = self.chunks
+            for members in groups:
+                for member in members:
+                    apply_diagonal_chunk(chunks[member], gate, self.chunk_bits, member, cache)
+            return self
         outside = [q for q in gate.qubits if q >= self.chunk_bits]
         if not outside:
-            for chunk in self.chunks:
-                apply_gate(chunk, gate)
+            chunks = self.chunks
+            for (index,) in groups:
+                apply_gate(chunks[index], gate)
             return self
 
-        # Remap outside qubits onto the extra axes of the gathered buffer:
-        # gathered index = (group member rank << chunk_bits) | offset, with
-        # member rank bits ordered by ascending outside-qubit index.
+        # Baseline serial path: remap outside qubits onto the extra axes of
+        # the gathered buffer - gathered index = (member rank << chunk_bits)
+        # | offset, member rank bits ordered by ascending outside qubit.
         ascending_outside = sorted(outside)
         mapping = {q: q for q in gate.qubits if q < self.chunk_bits}
         for rank, q in enumerate(ascending_outside):
             mapping[q] = self.chunk_bits + rank
         remapped = gate.remapped(mapping)
 
+        chunks = self.chunks
         for members in groups:
-            gathered = np.concatenate([self.chunks[index] for index in members])
+            gathered = np.concatenate([chunks[index] for index in members])
             apply_gate(gathered, remapped)
             for position, index in enumerate(members):
                 start = position << self.chunk_bits
-                self.chunks[index][...] = gathered[start : start + self.chunk_size]
+                chunks[index][...] = gathered[start : start + self.chunk_size]
         return self
 
-    def run(self, circuit: QuantumCircuit) -> "ChunkedStateVector":
-        """Apply every gate of ``circuit`` in order."""
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        *,
+        workers: int | str | None = 1,
+        pruning: bool = False,
+    ) -> "ChunkedStateVector":
+        """Apply every gate of ``circuit`` in order.
+
+        Args:
+            circuit: Circuit matching this state's width.
+            workers: Chunk-worker threads; ``1`` (default) is the serial,
+                bit-exact baseline path, ``"auto"`` sizes the pool to the
+                host, and ``N > 1`` runs chunk groups on ``N`` threads.
+            pruning: Consult an
+                :class:`~repro.core.involvement.InvolvementTracker` along
+                the way (Algorithm 1's window) and skip chunk groups whose
+                member chunks are all provably zero.
+        """
         if circuit.num_qubits != self.num_qubits:
             raise SimulationError(
                 f"circuit width {circuit.num_qubits} != state width {self.num_qubits}"
             )
-        for gate in circuit:
-            self.apply(gate)
+        # Imported lazily: repro.core's package __init__ pulls in the
+        # simulator, which imports this module - importing at the top
+        # would cycle.
+        from repro.statevector.parallel import ParallelChunkEngine, resolve_workers
+
+        tracker = None
+        if pruning:
+            from repro.core.involvement import InvolvementTracker
+
+            tracker = InvolvementTracker(self.num_qubits)
+
+        resolved = resolve_workers(workers, 1 << self.num_qubits)
+        engine = ParallelChunkEngine(resolved) if resolved > 1 else None
+        try:
+            for gate in circuit:
+                groups = chunk_pair_groups(self.num_qubits, self.chunk_bits, gate.qubits)
+                if tracker is not None:
+                    from repro.core.pruning import chunk_is_pruned
+
+                    tracker.involve(gate)
+                    groups = [
+                        members
+                        for members in groups
+                        if not all(
+                            chunk_is_pruned(m, self.chunk_bits, tracker.mask)
+                            for m in members
+                        )
+                    ]
+                self.apply_groups(gate, groups, engine)
+        finally:
+            if engine is not None:
+                engine.close()
         return self
 
     def chunk_is_zero(self, index: int, tolerance: float = 0.0) -> bool:
@@ -174,3 +297,11 @@ class ChunkedStateVector:
             outcome = (int(chunk_index) << self.chunk_bits) | offset
             counts[outcome] = counts.get(outcome, 0) + 1
         return counts
+
+
+__all__ = [
+    "ChunkedStateVector",
+    "chunk_pair_groups",
+    "apply_diagonal_chunk",
+    "chunk_diagonal_factor",
+]

@@ -1,0 +1,289 @@
+"""Parallel chunk execution: a persistent worker pool over chunk groups.
+
+Every gate's chunk groups (see
+:func:`~repro.statevector.chunks.chunk_pair_groups`) are independent - they
+touch disjoint chunks - so they can execute concurrently.  This module
+provides the engine that does so with *threads*: the hot kernels (BLAS
+matmuls in :func:`~repro.statevector.apply.apply_matrix`, large-array
+ufuncs in the zero-copy kernels) all release the GIL, so chunk workers
+genuinely overlap on multicore hosts.
+
+Ownership mirrors the multi-GPU discipline of
+:mod:`repro.core.multigpu`: group ``i`` of a gate belongs to worker
+``i % workers``, exactly the paper's Fig. 18 round-robin (worker = GPU).
+The functional and timed engines therefore share one partitioning story -
+:func:`worker_assignment` returns the very
+:class:`~repro.core.multigpu.GroupAssignment` the timed model schedules.
+
+The only deliberate deviation: when *every* group of a single-qubit gate
+is live, the per-group pair updates fuse into one batched matmul
+(:func:`~repro.statevector.kernels.apply_single_qubit_fused`) split into
+one contiguous slab per worker - the same disjoint coverage, coalesced
+for memory bandwidth.
+
+Numerics: with ``workers == 1`` the serial engine runs the exact
+baseline arithmetic (bit-identical results, so determinism mode and
+checkpoint resume are untouched).  With ``workers > 1`` the zero-copy
+kernels reorder floating-point operations; results agree with the serial
+engine to machine precision (``atol <= 1e-12``) but not bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.circuits.gates import Gate
+from repro.errors import SimulationError
+from repro.statevector.apply import apply_gate
+from repro.statevector.kernels import (
+    apply_diagonal_chunk,
+    apply_pair,
+    apply_single_qubit_fused,
+    chunk_diagonal_factor,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.statevector.chunks import ChunkedStateVector
+
+#: Below this many amplitudes ``workers="auto"`` stays serial: the state is
+#: too small for threading to beat the bit-exact baseline path.
+AUTO_PARALLEL_THRESHOLD = 1 << 18
+
+#: Ceiling on auto-selected workers; explicit ``workers=`` may exceed it.
+MAX_AUTO_WORKERS = 4
+
+
+def resolve_workers(workers: int | str | None, num_amplitudes: int | None = None) -> int:
+    """Turn a ``workers`` knob into a concrete worker count.
+
+    ``None`` or ``"auto"`` selects ``min(cpu_count, 4)`` for states of at
+    least :data:`AUTO_PARALLEL_THRESHOLD` amplitudes and ``1`` otherwise
+    (small states stay on the bit-exact serial path).  Integers pass
+    through validated.
+
+    Raises:
+        SimulationError: On a non-positive or non-integer worker count.
+    """
+    if workers is None or workers == "auto":
+        if num_amplitudes is not None and num_amplitudes < AUTO_PARALLEL_THRESHOLD:
+            return 1
+        return max(1, min(MAX_AUTO_WORKERS, os.cpu_count() or 1))
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise SimulationError(f"workers must be a positive int or 'auto', got {workers!r}")
+    if workers < 1:
+        raise SimulationError(f"workers must be a positive int or 'auto', got {workers}")
+    return workers
+
+
+def worker_assignment(num_qubits: int, chunk_bits: int, gate: Gate, workers: int):
+    """The multi-GPU round-robin assignment with workers standing in for GPUs.
+
+    Returns :class:`~repro.core.multigpu.GroupAssignment` - the functional
+    engine's ownership is definitionally the timed engine's partitioning.
+    """
+    # Imported lazily: repro.core's package __init__ imports the simulator,
+    # which imports this package - a module-level import would cycle.
+    from repro.core.multigpu import assign_round_robin
+
+    return assign_round_robin(num_qubits, chunk_bits, gate, workers)
+
+
+class ChunkWorkerPool:
+    """A persistent pool of chunk-worker threads.
+
+    One pool lives for the whole engine (and thus across every gate of
+    every circuit the engine runs): thread startup is paid once, not per
+    gate.  Tasks are plain callables over disjoint chunk sets, so no
+    locking is needed; :meth:`run_tasks` blocks until all complete and
+    re-raises the first failure.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise SimulationError("a worker pool needs at least 2 workers")
+        self.workers = workers
+        self._pool: ThreadPoolExecutor | None = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="chunk-worker"
+        )
+
+    def run_tasks(self, tasks: Sequence[Callable[[], None]]) -> None:
+        """Execute ``tasks`` concurrently; the calling thread joins the barrier."""
+        if self._pool is None:
+            raise SimulationError("worker pool is closed")
+        if not tasks:
+            return
+        if len(tasks) == 1:
+            tasks[0]()
+            return
+        futures = [self._pool.submit(task) for task in tasks[1:]]
+        tasks[0]()  # the coordinator works too instead of idling at the barrier
+        for future in futures:
+            future.result()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ParallelChunkEngine:
+    """Executes chunk groups of each gate concurrently with zero-copy kernels.
+
+    Args:
+        workers: Worker threads (``>= 2``; use the serial path in
+            :class:`~repro.statevector.chunks.ChunkedStateVector` for 1).
+
+    The engine owns two persistent resources: the thread pool and a
+    scratch buffer the size of the state (for the fused batched-matmul
+    path, which writes to scratch and swaps buffers instead of copying
+    back).  Close the engine (or use it as a context manager) when done;
+    a closed engine raises on use.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = resolve_workers(workers)
+        if self.workers < 2:
+            raise SimulationError(
+                f"ParallelChunkEngine needs workers >= 2, got {self.workers}"
+            )
+        self._pool = ChunkWorkerPool(self.workers)
+        # The fused whole-state kernel is pure memory-bandwidth work: more
+        # slabs than physical cores only adds handoff overhead, so its
+        # fan-out is capped at the host's parallelism even when the group
+        # round-robin uses the full worker count.
+        self._fused_parts = max(1, min(self.workers, os.cpu_count() or 1))
+        self._scratch: np.ndarray | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down and drop the scratch buffer."""
+        self._pool.close()
+        self._scratch = None
+
+    def __enter__(self) -> "ParallelChunkEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- application ---------------------------------------------------------
+
+    def apply_groups(
+        self,
+        state: "ChunkedStateVector",
+        gate: Gate,
+        groups: Sequence[tuple[int, ...]],
+    ) -> None:
+        """Apply ``gate`` to the listed chunk groups of ``state``.
+
+        Dispatch, in order of preference:
+
+        * diagonal gate - per-chunk in-place multiply (no pairing at all),
+          member chunks round-robin across workers;
+        * gate fully inside the chunk - per-chunk dense kernel,
+          round-robin;
+        * single-qubit gate with every group live - fused batched matmul,
+          one contiguous slab per worker, buffer swap instead of copy-back;
+        * single-qubit cross-chunk gate (some groups pruned) - the 2x2
+          amplitude-pair kernel per group, round-robin;
+        * multi-qubit cross-chunk gate - gather/scatter per group (the
+          baseline arithmetic), round-robin.  Rare: it needs two or more
+          gate qubits at or above ``chunk_bits``.
+        """
+        if not groups:
+            return
+        chunk_bits = state.chunk_bits
+        outside = [q for q in gate.qubits if q >= chunk_bits]
+        if gate.is_diagonal:
+            self._apply_diagonal(state, gate, groups)
+        elif not outside:
+            members = [group[0] for group in groups]
+            chunks = state.chunks
+            self._round_robin(members, lambda m: apply_gate(chunks[m], gate))
+        elif gate.num_qubits == 1:
+            if len(groups) == state.num_chunks // 2:
+                self._apply_fused(state, gate)
+            else:
+                matrix = gate.matrix()
+                chunks = state.chunks
+                self._round_robin(
+                    list(groups),
+                    lambda g: apply_pair(chunks[g[0]], chunks[g[1]], matrix),
+                )
+        else:
+            self._apply_gathered(state, gate, groups, outside)
+
+    # -- kernel drivers ------------------------------------------------------
+
+    def _round_robin(self, items: list, task) -> None:
+        """Run ``task`` over ``items``, item ``i`` owned by worker ``i % workers``.
+
+        The modulo ownership mirrors
+        :func:`~repro.core.multigpu.assign_round_robin` exactly.
+        """
+
+        def worker(owned: list) -> Callable[[], None]:
+            def run() -> None:
+                for item in owned:
+                    task(item)
+
+            return run
+
+        slices = [items[w :: self.workers] for w in range(self.workers)]
+        self._pool.run_tasks([worker(owned) for owned in slices if owned])
+
+    def _apply_diagonal(self, state, gate: Gate, groups) -> None:
+        members = [member for group in groups for member in group]
+        chunk_bits = state.chunk_bits
+        chunks = state.chunks
+        # Precompute the (at most 2^k) distinct factors serially so worker
+        # threads never race on the cache dict.
+        cache: dict[int, np.ndarray | complex] = {}
+        for member in members:
+            chunk_diagonal_factor(gate, chunk_bits, member, cache)
+        self._round_robin(
+            members,
+            lambda m: apply_diagonal_chunk(chunks[m], gate, chunk_bits, m, cache),
+        )
+
+    def _apply_fused(self, state, gate: Gate) -> None:
+        source = state.backing
+        if self._scratch is None or self._scratch.size != source.size:
+            self._scratch = np.empty_like(source)
+        dest = self._scratch
+        matrix = gate.matrix()
+        qubit = gate.qubits[0]
+        parts = self._fused_parts
+        self._pool.run_tasks(
+            [
+                (lambda p: lambda: apply_single_qubit_fused(
+                    source, dest, matrix, qubit, part=p, parts=parts
+                ))(part)
+                for part in range(parts)
+            ]
+        )
+        self._scratch = state.swap_backing(dest)
+
+    def _apply_gathered(self, state, gate: Gate, groups, outside) -> None:
+        """Baseline gather/compute/scatter per group, parallel across groups."""
+        chunk_bits = state.chunk_bits
+        chunks = state.chunks
+        mapping = {q: q for q in gate.qubits if q < chunk_bits}
+        for rank, q in enumerate(sorted(outside)):
+            mapping[q] = chunk_bits + rank
+        remapped = gate.remapped(mapping)
+        chunk_size = state.chunk_size
+
+        def one_group(members: tuple[int, ...]) -> None:
+            gathered = np.concatenate([chunks[m] for m in members])
+            apply_gate(gathered, remapped)
+            for position, member in enumerate(members):
+                start = position << chunk_bits
+                chunks[member][...] = gathered[start : start + chunk_size]
+
+        self._round_robin(list(groups), one_group)

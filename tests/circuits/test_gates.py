@@ -112,3 +112,28 @@ class TestGateValidation:
     def test_str_includes_params(self) -> None:
         assert "rx(0.5)" in str(Gate("rx", (3,), (0.5,)))
         assert "[3]" in str(Gate("rx", (3,), (0.5,)))
+
+
+class TestMatrixMemoization:
+    def test_matrix_shared_across_equal_gates(self) -> None:
+        # Memoized per (name, params): every h on every qubit shares one
+        # matrix object, so the chunked engine never rebuilds it per chunk.
+        assert Gate("h", (0,)).matrix() is Gate("h", (5,)).matrix()
+        assert Gate("rz", (0,), (0.3,)).matrix() is Gate("rz", (2,), (0.3,)).matrix()
+        assert Gate("rz", (0,), (0.3,)).matrix() is not Gate("rz", (0,), (0.4,)).matrix()
+
+    def test_memoized_matrix_is_read_only(self) -> None:
+        matrix = Gate("h", (0,)).matrix()
+        assert not matrix.flags.writeable
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 9.0
+
+    def test_diagonal_matches_matrix_diagonal(self) -> None:
+        for gate in (Gate("rz", (1,), (0.7,)), Gate("cz", (0, 1)), Gate("t", (0,))):
+            np.testing.assert_array_equal(gate.diagonal(), np.diag(gate.matrix()))
+            assert not gate.diagonal().flags.writeable
+            assert gate.diagonal() is gate.diagonal()
+
+    def test_diagonal_rejects_non_diagonal_gate(self) -> None:
+        with pytest.raises(CircuitError, match="not diagonal"):
+            Gate("h", (0,)).diagonal()

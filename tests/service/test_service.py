@@ -280,3 +280,36 @@ class TestValidation:
         job = svc.submit(JobSpec(family="bv", qubits=6, version="Q-GPU+basis"))
         svc.run_until_complete()
         assert job.state is JobState.SUCCEEDED
+
+
+class TestSimWorkers:
+    def test_bad_sim_workers_rejected_at_construction(self) -> None:
+        with pytest.raises(Exception, match="workers"):
+            BatchService(workers=1, sim_workers=0)
+
+    def test_parallel_sim_matches_serial_counts(self) -> None:
+        # BV lands all probability on one basis state, so the sampled
+        # counts are invariant to the parallel engine's float reordering.
+        spec = JobSpec(family="bv", qubits=8, shots=50)
+        svc_serial = service(sim_workers=1)
+        serial_job = svc_serial.submit(spec)
+        svc_serial.run_until_complete()
+        svc_parallel = service(sim_workers=4)
+        parallel_job = svc_parallel.submit(spec)
+        snap = svc_parallel.run_until_complete()
+        assert parallel_job.state is JobState.SUCCEEDED
+        assert parallel_job.result.counts == serial_job.result.counts
+        assert snap["config"]["sim_workers"] == 4
+
+    def test_parallel_sim_is_run_to_run_deterministic(self) -> None:
+        # The engine's partitioning is fixed, so two parallel runs agree
+        # down to the amplitude digest even though parallel != serial
+        # bit-for-bit.
+        spec = JobSpec(family="qft", qubits=8, shots=10)
+        digests = []
+        for _ in range(2):
+            svc = service(sim_workers=4)
+            job = svc.submit(spec)
+            svc.run_until_complete()
+            digests.append(job.result.state_sha256)
+        assert digests[0] == digests[1]

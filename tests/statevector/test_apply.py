@@ -161,3 +161,10 @@ class TestErrorPaths:
             apply_controlled(
                 np.zeros(4, dtype=np.complex128), np.eye(2), (5,), (0,)
             )
+
+    def test_empty_state_rejected(self) -> None:
+        empty = np.zeros(0, dtype=np.complex128)
+        with pytest.raises(SimulationError, match="empty"):
+            apply_gate(empty, Gate("x", (0,)))
+        with pytest.raises(SimulationError, match="empty"):
+            apply_matrix(empty, np.eye(2), (0,))
