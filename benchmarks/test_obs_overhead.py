@@ -1,0 +1,90 @@
+"""Measured tracing overhead: disabled tracer must be near-free.
+
+The observability layer promises that an un-traced run pays essentially
+nothing for the instrumentation now wired through the simulator, engine
+and kernels.  This benchmark times the same full functional simulation
+three ways in one process:
+
+* ``baseline`` - ``QGpuSimulator`` with no tracer argument (the
+  :data:`~repro.obs.NULL_TRACER` default path),
+* ``disabled`` - an explicit ``Tracer(enabled=False)``: counters attach
+  but spans are no-ops.  The gate asserts this costs < 3% over baseline
+  (best-of-N minima, so host noise cancels),
+* ``enabled``  - a live :class:`~repro.obs.Tracer` with a
+  :class:`~repro.obs.LogicalClock`, reported for context (not gated; a
+  real trace is allowed to cost real time).
+
+Results go to ``BENCH_obs.json``.  Set ``QGPU_BENCH_SMOKE=1`` for a
+CI-sized run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.circuits.library import get_circuit
+from repro.core.simulator import QGpuSimulator
+from repro.core.versions import VERSIONS_BY_NAME
+from repro.obs import LogicalClock, Tracer
+
+SMOKE = os.environ.get("QGPU_BENCH_SMOKE", "") not in ("", "0")
+
+NUM_QUBITS = 12 if SMOKE else 16
+REPEATS = 3 if SMOKE else 7
+# The gate: disabled-tracer minimum over no-tracer minimum, plus a small
+# absolute allowance so microsecond-scale jitter cannot fail a run whose
+# absolute cost is far below a millisecond.
+MAX_DISABLED_OVERHEAD = 0.03
+JITTER_ALLOWANCE_S = 2e-3
+
+RESULTS_PATH = Path("BENCH_obs.json")
+
+
+def _best_of(run) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_tracer_overhead() -> None:
+    circuit = get_circuit("qft", NUM_QUBITS)
+    version = VERSIONS_BY_NAME["Q-GPU"]
+
+    def run(tracer: Tracer | None) -> None:
+        QGpuSimulator(version=version, workers=1, tracer=tracer).run(circuit)
+
+    run(None)  # warm caches (BLAS pools, imports) outside the timed region
+    baseline_s = _best_of(lambda: run(None))
+    disabled_s = _best_of(lambda: run(Tracer(enabled=False)))
+    enabled_s = _best_of(lambda: run(Tracer(clock=LogicalClock())))
+
+    overhead = disabled_s / baseline_s - 1.0
+    payload = {
+        "mode": "smoke" if SMOKE else "full",
+        "num_qubits": NUM_QUBITS,
+        "repeats": REPEATS,
+        "baseline_seconds": baseline_s,
+        "disabled_seconds": disabled_s,
+        "enabled_seconds": enabled_s,
+        "disabled_overhead": overhead,
+        "enabled_overhead": enabled_s / baseline_s - 1.0,
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n  obs overhead bench ({payload['mode']}, qft_{NUM_QUBITS})")
+    print(f"  baseline {baseline_s * 1e3:8.2f} ms")
+    print(f"  disabled {disabled_s * 1e3:8.2f} ms ({overhead:+.1%})")
+    print(f"  enabled  {enabled_s * 1e3:8.2f} ms "
+          f"({payload['enabled_overhead']:+.1%})")
+    print(f"  wrote {RESULTS_PATH}")
+
+    assert disabled_s <= baseline_s * (1 + MAX_DISABLED_OVERHEAD) + JITTER_ALLOWANCE_S, (
+        f"disabled tracer costs {overhead:.1%} over the untraced baseline "
+        f"(budget {MAX_DISABLED_OVERHEAD:.0%})"
+    )

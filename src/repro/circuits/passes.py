@@ -200,18 +200,34 @@ def cancel_inverse_pairs(circuit: QuantumCircuit) -> QuantumCircuit:
     return circuit.with_gates(gates)
 
 
-def transpile(circuit: QuantumCircuit, basis_only: bool = False) -> QuantumCircuit:
+def transpile(
+    circuit: QuantumCircuit, basis_only: bool = False, tracer=None
+) -> QuantumCircuit:
     """Decompose, then merge and cancel to a fixed point.
 
     Args:
         circuit: Circuit to transform.
         basis_only: Stop after decomposition (no merging/cancelling).
+        tracer: Optional :class:`~repro.obs.Tracer`; each pass iteration
+            becomes a ``transpile``-stage span.
     """
-    current = decompose(circuit)
+    if tracer is None:
+        from repro.obs.tracer import NULL_TRACER
+
+        tracer = NULL_TRACER
+    with tracer.span("decompose", stage="transpile", gates=len(circuit)):
+        current = decompose(circuit)
     if basis_only:
         return current
+    iteration = 0
     while True:
-        merged = merge_single_qubit_runs(cancel_inverse_pairs(current))
+        with tracer.span("merge_cancel", stage="transpile", iteration=iteration):
+            merged = merge_single_qubit_runs(cancel_inverse_pairs(current))
         if len(merged) == len(current) and merged.gates == current.gates:
+            if tracer.enabled:
+                tracer.counters.count("transpile.passes", iteration + 1)
+                tracer.counters.count("transpile.gates_in", len(circuit))
+                tracer.counters.count("transpile.gates_out", len(merged))
             return merged
         current = merged
+        iteration += 1

@@ -28,7 +28,11 @@ Subcommands:
   across processes (see ``docs/service.md``).
 
 ``simulate`` also understands ``--fault-plan``, ``--checkpoint-every``,
-``--checkpoint`` and ``--resume`` (see ``docs/reliability.md``).
+``--checkpoint`` and ``--resume`` (see ``docs/reliability.md``), and
+``--trace FILE`` / ``--metrics FILE`` for observability exports; ``trace
+summary FILE`` prints the per-stage breakdown of any exported trace
+(``docs/observability.md``).  The global ``--log-level`` / ``--log-format``
+flags control structured logging.
 """
 
 from __future__ import annotations
@@ -45,7 +49,10 @@ from repro.core.simulator import QGpuSimulator
 from repro.core.versions import ALL_VERSIONS, VERSIONS_BY_NAME
 from repro.errors import ReproError
 from repro.hardware.specs import MACHINES
+from repro.obs.log import configure_logging, get_logger
 from repro.statevector.measure import sample_counts
+
+_logger = get_logger("cli")
 
 
 def _load_circuit(args: argparse.Namespace):
@@ -88,11 +95,39 @@ def _workers_arg(value: str) -> int | str:
     return workers
 
 
+def _build_tracer(args: argparse.Namespace):
+    """Build a Tracer when ``--trace``/``--metrics`` asked for one, else None."""
+    if not getattr(args, "trace", None) and not getattr(args, "metrics", None):
+        return None
+    from repro.obs import LogicalClock, Tracer, WallClock
+
+    logical = getattr(args, "trace_clock", "wall") == "logical"
+    return Tracer(clock=LogicalClock() if logical else WallClock())
+
+
+def _write_observability(tracer, args: argparse.Namespace) -> None:
+    """Write the trace and/or metrics files the flags requested."""
+    if tracer is None:
+        return
+    from repro.obs import metrics_json, write_trace
+
+    if getattr(args, "trace", None):
+        written = write_trace(tracer, args.trace)
+        _logger.info("trace written to %s (%d bytes)", args.trace, written,
+                     extra={"path": args.trace, "bytes": written})
+    if getattr(args, "metrics", None):
+        Path(args.metrics).write_text(metrics_json(tracer))
+        _logger.info("metrics written to %s", args.metrics,
+                     extra={"path": args.metrics})
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args)
     version = VERSIONS_BY_NAME[args.version]
+    tracer = _build_tracer(args)
     simulator = QGpuSimulator(
-        version=version, fault_plan=_fault_plan(args), workers=args.workers
+        version=version, fault_plan=_fault_plan(args), workers=args.workers,
+        tracer=tracer,
     )
     result = simulator.run(
         circuit,
@@ -110,6 +145,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     width = circuit.num_qubits
     for outcome, count in sorted(counts.items(), key=lambda kv: -kv[1])[: args.top]:
         print(f"  |{outcome:0{width}b}>  {count}")
+    _write_observability(tracer, args)
     return 0
 
 
@@ -147,7 +183,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 def _cmd_transpile(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args)
-    lowered = transpile(circuit)
+    tracer = _build_tracer(args)
+    lowered = transpile(circuit, tracer=tracer)
+    _write_observability(tracer, args)
     if args.fingerprint:
         print(f"{circuit.fingerprint()}  {circuit.name}")
         print(f"{lowered.fingerprint()}  {lowered.name} (transpiled)")
@@ -167,6 +205,11 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.action == "summary":
+        return _trace_summary(args)
+    if args.action == "validate":
+        return _trace_validate(args)
+
     from repro.core.schedule import GateStreamPlan, stream_makespan
     from repro.core.simulator import QGpuSimulator
     from repro.hardware.pipeline import StageTimes
@@ -205,6 +248,37 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                                  process_name=f"{circuit.name}/{version.name}")
     print(f"wrote {written} bytes to {args.output} "
           f"(open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def _trace_clock_deterministic(events: list) -> bool:
+    """Whether a trace's clock metadata declares logical (tick) timestamps."""
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "clock":
+            return bool(event.get("args", {}).get("deterministic"))
+    return False
+
+
+def _trace_summary(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        load_trace_events,
+        render_summary,
+        spans_from_events,
+        summarize,
+    )
+
+    events = load_trace_events(args.file)
+    spans = spans_from_events(events)
+    unit = "ticks" if _trace_clock_deterministic(events) else "us"
+    print(render_summary(summarize(spans), unit=unit))
+    return 0
+
+
+def _trace_validate(args: argparse.Namespace) -> int:
+    from repro.obs import validate_trace_file
+
+    checked = validate_trace_file(args.file)
+    print(f"{args.file}: {checked} span(s) well-formed")
     return 0
 
 
@@ -296,6 +370,13 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     sim_recovery = (
         STRICT_POLICY if args.sim_recovery == "strict" else DEFAULT_POLICY
     )
+    tracer = None
+    if args.trace:
+        from repro.obs import LogicalClock, Tracer, WallClock
+
+        # Single-worker service runs are deterministic end to end, so give
+        # them the logical clock and the trace bytes reproduce exactly.
+        tracer = Tracer(clock=LogicalClock() if args.workers == 1 else WallClock())
     service = BatchService(
         machine=MACHINES[args.machine],
         policy=args.policy,
@@ -309,6 +390,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         sim_workers=args.sim_workers,
         seed=args.seed,
         journal=args.journal,
+        tracer=tracer,
     )
     if args.manifest:
         for spec in load_manifest(args.manifest):
@@ -336,6 +418,12 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     if args.metrics:
         Path(args.metrics).write_text(service.metrics_json())
         print(f"metrics written to {args.metrics}")
+    if tracer is not None:
+        from repro.obs import write_trace
+
+        written = write_trace(tracer, args.trace)
+        _logger.info("trace written to %s (%d bytes)", args.trace, written,
+                     extra={"path": args.trace, "bytes": written})
     return 1 if counters.get("jobs_failed", 0) else 0
 
 
@@ -399,7 +487,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Q-GPU reproduction toolkit"
     )
+    parser.add_argument("--log-level", default="warning",
+                        choices=["debug", "info", "warning", "error"],
+                        help="stderr logging threshold")
+    parser.add_argument("--log-format", default="text",
+                        choices=["text", "json"],
+                        help="log line format (json = one object per line)")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def _add_obs_options(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--trace", metavar="FILE",
+                         help="write a Chrome trace of this run")
+        cmd.add_argument("--trace-clock", default="wall",
+                         choices=["wall", "logical"],
+                         help="span timestamps: wall seconds or logical ticks "
+                              "(logical + workers=1 is byte-reproducible)")
+        cmd.add_argument("--metrics", metavar="FILE",
+                         help="write the counter snapshot JSON here")
 
     simulate = sub.add_parser("simulate", help="exact functional simulation")
     _add_circuit_options(simulate)
@@ -419,6 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--workers", type=_workers_arg, default="auto",
                           metavar="N|auto",
                           help="chunk-worker threads (1 = bit-exact serial)")
+    _add_obs_options(simulate)
     simulate.set_defaults(fn=_cmd_simulate)
 
     estimate = sub.add_parser("estimate", help="performance model")
@@ -440,6 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_circuit_options(transpile_cmd)
     transpile_cmd.add_argument("--fingerprint", action="store_true",
                                help="print the circuit content hash instead of QASM")
+    _add_obs_options(transpile_cmd)
     transpile_cmd.set_defaults(fn=_cmd_transpile)
 
     plan = sub.add_parser("plan", help="rank engines/versions for a workload")
@@ -447,7 +553,17 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--machine", default="p100", choices=sorted(MACHINES))
     plan.set_defaults(fn=_cmd_plan)
 
-    trace = sub.add_parser("trace", help="export a chrome-trace of the stream schedule")
+    trace = sub.add_parser(
+        "trace",
+        help="export a chrome-trace of the stream schedule, or summarize/"
+             "validate an exported trace file",
+    )
+    trace.add_argument("action", nargs="?", default="export",
+                       choices=["export", "summary", "validate"],
+                       help="export the modelled stream schedule (default), "
+                            "or analyse an existing trace file")
+    trace.add_argument("file", nargs="?", metavar="FILE",
+                       help="trace file for 'summary' / 'validate'")
     _add_circuit_options(trace)
     trace.add_argument("--machine", default="p100", choices=sorted(MACHINES))
     trace.add_argument("--version", default="Q-GPU", choices=sorted(VERSIONS_BY_NAME))
@@ -501,6 +617,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(1 = bit-exact serial)")
     serve.add_argument("--metrics", metavar="PATH",
                        help="write the metrics JSON here")
+    serve.add_argument("--trace", metavar="PATH",
+                       help="write a Chrome trace of scheduling + simulation "
+                            "(logical clock when --workers 1)")
     serve.set_defaults(fn=_cmd_serve_batch)
 
     submit = sub.add_parser("submit", help="append a job to a journal")
@@ -529,10 +648,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(level=args.log_level, fmt=args.log_format)
+    trace_analysis = (
+        args.command == "trace" and args.action in ("summary", "validate")
+    )
     if getattr(args, "family", None) is None and not getattr(args, "qasm", None) \
+            and not trace_analysis \
             and args.command in ("simulate", "estimate", "transpile", "plan",
                                  "trace", "reliability", "submit"):
         parser.error("provide --family or --qasm")
+    if trace_analysis and not args.file:
+        parser.error(f"trace {args.action} needs a trace FILE argument")
     if args.command == "serve-batch" and not (args.manifest or args.journal):
         parser.error("provide --manifest and/or --journal")
     try:

@@ -44,12 +44,14 @@ from repro.core.versions import QGPU, VersionConfig
 from repro.errors import CheckpointError, FaultInjectionError, SimulationError
 from repro.hardware.machine import Machine
 from repro.hardware.specs import MachineSpec, PAPER_MACHINE
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.reliability.checkpoint import load_checkpoint, save_checkpoint
 from repro.reliability.faults import FaultKind, FaultPlan
 from repro.reliability.integrity import ChunkTransferGuard, check_norm
 from repro.reliability.policy import DEFAULT_POLICY, RecoveryPolicy, ReliabilityReport
 from repro.statevector.apply import apply_gate
 from repro.statevector.chunks import ChunkedStateVector, chunk_pair_groups
+from repro.statevector.kernels import set_kernel_counters
 from repro.statevector.parallel import ParallelChunkEngine, resolve_workers
 
 
@@ -115,6 +117,11 @@ class QGpuSimulator:
             ``1`` forces serial everywhere; ``N > 1`` forces a pool of
             ``N``.  Fault-guarded runs always execute serially (the
             transfer guard is stateful), whatever this says.
+        tracer: Optional :class:`~repro.obs.Tracer`.  Every :meth:`run`
+            becomes a nested span tree (run / reorder / per-gate apply /
+            transfers / checkpoints) and run statistics land in the
+            tracer's counters.  Default: the shared disabled tracer
+            (near-zero overhead).
     """
 
     def __init__(
@@ -125,6 +132,7 @@ class QGpuSimulator:
         fault_plan: FaultPlan | None = None,
         reliability_policy: RecoveryPolicy = DEFAULT_POLICY,
         workers: int | str | None = "auto",
+        tracer: Tracer | None = None,
     ) -> None:
         if chunk_bits is not None and chunk_bits <= 0:
             raise SimulationError(
@@ -138,6 +146,7 @@ class QGpuSimulator:
         self.fault_plan = fault_plan
         self.reliability_policy = reliability_policy
         self.workers = workers
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- functional ---------------------------------------------------------
 
@@ -177,6 +186,51 @@ class QGpuSimulator:
                 forbids recovery.
             FaultInjectionError: An injected fault exhausted its retries.
         """
+        tracer = self.tracer
+        previous_counters = (
+            set_kernel_counters(tracer.counters) if tracer is not NULL_TRACER else None
+        )
+        run_span = (
+            tracer.span("run", circuit=circuit.name, version=self.version.name)
+            if tracer.enabled
+            else None
+        )
+        try:
+            if run_span is not None:
+                with run_span:
+                    return self._run(
+                        circuit,
+                        tracer,
+                        checkpoint_every=checkpoint_every,
+                        checkpoint_path=checkpoint_path,
+                        resume_from=resume_from,
+                        stop_after=stop_after,
+                        workers=workers,
+                    )
+            return self._run(
+                circuit,
+                tracer,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path,
+                resume_from=resume_from,
+                stop_after=stop_after,
+                workers=workers,
+            )
+        finally:
+            if tracer is not NULL_TRACER:
+                set_kernel_counters(previous_counters)
+
+    def _run(
+        self,
+        circuit: QuantumCircuit,
+        tracer: Tracer,
+        *,
+        checkpoint_every: int | None,
+        checkpoint_path: str | Path | None,
+        resume_from: str | Path | None,
+        stop_after: int | None,
+        workers: int | str | None,
+    ) -> FunctionalResult:
         n = circuit.num_qubits
         chunk_bits = self.chunk_bits if self.chunk_bits is not None else max(1, min(10, n - 2))
         if chunk_bits > n:
@@ -191,11 +245,13 @@ class QGpuSimulator:
 
         policy = self.reliability_policy
         report = ReliabilityReport()
-        ordered = reorder(circuit, self.version.reorder_strategy)
+        with tracer.span("reorder", stage="transpile", strategy=self.version.reorder_strategy):
+            ordered = reorder(circuit, self.version.reorder_strategy)
 
         start_cursor = 0
         if resume_from is not None:
-            checkpoint = load_checkpoint(resume_from)
+            with tracer.span("resume", stage="checkpoint"):
+                checkpoint = load_checkpoint(resume_from)
             if checkpoint.num_qubits != n:
                 raise CheckpointError(
                     f"checkpoint width {checkpoint.num_qubits} != circuit width {n}"
@@ -241,6 +297,7 @@ class QGpuSimulator:
                 policy,
                 compression=self.version.compression,
                 report=report,
+                tracer=tracer,
             )
 
         # Guarded runs stay serial: the transfer guard mutates shared fault
@@ -248,7 +305,7 @@ class QGpuSimulator:
         # deterministic for recovery to be reproducible.
         requested = workers if workers is not None else self.workers
         resolved = 1 if guard is not None else resolve_workers(requested, 1 << n)
-        engine = ParallelChunkEngine(resolved) if resolved > 1 else None
+        engine = ParallelChunkEngine(resolved, tracer) if resolved > 1 else None
 
         tracker = InvolvementTracker(n)
         basis = BasisTracker(n) if self.version.basis_tracking_pruning else None
@@ -283,27 +340,38 @@ class QGpuSimulator:
                     continue
                 if guard is not None:
                     guard.begin_gate(index)
-                self._apply_groups(state, gate, groups, guard, engine)
+                if tracer.enabled:
+                    with tracer.span(
+                        f"apply:{gate.name}",
+                        stage="compute",
+                        gate=index,
+                        groups=len(groups),
+                    ):
+                        self._apply_groups(state, gate, groups, guard, engine, tracer)
+                else:
+                    self._apply_groups(state, gate, groups, guard, engine, tracer)
                 cursor = index + 1
                 if policy.norm_check_every and cursor % policy.norm_check_every == 0:
-                    check_norm(
-                        state.chunks,
-                        policy.norm_tolerance,
-                        where=f"{circuit.name} after gate {index}",
-                    )
+                    with tracer.span("norm_check", stage="integrity", gate=index):
+                        check_norm(
+                            state.chunks,
+                            policy.norm_tolerance,
+                            where=f"{circuit.name} after gate {index}",
+                        )
                 if (
                     checkpoint_every is not None
                     and cursor % checkpoint_every == 0
                     and cursor < len(ordered)
                 ):
-                    save_checkpoint(
-                        checkpoint_path,
-                        state,
-                        gate_cursor=cursor,
-                        involvement_mask=tracker.mask,
-                        circuit_name=circuit.name,
-                        version_name=self.version.name,
-                    )
+                    with tracer.span("checkpoint", stage="checkpoint", cursor=cursor):
+                        save_checkpoint(
+                            checkpoint_path,
+                            state,
+                            gate_cursor=cursor,
+                            involvement_mask=tracker.mask,
+                            circuit_name=circuit.name,
+                            version_name=self.version.name,
+                        )
                     report.checkpoints_written += 1
                 if stop_after is not None and cursor >= stop_after:
                     interrupted_at = cursor
@@ -311,6 +379,14 @@ class QGpuSimulator:
         finally:
             if engine is not None:
                 engine.close()
+
+        if tracer is not NULL_TRACER:
+            counters = tracer.counters
+            counters.count("chunk_updates.total", total_updates)
+            counters.count("chunk_updates.skipped", skipped_updates)
+            counters.count("runs.completed" if interrupted_at is None else "runs.interrupted")
+            if report.checkpoints_written:
+                counters.count("checkpoints.written", report.checkpoints_written)
 
         return FunctionalResult(
             state=state,
@@ -349,6 +425,7 @@ class QGpuSimulator:
         groups: list[tuple[int, ...]],
         guard: ChunkTransferGuard | None = None,
         engine: ParallelChunkEngine | None = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         """Apply ``gate`` to the listed chunk groups only.
 
@@ -357,7 +434,9 @@ class QGpuSimulator:
         given).  With a ``guard``, every chunk buffer crosses the
         simulated link twice (H2D before the update, D2H after), so
         injected transfer faults corrupt real data and recovery is
-        exercised end-to-end; guarded application is always serial.
+        exercised end-to-end; guarded application is always serial.  Each
+        direction of a guarded transfer becomes an ``h2d``/``d2h`` span
+        nested in the caller's gate span.
         """
         if guard is None:
             state.apply_groups(gate, groups, engine)
@@ -365,11 +444,13 @@ class QGpuSimulator:
         outside = [q for q in gate.qubits if q >= state.chunk_bits]
         if not outside:
             for (index,) in groups:
-                on_device = guard.transfer(state.chunks[index], f"h2d chunk {index}")
+                with tracer.span("h2d", stage="h2d", chunk=index):
+                    on_device = guard.transfer(state.chunks[index], f"h2d chunk {index}")
                 apply_gate(on_device, gate)
-                state.chunks[index][...] = guard.transfer(
-                    on_device, f"d2h chunk {index}"
-                )
+                with tracer.span("d2h", stage="d2h", chunk=index):
+                    state.chunks[index][...] = guard.transfer(
+                        on_device, f"d2h chunk {index}"
+                    )
             return
         mapping = {q: q for q in gate.qubits if q < state.chunk_bits}
         for rank, q in enumerate(sorted(outside)):
@@ -377,9 +458,11 @@ class QGpuSimulator:
         remapped = gate.remapped(mapping)
         for members in groups:
             gathered = np.concatenate([state.chunks[m] for m in members])
-            on_device = guard.transfer(gathered, f"h2d group {members[0]}")
+            with tracer.span("h2d", stage="h2d", group=members[0]):
+                on_device = guard.transfer(gathered, f"h2d group {members[0]}")
             apply_gate(on_device, remapped)
-            gathered = guard.transfer(on_device, f"d2h group {members[0]}")
+            with tracer.span("d2h", stage="d2h", group=members[0]):
+                gathered = guard.transfer(on_device, f"d2h group {members[0]}")
             for position, member in enumerate(members):
                 start = position << state.chunk_bits
                 state.chunks[member][...] = gathered[start : start + state.chunk_size]

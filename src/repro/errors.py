@@ -57,6 +57,15 @@ class CheckpointError(ReproError):
     """Raised when a checkpoint cannot be written, read, or resumed from."""
 
 
+class ObservabilityError(ReproError):
+    """Raised for invalid tracing or metrics operations.
+
+    Covers spans tagged with a stage outside the taxonomy, unreadable or
+    structurally invalid trace files, and wellformedness violations found
+    by the trace validator.
+    """
+
+
 class ServiceError(ReproError):
     """Raised for invalid batch-service operations.
 

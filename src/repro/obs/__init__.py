@@ -1,0 +1,65 @@
+"""Unified observability: spans, counters, exporters, validation, logging.
+
+Quick start::
+
+    from repro.obs import LogicalClock, Tracer, write_trace
+
+    tracer = Tracer(clock=LogicalClock())
+    sim = QGpuSimulator(machine, tracer=tracer)
+    sim.run(circuit)
+    write_trace(tracer, "run.trace.json")   # open in Perfetto
+
+See ``docs/observability.md`` for the span taxonomy, export formats, and
+overhead numbers.
+"""
+
+from repro.obs.clock import LogicalClock, WallClock
+from repro.obs.counters import CounterRegistry
+from repro.obs.export import (
+    TraceSummary,
+    load_trace_events,
+    metrics_json,
+    render_summary,
+    spans_from_events,
+    summarize,
+    trace_events,
+    trace_json,
+    write_trace,
+)
+from repro.obs.log import JsonLogFormatter, configure_logging, get_logger
+from repro.obs.tracer import (
+    DES_RESOURCE_STAGES,
+    NULL_TRACER,
+    STAGES,
+    Span,
+    Tracer,
+    stage_for_resource,
+)
+from repro.obs.validate import check_spans, validate_spans, validate_trace_file
+
+__all__ = [
+    "CounterRegistry",
+    "DES_RESOURCE_STAGES",
+    "JsonLogFormatter",
+    "LogicalClock",
+    "NULL_TRACER",
+    "STAGES",
+    "Span",
+    "TraceSummary",
+    "Tracer",
+    "WallClock",
+    "check_spans",
+    "configure_logging",
+    "get_logger",
+    "load_trace_events",
+    "metrics_json",
+    "render_summary",
+    "spans_from_events",
+    "stage_for_resource",
+    "summarize",
+    "trace_events",
+    "trace_json",
+    "validate_spans",
+    "validate_trace_file",
+    "write_trace",
+]

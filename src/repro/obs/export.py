@@ -1,0 +1,255 @@
+"""Exporters: Chrome trace-event JSON, metrics JSON, and stage summaries.
+
+Two deterministic outputs per traced run:
+
+* ``*.trace.json`` - Chrome Trace Event Format (``chrome://tracing`` /
+  Perfetto): each lane becomes a named thread, each span a complete
+  (``"ph": "X"``) event carrying its stage, stable span id and parent id
+  in ``args`` so the file round-trips back into spans.
+* metrics JSON - the :class:`~repro.obs.counters.CounterRegistry` snapshot
+  plus caller-supplied run stats, sorted keys, fixed separators.
+
+Both serializations are canonical (sorted keys, stable event order), so a
+``workers=1`` run under a :class:`~repro.obs.clock.LogicalClock` exports
+byte-identical files across runs.
+
+:func:`summarize` reduces a span list to the Fig. 2-style per-stage
+breakdown: each span's *self time* (duration minus direct children) is
+attributed to its stage, so stage totals plus the untraced remainder equal
+the wall total exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ObservabilityError
+from repro.obs.tracer import STAGES, Span, Tracer, stage_for_resource
+
+#: Wall-clock traces scale seconds to the format's microseconds; logical
+#: traces emit ticks directly (one tick = one "microsecond" in the viewer).
+_WALL_SCALE = 1e6
+
+
+def _scale(tracer: Tracer) -> float:
+    return 1.0 if getattr(tracer.clock, "deterministic", False) else _WALL_SCALE
+
+
+def trace_events(tracer: Tracer, process_name: str = "repro") -> list[dict[str, Any]]:
+    """Build the Trace Event list for a tracer's completed spans."""
+    spans = tracer.spans
+    lanes = tracer.lanes()
+    tids = {lane: position + 1 for position, lane in enumerate(lanes)}
+    scale = _scale(tracer)
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": process_name},
+        },
+        {
+            "name": "clock",
+            "ph": "M",
+            "pid": 1,
+            "args": {
+                "deterministic": bool(getattr(tracer.clock, "deterministic", False))
+            },
+        },
+        {
+            "name": "counters",
+            "ph": "M",
+            "pid": 1,
+            "args": tracer.counters.snapshot(),
+        },
+    ]
+    for lane in lanes:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tids[lane],
+                "args": {"name": lane},
+            }
+        )
+    for span in sorted(spans, key=lambda s: (s.start, s.index)):
+        args: dict[str, Any] = {"span": span.index}
+        if span.parent is not None:
+            args["parent"] = span.parent
+        if span.stage is not None:
+            args["stage"] = span.stage
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.stage or "span",
+                "ph": "X",
+                "pid": 1,
+                "tid": tids[span.lane],
+                "ts": span.start * scale,
+                "dur": span.duration * scale,
+                "args": args,
+            }
+        )
+    return events
+
+
+def trace_json(tracer: Tracer, process_name: str = "repro") -> str:
+    """Canonical Chrome-trace JSON (byte-identical for deterministic clocks)."""
+    payload = {"traceEvents": trace_events(tracer, process_name)}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_trace(tracer: Tracer, path: str | Path, process_name: str = "repro") -> int:
+    """Write the trace JSON; returns bytes written."""
+    text = trace_json(tracer, process_name)
+    Path(path).write_text(text)
+    return len(text)
+
+
+# -- reading traces back -------------------------------------------------------
+
+
+def load_trace_events(path: str | Path) -> list[dict[str, Any]]:
+    """Read a ``*.trace.json`` file back to its event list.
+
+    Accepts both this module's output and the DES exporter's
+    (:mod:`repro.hardware.trace`) - any object with a ``traceEvents`` list.
+
+    Raises:
+        ObservabilityError: Unreadable file or unrecognized structure.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as error:
+        raise ObservabilityError(f"cannot read trace {path}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise ObservabilityError(f"{path}: not valid JSON ({error})") from None
+    events = data.get("traceEvents") if isinstance(data, dict) else data
+    if not isinstance(events, list):
+        raise ObservabilityError(f"{path}: no traceEvents list found")
+    return events
+
+
+def spans_from_events(events: list[dict[str, Any]]) -> list[Span]:
+    """Rebuild spans from trace events.
+
+    Events written by this module carry span/parent ids and stages in
+    ``args``; DES-model traces carry the resource in ``cat``, which maps
+    into the taxonomy via :func:`stage_for_resource` and yields a flat
+    (parentless) span list.
+    """
+    lanes: dict[Any, str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            lanes[event.get("tid")] = event.get("args", {}).get("name", "?")
+    spans: list[Span] = []
+    for position, event in enumerate(events):
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args", {}) or {}
+        stage = args.get("stage")
+        if stage is None:
+            stage = stage_for_resource(str(event.get("cat", "")))
+        start = float(event.get("ts", 0.0))
+        duration = float(event.get("dur", 0.0))
+        tid = event.get("tid")
+        spans.append(
+            Span(
+                index=int(args.get("span", position)),
+                name=str(event.get("name", "?")),
+                stage=stage,
+                lane=lanes.get(tid, str(tid)),
+                start=start,
+                end=start + duration,
+                parent=args.get("parent"),
+                attrs={
+                    k: v for k, v in args.items() if k not in ("span", "parent", "stage")
+                },
+            )
+        )
+    return spans
+
+
+# -- summaries -----------------------------------------------------------------
+
+
+@dataclass
+class TraceSummary:
+    """Per-stage totals of one trace.
+
+    Attributes:
+        wall: Trace extent (latest end minus earliest start).
+        stages: Self-time total per taxonomy stage (only stages observed).
+        untraced: ``wall`` minus the sum of stage totals - structural span
+            time and gaps.  By construction ``sum(stages) + untraced ==
+            wall`` exactly; it can go negative in multi-lane traces where
+            worker lanes overlap the coordinator.
+        span_count: Spans summarized.
+        lanes: Lane names present.
+    """
+
+    wall: float = 0.0
+    stages: dict[str, float] = field(default_factory=dict)
+    untraced: float = 0.0
+    span_count: int = 0
+    lanes: list[str] = field(default_factory=list)
+
+
+def summarize(spans: list[Span]) -> TraceSummary:
+    """Reduce spans to the Fig. 2-style stage breakdown (self-time rule)."""
+    if not spans:
+        return TraceSummary()
+    child_time: dict[int, float] = {}
+    for span in spans:
+        if span.parent is not None:
+            child_time[span.parent] = child_time.get(span.parent, 0.0) + span.duration
+    stages: dict[str, float] = {}
+    for span in spans:
+        if span.stage is None:
+            continue
+        self_time = span.duration - child_time.get(span.index, 0.0)
+        stages[span.stage] = stages.get(span.stage, 0.0) + self_time
+    wall = max(s.end for s in spans) - min(s.start for s in spans)
+    untraced = wall - sum(stages.values())
+    return TraceSummary(
+        wall=wall,
+        stages=stages,
+        untraced=untraced,
+        span_count=len(spans),
+        lanes=sorted({s.lane for s in spans}, key=lambda lane: (lane != "main", lane)),
+    )
+
+
+#: Stages always shown in the summary table (the paper's Fig. 2 axes),
+#: whether or not the trace exercised them.
+_CORE_STAGES = ("h2d", "compute", "codec", "d2h")
+
+
+def render_summary(summary: TraceSummary, unit: str = "s") -> str:
+    """The stage-breakdown table the ``trace summary`` subcommand prints."""
+    wall = summary.wall or 1.0
+    lines = [f"{'stage':<12} {unit + ' total':>14} {'share':>8}"]
+    for stage in STAGES:
+        total = summary.stages.get(stage, 0.0)
+        if total == 0.0 and stage not in _CORE_STAGES:
+            continue
+        lines.append(f"{stage:<12} {total:>14.6g} {total / wall:>7.1%}")
+    lines.append(
+        f"{'(untraced)':<12} {summary.untraced:>14.6g} {summary.untraced / wall:>7.1%}"
+    )
+    lines.append(f"{'wall total':<12} {summary.wall:>14.6g} {1.0:>7.1%}")
+    lines.append(
+        f"{summary.span_count} span(s) over {len(summary.lanes)} lane(s): "
+        + ", ".join(summary.lanes)
+    )
+    return "\n".join(lines)
+
+
+def metrics_json(tracer: Tracer, extra: dict[str, Any] | None = None) -> str:
+    """Deterministic metrics export for one traced (or counted) run."""
+    return tracer.counters.to_json(extra)

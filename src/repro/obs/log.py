@@ -1,0 +1,78 @@
+"""Structured logging on stdlib :mod:`logging`.
+
+All library logging goes through the ``repro`` logger hierarchy
+(``get_logger("cli")`` -> ``repro.cli``) so one :func:`configure_logging`
+call - wired to the CLI's ``--log-level`` / ``--log-format`` flags -
+controls everything.  The JSON format emits one object per line
+(``{"level": ..., "logger": ..., "message": ..., **extra}``) with sorted
+keys, machine-parsable by the same tooling that reads the metrics export.
+
+The library itself never configures handlers at import time; until
+:func:`configure_logging` runs, records propagate to whatever the host
+application set up (or vanish, per stdlib default).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any
+
+_ROOT_NAME = "repro"
+
+#: Fields of a LogRecord that are bookkeeping, not user payload; anything
+#: else attached via ``logger.info(..., extra={...})`` lands in the JSON.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One sorted-key JSON object per record."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED:
+                payload[key] = value
+        if record.exc_info and record.exc_info[1] is not None:
+            payload["exception"] = repr(record.exc_info[1])
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Logger under the ``repro`` hierarchy (``None`` for the root)."""
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(level: str = "info", fmt: str = "text") -> logging.Logger:
+    """(Re)configure the ``repro`` logger: one stderr handler, chosen format.
+
+    Args:
+        level: Name accepted by :func:`logging.getLevelName`
+            (``debug`` / ``info`` / ``warning`` / ``error``).
+        fmt: ``text`` for human-readable lines, ``json`` for one object
+            per line.
+
+    Returns:
+        The configured root ``repro`` logger.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(getattr(logging, level.upper(), logging.INFO))
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    if fmt == "json":
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

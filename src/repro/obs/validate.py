@@ -1,0 +1,88 @@
+"""Span-wellformedness validation for traces from concurrent runs.
+
+``workers=1`` traces are checked for byte-identity; ``workers>1`` traces
+cannot be, so this module checks the structural invariants that any
+correct trace must satisfy instead:
+
+* every span ends at or after it starts;
+* every stage tag is in the taxonomy;
+* every parent reference resolves, and the parent's interval encloses the
+  child's;
+* within one lane, spans are *laminar* - any two either nest or are
+  disjoint.  A partial overlap means two context managers interleaved on
+  one thread, which the per-thread span stack makes impossible unless the
+  recording itself is corrupt.
+
+Interval comparisons use strict inequalities so spans that merely touch
+at a timestamp (common under the integer :class:`LogicalClock` and with
+zero-duration spans) do not raise false positives.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ObservabilityError
+from repro.obs.tracer import STAGES, Span
+
+
+def validate_spans(spans: list[Span]) -> list[str]:
+    """Return every wellformedness violation found (empty = valid)."""
+    problems: list[str] = []
+    by_index = {span.index: span for span in spans}
+    for span in spans:
+        label = f"span {span.index} ({span.name!r})"
+        if span.end < span.start:
+            problems.append(f"{label}: ends before it starts ({span.end} < {span.start})")
+        if span.stage is not None and span.stage not in STAGES:
+            problems.append(f"{label}: unknown stage {span.stage!r}")
+        if span.parent is not None:
+            parent = by_index.get(span.parent)
+            if parent is None:
+                problems.append(f"{label}: parent {span.parent} not in trace")
+            elif parent.start > span.start or parent.end < span.end:
+                problems.append(
+                    f"{label}: not enclosed by parent {parent.index} "
+                    f"([{span.start}, {span.end}] outside "
+                    f"[{parent.start}, {parent.end}])"
+                )
+    lanes: dict[str, list[Span]] = {}
+    for span in spans:
+        lanes.setdefault(span.lane, []).append(span)
+    for lane, members in sorted(lanes.items()):
+        members.sort(key=lambda s: (s.start, -s.end))
+        open_stack: list[Span] = []
+        for span in members:
+            while open_stack and open_stack[-1].end <= span.start:
+                open_stack.pop()
+            if open_stack and open_stack[-1].end < span.end:
+                other = open_stack[-1]
+                problems.append(
+                    f"lane {lane!r}: spans {other.index} ({other.name!r}) and "
+                    f"{span.index} ({span.name!r}) partially overlap "
+                    f"([{other.start}, {other.end}] vs [{span.start}, {span.end}])"
+                )
+            else:
+                open_stack.append(span)
+    return problems
+
+
+def check_spans(spans: list[Span]) -> None:
+    """Raise :class:`ObservabilityError` listing all violations, if any."""
+    problems = validate_spans(spans)
+    if problems:
+        head = f"trace has {len(problems)} wellformedness violation(s):\n  "
+        raise ObservabilityError(head + "\n  ".join(problems))
+
+
+def validate_trace_file(path: str | Path) -> int:
+    """Validate a ``*.trace.json`` file; returns the number of spans checked.
+
+    Raises:
+        ObservabilityError: Unreadable file or any wellformedness violation.
+    """
+    from repro.obs.export import load_trace_events, spans_from_events
+
+    spans = spans_from_events(load_trace_events(path))
+    check_spans(spans)
+    return len(spans)

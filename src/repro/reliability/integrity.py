@@ -18,10 +18,12 @@ mirror what a production out-of-core runtime does:
 from __future__ import annotations
 
 import zlib
+from contextlib import nullcontext
 
 import numpy as np
 
 from repro.errors import FaultInjectionError, IntegrityError
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.reliability.faults import FaultEvent, FaultKind, FaultPlan
 from repro.reliability.policy import DEFAULT_POLICY, RecoveryPolicy, ReliabilityReport
 
@@ -95,6 +97,9 @@ class ChunkTransferGuard:
         compression: Whether the wire is compressed (enables codec-decode
             faults, which count toward ``policy.codec_fault_limit``).
         report: Shared report to accumulate into (a fresh one by default).
+        tracer: Optional :class:`~repro.obs.Tracer`; transfers, raw bytes
+            on the wire, retries, and faults by kind land in its counters,
+            and each retransmission becomes a ``retry``-stage span.
     """
 
     def __init__(
@@ -103,11 +108,14 @@ class ChunkTransferGuard:
         policy: RecoveryPolicy = DEFAULT_POLICY,
         compression: bool = False,
         report: ReliabilityReport | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.plan = plan if plan is not None and plan.active else None
         self.policy = policy
         self.compression = compression
         self.report = report if report is not None else ReliabilityReport()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._counters = self.tracer.counters if self.tracer is not NULL_TRACER else None
         self._gate_index = 0
         self._transfer_in_gate = 0
         self._codec_faults = 0
@@ -153,6 +161,9 @@ class ChunkTransferGuard:
         transfer_index = self._transfer_in_gate
         self._transfer_in_gate += 1
         self.report.transfers += 1
+        counters = self._counters
+        if counters is not None:
+            counters.count("reliability.transfers")
         where = label or f"gate {self._gate_index} transfer {transfer_index}"
 
         sent_crc = chunk_crc32(source) if self.policy.verify_crc else None
@@ -160,31 +171,43 @@ class ChunkTransferGuard:
         for attempt in range(self.policy.max_transfer_attempts):
             if attempt:
                 self.report.retries += 1
-            received: np.ndarray | None = source.copy()
-            event = self._fault_for(attempt, transfer_index)
-            if event is not None:
-                self.report.record_fault(event.kind.value)
-                last_kind = event.kind.value
-                if event.kind is FaultKind.DECODE:
-                    self._note_codec_fault()
-                    received = None  # undecodable payload delivers nothing
+                if counters is not None:
+                    counters.count("reliability.retries")
+            retry_span = (
+                self.tracer.span("retransmit", stage="retry", attempt=attempt)
+                if attempt and self.tracer.enabled
+                else nullcontext()
+            )
+            with retry_span:
+                if counters is not None:
+                    counters.add("bytes.moved_raw", source.nbytes)
+                received: np.ndarray | None = source.copy()
+                event = self._fault_for(attempt, transfer_index)
+                if event is not None:
+                    self.report.record_fault(event.kind.value)
+                    last_kind = event.kind.value
+                    if counters is not None:
+                        counters.count(f"faults.{event.kind.value}")
+                    if event.kind is FaultKind.DECODE:
+                        self._note_codec_fault()
+                        received = None  # undecodable payload delivers nothing
+                    else:
+                        received = _corrupt(received, event)
+
+                if received is None:
+                    detected = True  # missing/undecodable chunks are always seen
+                elif sent_crc is not None:
+                    detected = chunk_crc32(received) != sent_crc
                 else:
-                    received = _corrupt(received, event)
+                    detected = False  # CRC off: corruption sails through
 
-            if received is None:
-                detected = True  # a missing/undecodable chunk is always seen
-            elif sent_crc is not None:
-                detected = chunk_crc32(received) != sent_crc
-            else:
-                detected = False  # CRC off: corruption sails through
-
-            if not detected:
-                return received  # type: ignore[return-value]
-            if self.policy.on_fault == "raise":
-                raise IntegrityError(
-                    f"{where}: {last_kind} detected (CRC32 mismatch) and "
-                    "policy forbids retry"
-                )
+                if not detected:
+                    return received  # type: ignore[return-value]
+                if self.policy.on_fault == "raise":
+                    raise IntegrityError(
+                        f"{where}: {last_kind} detected (CRC32 mismatch) and "
+                        "policy forbids retry"
+                    )
         raise FaultInjectionError(
             f"{where}: still corrupted ({last_kind}) after "
             f"{self.policy.max_transfer_attempts} attempts"

@@ -172,12 +172,28 @@ class JobResult:
             proof that a cache hit equals a fresh run.
         pruned_fraction: Fraction of chunk updates pruning skipped.
         num_qubits: Register width of the simulated circuit.
+        chunk_updates_total: Chunk-group updates the unoptimized engine
+            would perform for this run.
+        chunk_updates_skipped: Updates pruning eliminated.
+        transfers: Guarded chunk transfers performed (0 when fault-free).
+        retries: Transfer retransmissions the reliability layer performed.
+        faults: Injected faults detected across all kinds.
+
+    The simulator-level fields ride along so the service can fold them
+    into its metrics export when the job completes
+    (:meth:`~repro.service.metrics.MetricsRegistry.absorb_result`);
+    pre-existing cached payloads without them deserialize with zeros.
     """
 
     counts: dict[str, int] = field(default_factory=dict)
     state_sha256: str = ""
     pruned_fraction: float = 0.0
     num_qubits: int = 0
+    chunk_updates_total: int = 0
+    chunk_updates_skipped: int = 0
+    transfers: int = 0
+    retries: int = 0
+    faults: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -185,6 +201,11 @@ class JobResult:
             "state_sha256": self.state_sha256,
             "pruned_fraction": self.pruned_fraction,
             "num_qubits": self.num_qubits,
+            "chunk_updates_total": self.chunk_updates_total,
+            "chunk_updates_skipped": self.chunk_updates_skipped,
+            "transfers": self.transfers,
+            "retries": self.retries,
+            "faults": self.faults,
         }
 
     @classmethod
@@ -194,6 +215,11 @@ class JobResult:
             state_sha256=data.get("state_sha256", ""),
             pruned_fraction=data.get("pruned_fraction", 0.0),
             num_qubits=data.get("num_qubits", 0),
+            chunk_updates_total=data.get("chunk_updates_total", 0),
+            chunk_updates_skipped=data.get("chunk_updates_skipped", 0),
+            transfers=data.get("transfers", 0),
+            retries=data.get("retries", 0),
+            faults=data.get("faults", 0),
         )
 
 

@@ -1,71 +1,41 @@
-"""Metrics registry and the clocks that time the service.
+"""Metrics registry for the batch service.
 
-Two clocks implement the same two-method interface:
+The clocks (:class:`WallClock` / :class:`LogicalClock`) moved to
+:mod:`repro.obs.clock` when the tracer started sharing them; they are
+re-exported here unchanged for existing imports.
 
-* :class:`WallClock` - ``time.monotonic`` readings; right for throughput
-  numbers on a real box.
-* :class:`LogicalClock` - an integer that advances by one on every
-  scheduler event.  Under ``workers=1`` every event happens in a
-  deterministic order, so every recorded wait/run duration - and therefore
-  the whole exported metrics JSON - is byte-identical across runs.  This
-  is the ``--workers 1 --seed N`` reproducibility mode.
-
-The registry itself is plain counters plus per-job records; the service
-merges in cache and admission snapshots at export time.  ``to_json``
-serializes with sorted keys and fixed separators so deterministic runs
-diff clean.
+The registry is backed by a process-wide
+:class:`~repro.obs.counters.CounterRegistry` - the same registry a
+:class:`~repro.obs.Tracer` counts into when the service is traced - so
+scheduling counters (submissions, completions, retries, ...) and
+simulator-level run stats (chunk updates pruned, bytes moved, kernel
+invocations) land in one export.  :meth:`MetricsRegistry.absorb_result`
+folds a finished job's run stats in; before it existed those numbers were
+dropped on job completion.  ``to_json`` serializes with sorted keys and
+fixed separators so deterministic runs diff clean.
 """
 
 from __future__ import annotations
 
 import json
-import time
-from dataclasses import dataclass, field
 from typing import Any
 
-from repro.service.job import Job
+from repro.obs.clock import LogicalClock, WallClock
+from repro.obs.counters import CounterRegistry
+from repro.service.job import Job, JobResult
+
+__all__ = ["LogicalClock", "MetricsRegistry", "WallClock"]
 
 
-class WallClock:
-    """Monotonic wall-clock seconds, zeroed at construction."""
-
-    deterministic = False
-
-    def __init__(self) -> None:
-        self._start = time.monotonic()
-
-    def tick(self) -> float:
-        """Advance (a no-op for wall time) and return the current reading."""
-        return time.monotonic() - self._start
-
-    def now(self) -> float:
-        return time.monotonic() - self._start
-
-
-class LogicalClock:
-    """Event counter: each scheduler event is one tick."""
-
-    deterministic = True
-
-    def __init__(self) -> None:
-        self._now = 0
-
-    def tick(self) -> int:
-        """Advance by one event and return the new reading."""
-        self._now += 1
-        return self._now
-
-    def now(self) -> int:
-        return self._now
-
-
-@dataclass
 class MetricsRegistry:
     """Counters, gauges and per-job records for one service run.
 
+    Args:
+        counters: Backing registry (shared with the service's tracer when
+            one is attached; a private one otherwise).
+
     Attributes:
-        counters: Monotonic named counts (submissions, completions,
-            retries, ...).
+        counters: The backing :class:`CounterRegistry`.
         max_queue_depth: Largest PENDING-queue length observed at any
             dispatch pass.
         retry_backoff_seconds: Modelled backoff charged by the recovery
@@ -74,19 +44,39 @@ class MetricsRegistry:
             order.
     """
 
-    counters: dict[str, int] = field(default_factory=dict)
-    max_queue_depth: int = 0
-    retry_backoff_seconds: float = 0.0
-    job_records: list[dict[str, Any]] = field(default_factory=list)
+    def __init__(self, counters: CounterRegistry | None = None) -> None:
+        self.counters = counters if counters is not None else CounterRegistry()
+        self.max_queue_depth = 0
+        self.retry_backoff_seconds = 0.0
+        self.job_records: list[dict[str, Any]] = []
 
     def count(self, name: str, increment: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + increment
+        self.counters.count(name, increment)
 
     def observe_queue_depth(self, depth: int) -> None:
         self.max_queue_depth = max(self.max_queue_depth, depth)
 
     def charge_backoff(self, seconds: float) -> None:
         self.retry_backoff_seconds += seconds
+
+    def absorb_result(self, result: JobResult) -> None:
+        """Fold a freshly computed job's simulator-level stats into the export.
+
+        Called on fresh completions only - a cache hit re-serves an old
+        payload without re-running the simulator, so absorbing it again
+        would double-count.
+        """
+        self.counters.merge({
+            name: value
+            for name, value in (
+                ("sim.chunk_updates_total", result.chunk_updates_total),
+                ("sim.chunk_updates_skipped", result.chunk_updates_skipped),
+                ("sim.transfers", result.transfers),
+                ("sim.retries", result.retries),
+                ("sim.faults", result.faults),
+            )
+            if value
+        })
 
     def record_job(self, job: Job) -> None:
         """Append the terminal summary of ``job``."""
@@ -115,7 +105,7 @@ class MetricsRegistry:
         """Assemble the full export dict."""
         return {
             "config": config or {},
-            "counters": dict(sorted(self.counters.items())),
+            "counters": self.counters.snapshot(),
             "max_queue_depth": self.max_queue_depth,
             "retry_backoff_seconds": self.retry_backoff_seconds,
             "cache": cache or {},

@@ -34,6 +34,7 @@ from repro.core.simulator import QGpuSimulator
 from repro.core.versions import VERSIONS_BY_NAME, VersionConfig
 from repro.errors import AdmissionError, JobNotFound, ReproError, ServiceError, SimulationError
 from repro.hardware.specs import MachineSpec, PAPER_MACHINE
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.reliability.faults import FaultPlan
 from repro.reliability.policy import DEFAULT_POLICY, RecoveryPolicy
 from repro.service.admission import AdmissionController
@@ -61,15 +62,23 @@ def execute_job(
     machine: MachineSpec,
     sim_recovery: RecoveryPolicy,
     sim_workers: int | str | None = 1,
+    tracer: Tracer | None = None,
+    job_id: str | None = None,
+    parent_span: int | None = None,
 ) -> JobResult:
     """Run one job to completion (worker-thread body).
 
-    Pure: reads only its arguments, mutates no shared state, and returns
-    the result payload; any :class:`ReproError` propagates to the
-    coordinator as the job's failure.  ``sim_workers`` is the functional
-    engine's chunk-worker knob (see :class:`~repro.core.QGpuSimulator`);
-    the default ``1`` keeps every job on the bit-exact serial path.
+    Pure with respect to service state: reads only its arguments, mutates
+    no job bookkeeping, and returns the result payload; any
+    :class:`ReproError` propagates to the coordinator as the job's
+    failure.  ``sim_workers`` is the functional engine's chunk-worker knob
+    (see :class:`~repro.core.QGpuSimulator`); the default ``1`` keeps
+    every job on the bit-exact serial path.  When a ``tracer`` is given
+    the whole job becomes one span on this worker thread's lane (parented
+    to the coordinator's ``serve`` span via ``parent_span``), with the
+    simulator's span tree nested inside.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     circuit = spec.build_circuit()
     version = SERVICE_VERSIONS[spec.version]
     plan = FaultPlan.from_spec(spec.fault_plan) if spec.fault_plan else None
@@ -80,22 +89,32 @@ def execute_job(
         fault_plan=plan,
         reliability_policy=sim_recovery,
         workers=sim_workers,
+        tracer=tracer,
     )
-    outcome = simulator.run(circuit)
-    amplitudes = outcome.amplitudes
-    counts: dict[str, int] = {}
-    if spec.shots > 0:
-        counts = {
-            str(outcome_index): count
-            for outcome_index, count in sample_counts(
-                amplitudes, shots=spec.shots, seed=spec.seed
-            ).items()
-        }
+    with tracer.span(
+        f"job:{job_id or spec.display_name}", parent=parent_span, job=job_id
+    ):
+        outcome = simulator.run(circuit)
+        amplitudes = outcome.amplitudes
+        counts: dict[str, int] = {}
+        if spec.shots > 0:
+            counts = {
+                str(outcome_index): count
+                for outcome_index, count in sample_counts(
+                    amplitudes, shots=spec.shots, seed=spec.seed
+                ).items()
+            }
+    report = outcome.reliability
     return JobResult(
         counts=counts,
         state_sha256=hashlib.sha256(amplitudes.tobytes()).hexdigest(),
         pruned_fraction=outcome.pruned_fraction,
         num_qubits=circuit.num_qubits,
+        chunk_updates_total=outcome.chunk_updates_total,
+        chunk_updates_skipped=outcome.chunk_updates_skipped,
+        transfers=report.transfers if report is not None else 0,
+        retries=report.retries if report is not None else 0,
+        faults=sum(report.faults.values()) if report is not None else 0,
     )
 
 
@@ -128,6 +147,11 @@ class BatchService:
             specs that carry none.
         journal: Optional :class:`JobStore` (or path) receiving every job
             event for cross-process ``status``/``cancel``.
+        tracer: Optional :class:`~repro.obs.Tracer`.  The service adopts
+            the tracer's clock (so span timestamps and job timestamps
+            share one timeline) and backs its metrics with the tracer's
+            counters, merging per-job simulator stats into the same
+            export; each job becomes a span on its worker thread's lane.
     """
 
     def __init__(
@@ -143,6 +167,7 @@ class BatchService:
         sim_workers: int | str | None = 1,
         seed: int = 0,
         journal: JobStore | str | Path | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"need at least one worker, got {workers}")
@@ -163,8 +188,16 @@ class BatchService:
         self.sim_recovery = sim_recovery
         self.sim_workers = sim_workers
         self.seed = seed
-        self.clock = LogicalClock() if self.deterministic else WallClock()
-        self.metrics = MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer is not NULL_TRACER:
+            # One timeline: job timestamps and span timestamps come from
+            # the same clock, and metrics count into the tracer's registry
+            # so simulator stats and scheduling counters export together.
+            self.clock = self.tracer.clock
+            self.metrics = MetricsRegistry(counters=self.tracer.counters)
+        else:
+            self.clock = LogicalClock() if self.deterministic else WallClock()
+            self.metrics = MetricsRegistry()
         self.journal = (
             journal if isinstance(journal, (JobStore, type(None))) else JobStore(journal)
         )
@@ -274,20 +307,25 @@ class BatchService:
 
     def run_until_complete(self) -> dict[str, Any]:
         """Drain the queue and return the metrics snapshot."""
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            futures: dict[Future, str] = {}
-            while True:
-                self._dispatch(pool, futures)
-                if not futures:
-                    stuck = [j for j in self._jobs.values() if j.state is JobState.PENDING]
-                    if stuck:  # pragma: no cover - defensive; admission vets at submit
-                        raise ServiceError(
-                            f"{len(stuck)} pending job(s) cannot be dispatched"
-                        )
-                    break
-                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
-                for future in sorted(done, key=lambda f: self._jobs[futures[f]].seq):
-                    self._complete(future, futures.pop(future))
+        with self.tracer.span("serve", stage="schedule", jobs=len(self._jobs)):
+            with ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="job-worker"
+            ) as pool:
+                futures: dict[Future, str] = {}
+                while True:
+                    self._dispatch(pool, futures)
+                    if not futures:
+                        stuck = [
+                            j for j in self._jobs.values() if j.state is JobState.PENDING
+                        ]
+                        if stuck:  # pragma: no cover - defensive; vetted at submit
+                            raise ServiceError(
+                                f"{len(stuck)} pending job(s) cannot be dispatched"
+                            )
+                        break
+                    done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                    for future in sorted(done, key=lambda f: self._jobs[futures[f]].seq):
+                        self._complete(future, futures.pop(future))
         return self.snapshot()
 
     def _dispatch(self, pool: ThreadPoolExecutor, futures: dict[Future, str]) -> None:
@@ -320,7 +358,14 @@ class BatchService:
             self._inflight[key] = job.job_id
             futures[
                 pool.submit(
-                    execute_job, job.spec, self.machine, self.sim_recovery, self.sim_workers
+                    execute_job,
+                    job.spec,
+                    self.machine,
+                    self.sim_recovery,
+                    self.sim_workers,
+                    self.tracer if self.tracer is not NULL_TRACER else None,
+                    job.job_id,
+                    self.tracer.current_parent() if self.tracer.enabled else None,
                 )
             ] = job.job_id
 
@@ -356,6 +401,7 @@ class BatchService:
                 self.journal.record_result(job)
             self.cache.put(job.cache_key, job.result)
             self.metrics.count("jobs_succeeded")
+            self.metrics.absorb_result(job.result)
             self.metrics.record_job(job)
             return
         if not isinstance(error, ReproError):

@@ -33,7 +33,11 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Gate
 from repro.errors import SimulationError
 from repro.statevector.apply import apply_gate
-from repro.statevector.kernels import apply_diagonal_chunk, chunk_diagonal_factor
+from repro.statevector.kernels import (
+    apply_diagonal_chunk,
+    chunk_diagonal_factor,
+    count_kernel,
+)
 
 
 def chunk_pair_groups(
@@ -176,6 +180,7 @@ class ChunkedStateVector:
             # Diagonal gates never mix amplitudes: multiply each member
             # chunk in place (zero-copy, bit-identical to the gathered
             # path - the same multiplier hits the same amplitude).
+            count_kernel("diagonal", sum(len(members) for members in groups))
             cache: dict[int, np.ndarray | complex] = {}
             chunks = self.chunks
             for members in groups:
@@ -184,10 +189,12 @@ class ChunkedStateVector:
             return self
         outside = [q for q in gate.qubits if q >= self.chunk_bits]
         if not outside:
+            count_kernel("dense", len(groups))
             chunks = self.chunks
             for (index,) in groups:
                 apply_gate(chunks[index], gate)
             return self
+        count_kernel("gather", len(groups))
 
         # Baseline serial path: remap outside qubits onto the extra axes of
         # the gathered buffer - gathered index = (member rank << chunk_bits)
@@ -213,6 +220,7 @@ class ChunkedStateVector:
         *,
         workers: int | str | None = 1,
         pruning: bool = False,
+        tracer=None,
     ) -> "ChunkedStateVector":
         """Apply every gate of ``circuit`` in order.
 
@@ -225,6 +233,9 @@ class ChunkedStateVector:
                 :class:`~repro.core.involvement.InvolvementTracker` along
                 the way (Algorithm 1's window) and skip chunk groups whose
                 member chunks are all provably zero.
+            tracer: Optional :class:`~repro.obs.Tracer`: per-gate compute
+                spans, kernel counters, and worker-lane spans via the
+                engine.
         """
         if circuit.num_qubits != self.num_qubits:
             raise SimulationError(
@@ -233,7 +244,12 @@ class ChunkedStateVector:
         # Imported lazily: repro.core's package __init__ pulls in the
         # simulator, which imports this module - importing at the top
         # would cycle.
+        from repro.obs.tracer import NULL_TRACER
+        from repro.statevector.kernels import set_kernel_counters
         from repro.statevector.parallel import ParallelChunkEngine, resolve_workers
+
+        if tracer is None:
+            tracer = NULL_TRACER
 
         tracker = None
         if pruning:
@@ -242,15 +258,18 @@ class ChunkedStateVector:
             tracker = InvolvementTracker(self.num_qubits)
 
         resolved = resolve_workers(workers, 1 << self.num_qubits)
-        engine = ParallelChunkEngine(resolved) if resolved > 1 else None
+        engine = ParallelChunkEngine(resolved, tracer) if resolved > 1 else None
+        previous_counters = (
+            set_kernel_counters(tracer.counters) if tracer is not NULL_TRACER else None
+        )
         try:
-            for gate in circuit:
+            for position, gate in enumerate(circuit):
                 groups = chunk_pair_groups(self.num_qubits, self.chunk_bits, gate.qubits)
                 if tracker is not None:
                     from repro.core.pruning import chunk_is_pruned
 
                     tracker.involve(gate)
-                    groups = [
+                    live = [
                         members
                         for members in groups
                         if not all(
@@ -258,8 +277,26 @@ class ChunkedStateVector:
                             for m in members
                         )
                     ]
-                self.apply_groups(gate, groups, engine)
+                    if tracer is not NULL_TRACER:
+                        tracer.counters.count(
+                            "chunks.pruned",
+                            sum(len(g) for g in groups) - sum(len(g) for g in live),
+                        )
+                    groups = live
+                if tracer.enabled:
+                    with tracer.span(
+                        f"apply:{gate.name}", stage="compute", gate=position
+                    ):
+                        self.apply_groups(gate, groups, engine)
+                else:
+                    self.apply_groups(gate, groups, engine)
+                if tracer is not NULL_TRACER:
+                    tracer.counters.count(
+                        "chunks.updated", sum(len(g) for g in groups)
+                    )
         finally:
+            if tracer is not NULL_TRACER:
+                set_kernel_counters(previous_counters)
             if engine is not None:
                 engine.close()
         return self

@@ -36,6 +36,31 @@ import numpy as np
 from repro.circuits.gates import Gate
 from repro.errors import SimulationError
 
+#: Installed :class:`~repro.obs.counters.CounterRegistry` (or None).  A
+#: module-level hook rather than a parameter so the hot kernel call sites
+#: stay signature-stable; dispatchers count per *gate* (batched), never per
+#: chunk, so the disabled cost is one None-check per gate.
+_kernel_counters = None
+
+
+def set_kernel_counters(registry):
+    """Install the registry kernel invocations count into; returns the old one.
+
+    Pass ``None`` to disable counting.  Callers restore the previous
+    registry when done (the simulator does this around each run).
+    """
+    global _kernel_counters
+    previous = _kernel_counters
+    _kernel_counters = registry
+    return previous
+
+
+def count_kernel(kind: str, n: int = 1) -> None:
+    """Record ``n`` kernel invocations of ``kind`` (no-op when uninstalled)."""
+    registry = _kernel_counters
+    if registry is not None:
+        registry.count(f"kernels.{kind}", n)
+
 
 def apply_pair(low: np.ndarray, high: np.ndarray, matrix: np.ndarray) -> None:
     """Update an amplitude-pair of chunks with a 2x2 unitary, in place.

@@ -39,11 +39,13 @@ import numpy as np
 from repro.circuits.gates import Gate
 from repro.errors import SimulationError
 from repro.statevector.apply import apply_gate
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.statevector.kernels import (
     apply_diagonal_chunk,
     apply_pair,
     apply_single_qubit_fused,
     chunk_diagonal_factor,
+    count_kernel,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -136,6 +138,12 @@ class ParallelChunkEngine:
     Args:
         workers: Worker threads (``>= 2``; use the serial path in
             :class:`~repro.statevector.chunks.ChunkedStateVector` for 1).
+        tracer: Optional :class:`~repro.obs.Tracer`.  When tracing is
+            enabled each worker's share of a gate becomes a
+            ``chunk_group`` span on that worker thread's lane, parented to
+            the coordinator's open gate span; counters (``pool.tasks``,
+            ``kernels.*``) are kept whenever a real tracer is supplied,
+            even with spans disabled.
 
     The engine owns two persistent resources: the thread pool and a
     scratch buffer the size of the state (for the fused batched-matmul
@@ -144,7 +152,8 @@ class ParallelChunkEngine:
     a closed engine raises on use.
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(self, workers: int, tracer: Tracer | None = None) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.workers = resolve_workers(workers)
         if self.workers < 2:
             raise SimulationError(
@@ -200,15 +209,19 @@ class ParallelChunkEngine:
         chunk_bits = state.chunk_bits
         outside = [q for q in gate.qubits if q >= chunk_bits]
         if gate.is_diagonal:
+            count_kernel("diagonal", sum(len(g) for g in groups))
             self._apply_diagonal(state, gate, groups)
         elif not outside:
+            count_kernel("dense", len(groups))
             members = [group[0] for group in groups]
             chunks = state.chunks
             self._round_robin(members, lambda m: apply_gate(chunks[m], gate))
         elif gate.num_qubits == 1:
             if len(groups) == state.num_chunks // 2:
+                count_kernel("fused", self._fused_parts)
                 self._apply_fused(state, gate)
             else:
+                count_kernel("pair", len(groups))
                 matrix = gate.matrix()
                 chunks = state.chunks
                 self._round_robin(
@@ -216,6 +229,7 @@ class ParallelChunkEngine:
                     lambda g: apply_pair(chunks[g[0]], chunks[g[1]], matrix),
                 )
         else:
+            count_kernel("gather", len(groups))
             self._apply_gathered(state, gate, groups, outside)
 
     # -- kernel drivers ------------------------------------------------------
@@ -226,16 +240,36 @@ class ParallelChunkEngine:
         The modulo ownership mirrors
         :func:`~repro.core.multigpu.assign_round_robin` exactly.
         """
+        tracer = self.tracer
+        # Worker spans run on pool threads, so the coordinator's open gate
+        # span is captured here and passed explicitly as their parent.
+        parent = tracer.current_parent() if tracer.enabled else None
 
-        def worker(owned: list) -> Callable[[], None]:
+        def worker(index: int, owned: list) -> Callable[[], None]:
             def run() -> None:
                 for item in owned:
                     task(item)
 
-            return run
+            if not tracer.enabled:
+                return run
+
+            def traced() -> None:
+                with tracer.span(
+                    "chunk_group",
+                    stage="compute",
+                    parent=parent,
+                    worker=index,
+                    chunks=len(owned),
+                ):
+                    run()
+
+            return traced
 
         slices = [items[w :: self.workers] for w in range(self.workers)]
-        self._pool.run_tasks([worker(owned) for owned in slices if owned])
+        tasks = [worker(w, owned) for w, owned in enumerate(slices) if owned]
+        if tracer is not NULL_TRACER:
+            tracer.counters.count("pool.tasks", len(tasks))
+        self._pool.run_tasks(tasks)
 
     def _apply_diagonal(self, state, gate: Gate, groups) -> None:
         members = [member for group in groups for member in group]
@@ -259,14 +293,27 @@ class ParallelChunkEngine:
         matrix = gate.matrix()
         qubit = gate.qubits[0]
         parts = self._fused_parts
-        self._pool.run_tasks(
-            [
-                (lambda p: lambda: apply_single_qubit_fused(
-                    source, dest, matrix, qubit, part=p, parts=parts
-                ))(part)
-                for part in range(parts)
-            ]
-        )
+        tracer = self.tracer
+        parent = tracer.current_parent() if tracer.enabled else None
+
+        def slab(p: int) -> Callable[[], None]:
+            def run() -> None:
+                apply_single_qubit_fused(source, dest, matrix, qubit, part=p, parts=parts)
+
+            if not tracer.enabled:
+                return run
+
+            def traced() -> None:
+                with tracer.span(
+                    "fused_slab", stage="compute", parent=parent, worker=p, parts=parts
+                ):
+                    run()
+
+            return traced
+
+        if tracer is not NULL_TRACER:
+            tracer.counters.count("pool.tasks", parts)
+        self._pool.run_tasks([slab(part) for part in range(parts)])
         self._scratch = state.swap_backing(dest)
 
     def _apply_gathered(self, state, gate: Gate, groups, outside) -> None:

@@ -1,0 +1,85 @@
+"""CounterRegistry semantics and canonical JSON export."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs import CounterRegistry
+
+
+def test_count_and_get():
+    counters = CounterRegistry()
+    counters.count("kernels.dense")
+    counters.count("kernels.dense", 4)
+    assert counters.get("kernels.dense") == 5
+    assert counters.get("missing") == 0
+
+
+def test_add_is_alias_of_count():
+    counters = CounterRegistry()
+    counters.add("bytes.moved_raw", 1024)
+    assert counters.get("bytes.moved_raw") == 1024
+
+
+def test_observe_max_keeps_peak():
+    counters = CounterRegistry()
+    counters.observe_max("queue.depth", 3)
+    counters.observe_max("queue.depth", 7)
+    counters.observe_max("queue.depth", 5)
+    assert counters.get("queue.depth") == 7
+
+
+def test_merge_mapping_and_registry():
+    a = CounterRegistry()
+    a.count("x", 1)
+    b = CounterRegistry()
+    b.count("x", 2)
+    b.count("y", 3)
+    a.merge(b)
+    a.merge({"z": 4})
+    assert a.snapshot() == {"x": 3, "y": 3, "z": 4}
+
+
+def test_snapshot_sorted_and_detached():
+    counters = CounterRegistry()
+    counters.count("zeta")
+    counters.count("alpha")
+    snapshot = counters.snapshot()
+    assert list(snapshot) == ["alpha", "zeta"]
+    snapshot["alpha"] = 99
+    assert counters.get("alpha") == 1
+
+
+def test_clear():
+    counters = CounterRegistry()
+    counters.count("x")
+    counters.clear()
+    assert counters.snapshot() == {}
+
+
+def test_to_json_deterministic():
+    counters = CounterRegistry()
+    counters.count("b", 2)
+    counters.count("a", 1)
+    text = counters.to_json({"run": "bv_8"})
+    assert text.endswith("\n")
+    payload = json.loads(text)
+    assert payload["counters"] == {"a": 1, "b": 2}
+    assert payload["run"] == "bv_8"
+    assert text == counters.to_json({"run": "bv_8"})
+
+
+def test_thread_safety_under_contention():
+    counters = CounterRegistry()
+
+    def work():
+        for _ in range(1000):
+            counters.count("hits")
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counters.get("hits") == 8000

@@ -1,0 +1,79 @@
+"""Structured logging: logger naming, JSON formatter, configure_logging."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+from repro.obs import JsonLogFormatter, configure_logging, get_logger
+
+
+def _record(msg="hello", args=(), **extra):
+    record = logging.LogRecord(
+        name="repro.test", level=logging.INFO, pathname=__file__, lineno=1,
+        msg=msg, args=args, exc_info=None,
+    )
+    for key, value in extra.items():
+        setattr(record, key, value)
+    return record
+
+
+def test_get_logger_namespaced():
+    assert get_logger().name == "repro"
+    assert get_logger("cli").name == "repro.cli"
+
+
+def test_json_formatter_basic_fields():
+    payload = json.loads(JsonLogFormatter().format(_record()))
+    assert payload["level"] == "info"
+    assert payload["logger"] == "repro.test"
+    assert payload["message"] == "hello"
+
+
+def test_json_formatter_interpolates_and_keeps_extras():
+    record = _record("wrote %d bytes", (42,), path="/tmp/x.json")
+    payload = json.loads(JsonLogFormatter().format(record))
+    assert payload["message"] == "wrote 42 bytes"
+    assert payload["path"] == "/tmp/x.json"
+
+
+def test_json_formatter_sorted_and_one_line():
+    record = _record(zulu=1, alpha=2)
+    text = JsonLogFormatter().format(record)
+    assert "\n" not in text
+    keys = list(json.loads(text))
+    assert keys == sorted(keys)
+
+
+def test_json_formatter_non_serializable_extra_reprs():
+    record = _record(payload=object())
+    payload = json.loads(JsonLogFormatter().format(record))
+    assert "object object" in payload["payload"]
+
+
+def test_configure_logging_levels_and_idempotence():
+    try:
+        configure_logging(level="debug", fmt="text")
+        root = logging.getLogger("repro")
+        assert root.level == logging.DEBUG
+        assert len(root.handlers) == 1
+        assert root.propagate is False
+        configure_logging(level="error", fmt="json")
+        assert root.level == logging.ERROR
+        assert len(root.handlers) == 1
+        assert isinstance(root.handlers[0].formatter, JsonLogFormatter)
+    finally:
+        configure_logging(level="warning", fmt="text")
+
+
+def test_configured_logger_emits_json(capsys):
+    try:
+        configure_logging(level="info", fmt="json")
+        get_logger("unit").info("traced", extra={"spans": 5})
+        err = capsys.readouterr().err
+        payload = json.loads(err.strip())
+        assert payload["message"] == "traced"
+        assert payload["spans"] == 5
+        assert payload["logger"] == "repro.unit"
+    finally:
+        configure_logging(level="warning", fmt="text")

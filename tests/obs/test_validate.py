@@ -1,0 +1,91 @@
+"""Span wellformedness validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import LogicalClock, Span, Tracer, check_spans, validate_spans
+
+
+def _span(index, start, end, *, stage="compute", lane="main", parent=None):
+    return Span(index=index, name=f"s{index}", stage=stage, lane=lane,
+                start=start, end=end, parent=parent)
+
+
+def test_clean_spans_pass():
+    spans = [
+        _span(0, 0.0, 10.0),
+        _span(1, 1.0, 4.0, parent=0),
+        _span(2, 5.0, 9.0, parent=0),
+    ]
+    assert validate_spans(spans) == []
+    check_spans(spans)  # does not raise
+
+
+def test_negative_duration_flagged():
+    problems = validate_spans([_span(0, 5.0, 3.0)])
+    assert len(problems) == 1
+    assert "end" in problems[0] or "start" in problems[0]
+
+
+def test_unknown_stage_flagged():
+    bad = Span(index=0, name="s", stage="warp", lane="main",
+               start=0.0, end=1.0, parent=None)
+    assert validate_spans([bad])
+
+
+def test_unresolved_parent_flagged():
+    assert validate_spans([_span(0, 0.0, 1.0, parent=99)])
+
+
+def test_parent_must_enclose_child():
+    spans = [
+        _span(0, 0.0, 5.0),
+        _span(1, 4.0, 8.0, parent=0),  # leaks past the parent's end
+    ]
+    assert validate_spans(spans)
+
+
+def test_lane_overlap_without_nesting_flagged():
+    spans = [
+        _span(0, 0.0, 5.0),
+        _span(1, 3.0, 8.0),  # same lane, overlapping, not nested
+    ]
+    assert validate_spans(spans)
+
+
+def test_overlap_on_different_lanes_ok():
+    spans = [
+        _span(0, 0.0, 5.0, lane="main"),
+        _span(1, 3.0, 8.0, lane="chunk-worker_0"),
+    ]
+    assert validate_spans(spans) == []
+
+
+def test_logical_clock_touching_endpoints_ok():
+    # Integer ticks make sibling spans share endpoints; that is not overlap.
+    spans = [
+        _span(0, 0, 6),
+        _span(1, 1, 2, parent=0),
+        _span(2, 2, 3, parent=0),
+    ]
+    assert validate_spans(spans) == []
+
+
+def test_check_spans_raises_with_all_problems():
+    spans = [_span(0, 5.0, 3.0), _span(1, 0.0, 1.0, parent=42)]
+    with pytest.raises(ObservabilityError) as excinfo:
+        check_spans(spans)
+    message = str(excinfo.value)
+    assert "s0" in message and "s1" in message
+
+
+def test_real_tracer_output_validates():
+    tracer = Tracer(clock=LogicalClock())
+    with tracer.span("run"):
+        for _ in range(3):
+            with tracer.span("apply", stage="compute"):
+                with tracer.span("h2d", stage="h2d"):
+                    pass
+    assert validate_spans(tracer.spans) == []

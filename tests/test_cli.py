@@ -189,6 +189,115 @@ class TestServeBatch:
             main(["serve-batch"])
 
 
+class TestObservability:
+    def test_simulate_writes_trace_and_metrics(self, tmp_path, capsys) -> None:
+        import json
+
+        trace = tmp_path / "run.trace.json"
+        metrics = tmp_path / "run.metrics.json"
+        assert main(["simulate", "--family", "bv", "--qubits", "8",
+                     "--workers", "1", "--trace", str(trace),
+                     "--trace-clock", "logical", "--metrics", str(metrics)]) == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e.get("ph") == "X" for e in events)
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["runs.completed"] == 1
+        assert snap["counters"]["chunk_updates.total"] > 0
+
+    def test_simulate_trace_deterministic_across_runs(self, tmp_path) -> None:
+        blobs = []
+        for run in range(2):
+            trace = tmp_path / f"t{run}.json"
+            assert main(["simulate", "--family", "qft", "--qubits", "7",
+                         "--workers", "1", "--trace", str(trace),
+                         "--trace-clock", "logical"]) == 0
+            blobs.append(trace.read_bytes())
+        assert blobs[0] == blobs[1]
+
+    def test_trace_summary_renders_breakdown(self, tmp_path, capsys) -> None:
+        trace = tmp_path / "run.trace.json"
+        assert main(["simulate", "--family", "bv", "--qubits", "8",
+                     "--workers", "1", "--trace", str(trace),
+                     "--trace-clock", "logical"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        for stage in ("h2d", "compute", "codec", "d2h"):
+            assert stage in out
+        assert "wall total" in out
+        assert "ticks" in out  # logical clock detected from metadata
+
+    def test_trace_summary_of_des_export(self, tmp_path, capsys) -> None:
+        trace = tmp_path / "des.json"
+        assert main(["trace", "--family", "gs", "--qubits", "33",
+                     "--output", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "compute" in out
+        assert "us total" in out
+
+    def test_trace_validate_accepts_good_trace(self, tmp_path, capsys) -> None:
+        trace = tmp_path / "run.trace.json"
+        assert main(["simulate", "--family", "bv", "--qubits", "8",
+                     "--workers", "2", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "validate", str(trace)]) == 0
+        assert "well-formed" in capsys.readouterr().out
+
+    def test_trace_summary_missing_file_errors(self, tmp_path, capsys) -> None:
+        assert main(["trace", "summary", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_analysis_requires_file(self) -> None:
+        with pytest.raises(SystemExit):
+            main(["trace", "summary"])
+
+    def test_serve_batch_trace_deterministic(self, tmp_path) -> None:
+        import json
+
+        manifest = tmp_path / "jobs.json"
+        manifest.write_text(json.dumps([
+            {"family": "bv", "qubits": 6, "shots": 5, "copies": 2},
+        ]))
+        blobs = []
+        for run in range(2):
+            trace = tmp_path / f"svc{run}.json"
+            assert main(["serve-batch", "--manifest", str(manifest),
+                         "--workers", "1", "--trace", str(trace)]) == 0
+            blobs.append(trace.read_bytes())
+        assert blobs[0] == blobs[1]
+
+    def test_serve_batch_metrics_include_sim_stats(self, tmp_path) -> None:
+        import json
+
+        manifest = tmp_path / "jobs.json"
+        manifest.write_text(json.dumps([
+            {"family": "bv", "qubits": 6, "shots": 5},
+        ]))
+        metrics = tmp_path / "metrics.json"
+        assert main(["serve-batch", "--manifest", str(manifest),
+                     "--workers", "1", "--metrics", str(metrics)]) == 0
+        counters = json.loads(metrics.read_text())["counters"]
+        assert counters["jobs_succeeded"] == 1
+        assert counters["sim.chunk_updates_total"] > 0
+
+    def test_transpile_trace_counts_passes(self, tmp_path, capsys) -> None:
+        import json
+
+        metrics = tmp_path / "transpile.metrics.json"
+        assert main(["transpile", "--family", "gs", "--qubits", "4",
+                     "--metrics", str(metrics)]) == 0
+        counters = json.loads(metrics.read_text())["counters"]
+        assert counters["transpile.passes"] >= 1
+        assert counters["transpile.gates_out"] > 0
+
+    def test_log_flags_accepted(self, capsys) -> None:
+        assert main(["--log-level", "info", "--log-format", "json",
+                     "simulate", "--family", "bv", "--qubits", "6"]) == 0
+        assert "pruned chunk updates" in capsys.readouterr().out
+
+
 class TestJournalCommands:
     def test_submit_status_serve_cancel_flow(self, tmp_path, capsys) -> None:
         journal = str(tmp_path / "jobs.jsonl")
