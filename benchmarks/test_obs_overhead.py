@@ -12,7 +12,14 @@ three ways in one process:
   (best-of-N minima, so host noise cancels),
 * ``enabled``  - a live :class:`~repro.obs.Tracer` with a
   :class:`~repro.obs.LogicalClock`, reported for context (not gated; a
-  real trace is allowed to cost real time).
+  real trace is allowed to cost real time),
+* ``enabled_nohist`` - the same live tracer with ``histograms=False``,
+  isolating what the streaming duration histograms add on top of span
+  recording.
+
+A second benchmark times the trace-analysis engine itself
+(:func:`repro.obs.analyze` - rollups, critical path, overlap, top-k)
+over the span list of a real traced run.
 
 Results go to ``BENCH_obs.json``.  Set ``QGPU_BENCH_SMOKE=1`` for a
 CI-sized run.
@@ -52,6 +59,17 @@ def _best_of(run) -> float:
     return best
 
 
+def _update_results(fields: dict) -> None:
+    payload = {}
+    if RESULTS_PATH.exists():
+        try:
+            payload = json.loads(RESULTS_PATH.read_text())
+        except (OSError, ValueError):
+            payload = {}
+    payload.update(fields)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 def test_disabled_tracer_overhead() -> None:
     circuit = get_circuit("qft", NUM_QUBITS)
     version = VERSIONS_BY_NAME["Q-GPU"]
@@ -63,6 +81,9 @@ def test_disabled_tracer_overhead() -> None:
     baseline_s = _best_of(lambda: run(None))
     disabled_s = _best_of(lambda: run(Tracer(enabled=False)))
     enabled_s = _best_of(lambda: run(Tracer(clock=LogicalClock())))
+    nohist_s = _best_of(
+        lambda: run(Tracer(clock=LogicalClock(), histograms=False))
+    )
 
     overhead = disabled_s / baseline_s - 1.0
     payload = {
@@ -72,19 +93,51 @@ def test_disabled_tracer_overhead() -> None:
         "baseline_seconds": baseline_s,
         "disabled_seconds": disabled_s,
         "enabled_seconds": enabled_s,
+        "enabled_nohist_seconds": nohist_s,
         "disabled_overhead": overhead,
         "enabled_overhead": enabled_s / baseline_s - 1.0,
+        "histogram_overhead": enabled_s / nohist_s - 1.0,
         "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
     }
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _update_results(payload)
     print(f"\n  obs overhead bench ({payload['mode']}, qft_{NUM_QUBITS})")
     print(f"  baseline {baseline_s * 1e3:8.2f} ms")
     print(f"  disabled {disabled_s * 1e3:8.2f} ms ({overhead:+.1%})")
     print(f"  enabled  {enabled_s * 1e3:8.2f} ms "
           f"({payload['enabled_overhead']:+.1%})")
+    print(f"  no-hist  {nohist_s * 1e3:8.2f} ms "
+          f"(histograms add {payload['histogram_overhead']:+.1%})")
     print(f"  wrote {RESULTS_PATH}")
 
     assert disabled_s <= baseline_s * (1 + MAX_DISABLED_OVERHEAD) + JITTER_ALLOWANCE_S, (
         f"disabled tracer costs {overhead:.1%} over the untraced baseline "
         f"(budget {MAX_DISABLED_OVERHEAD:.0%})"
     )
+
+
+def test_analyzer_runtime() -> None:
+    """Time the full trace-analysis pass over a real traced run."""
+    from repro.obs import analyze
+
+    circuit = get_circuit("qft", NUM_QUBITS)
+    version = VERSIONS_BY_NAME["Q-GPU"]
+    tracer = Tracer(clock=LogicalClock())
+    QGpuSimulator(version=version, workers=1, tracer=tracer).run(circuit)
+    spans = tracer.spans
+    analyze(spans)  # warm
+    analyze_s = _best_of(lambda: analyze(spans))
+
+    fields = {
+        "analyzer_span_count": len(spans),
+        "analyzer_seconds": analyze_s,
+        "analyzer_spans_per_second": (
+            len(spans) / analyze_s if analyze_s > 0 else None
+        ),
+    }
+    _update_results(fields)
+    print(f"\n  trace analyzer: {len(spans)} spans in {analyze_s * 1e3:.2f} ms")
+    print(f"  wrote {RESULTS_PATH}")
+
+    # Sanity floor, not a perf gate: analysis of a modest trace must not
+    # take longer than the simulation it describes typically does.
+    assert analyze_s < 5.0

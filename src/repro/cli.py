@@ -30,9 +30,12 @@ Subcommands:
 ``simulate`` also understands ``--fault-plan``, ``--checkpoint-every``,
 ``--checkpoint`` and ``--resume`` (see ``docs/reliability.md``), and
 ``--trace FILE`` / ``--metrics FILE`` for observability exports; ``trace
-summary FILE`` prints the per-stage breakdown of any exported trace
-(``docs/observability.md``).  The global ``--log-level`` / ``--log-format``
-flags control structured logging.
+summary|analyze|critical-path|drift FILE`` analyse any exported trace
+(per-stage breakdown, rollups + bottlenecks, critical-path attribution
+with overlap efficiency, and model-vs-measured drift - see
+``docs/observability.md``).  ``serve-batch --http-port`` exposes a live
+``/metrics`` / ``/healthz`` / ``/jobs`` endpoint.  The global
+``--log-level`` / ``--log-format`` flags control structured logging.
 """
 
 from __future__ import annotations
@@ -204,11 +207,22 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``trace`` subactions that read an existing trace file rather than
+#: exporting a new one.
+TRACE_ANALYSIS_ACTIONS = ("summary", "validate", "analyze", "critical-path", "drift")
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.action == "summary":
         return _trace_summary(args)
     if args.action == "validate":
         return _trace_validate(args)
+    if args.action == "analyze":
+        return _trace_analyze(args)
+    if args.action == "critical-path":
+        return _trace_critical_path(args)
+    if args.action == "drift":
+        return _trace_drift(args)
 
     from repro.core.schedule import GateStreamPlan, stream_makespan
     from repro.core.simulator import QGpuSimulator
@@ -251,25 +265,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _trace_clock_deterministic(events: list) -> bool:
-    """Whether a trace's clock metadata declares logical (tick) timestamps."""
-    for event in events:
-        if event.get("ph") == "M" and event.get("name") == "clock":
-            return bool(event.get("args", {}).get("deterministic"))
-    return False
+def _load_trace_spans(path: str):
+    """Read a trace file into (events, spans, unit-label)."""
+    from repro.obs import load_trace_events, spans_from_events, trace_clock_deterministic
+
+    events = load_trace_events(path)
+    spans = spans_from_events(events)
+    unit = "ticks" if trace_clock_deterministic(events) else "us"
+    return events, spans, unit
 
 
 def _trace_summary(args: argparse.Namespace) -> int:
-    from repro.obs import (
-        load_trace_events,
-        render_summary,
-        spans_from_events,
-        summarize,
-    )
+    from repro.obs import render_summary, summarize
 
-    events = load_trace_events(args.file)
-    spans = spans_from_events(events)
-    unit = "ticks" if _trace_clock_deterministic(events) else "us"
+    _, spans, unit = _load_trace_spans(args.file)
+    if not spans:
+        print(f"warning: {args.file} contains no spans; empty breakdown",
+              file=sys.stderr)
     print(render_summary(summarize(spans), unit=unit))
     return 0
 
@@ -280,6 +292,89 @@ def _trace_validate(args: argparse.Namespace) -> int:
     checked = validate_trace_file(args.file)
     print(f"{args.file}: {checked} span(s) well-formed")
     return 0
+
+
+def _trace_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import analyze, render_analysis
+
+    _, spans, unit = _load_trace_spans(args.file)
+    analysis = analyze(spans, top=args.top)
+    print(render_analysis(analysis, unit=unit))
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(analysis.to_dict(), sort_keys=True, indent=1) + "\n"
+        )
+        print(f"analysis JSON written to {args.json}")
+    return 0
+
+
+def _trace_critical_path(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import critical_path, overlap_stats, render_critical_path
+
+    _, spans, unit = _load_trace_spans(args.file)
+    if not spans:
+        print(f"warning: {args.file} contains no spans; empty critical path",
+              file=sys.stderr)
+        print("critical path: empty trace")
+        return 0
+    path = critical_path(spans)
+    overlap = overlap_stats(spans)
+    print(render_critical_path(path, unit=unit, limit=args.top))
+    if overlap.efficiency is None:
+        print("overlap efficiency: n/a (no transfer spans in trace)")
+    else:
+        print(f"overlap efficiency: {overlap.efficiency:.3f} "
+              f"(hidden {overlap.hidden:.6g} of {overlap.transfer:.6g} "
+              f"{unit} transfer)")
+    if args.json:
+        payload = {
+            "critical_path": path.to_dict(),
+            "overlap": {
+                "transfer": overlap.transfer,
+                "hidden": overlap.hidden,
+                "exposed": overlap.exposed,
+                "efficiency": overlap.efficiency,
+            },
+        }
+        Path(args.json).write_text(
+            json.dumps(payload, sort_keys=True, indent=1) + "\n"
+        )
+        print(f"critical-path JSON written to {args.json}")
+    return 0
+
+
+def _trace_drift(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import drift_report, measured_breakdown, predicted_breakdown
+
+    circuit = _load_circuit(args)
+    version = VERSIONS_BY_NAME[args.version]
+    machine = MACHINES[args.machine]
+    _, spans, _ = _load_trace_spans(args.file)
+    timing = QGpuSimulator(machine=machine, version=version).estimate(circuit)
+    report = drift_report(
+        predicted_breakdown(timing, machine),
+        measured_breakdown(spans),
+        tolerance=args.tolerance,
+        context={
+            "circuit": circuit.name,
+            "version": version.name,
+            "machine": machine.name,
+            "trace": str(args.file),
+        },
+    )
+    print(report.render())
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), sort_keys=True, indent=1) + "\n"
+        )
+        print(f"drift report written to {args.report}")
+    return 0 if report.passed else 1
 
 
 def _cmd_reliability(args: argparse.Namespace) -> int:
@@ -400,7 +495,24 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     if not service.jobs:
         print("no jobs to run (empty manifest/journal)")
         return 0
-    snapshot = service.run_until_complete()
+    http_server = None
+    if args.http_port is not None:
+        from repro.service import ServiceHTTPServer
+
+        http_server = ServiceHTTPServer(
+            service, port=args.http_port, host=args.http_host
+        ).start()
+        print(f"observability endpoint: {http_server.url} "
+              "(/metrics /healthz /jobs)")
+    try:
+        snapshot = service.run_until_complete()
+        if http_server is not None and args.http_linger > 0:
+            import time as _time
+
+            _time.sleep(args.http_linger)
+    finally:
+        if http_server is not None:
+            http_server.stop()
     counters = snapshot["counters"]
     cache = snapshot["cache"]
     admission = snapshot["admission"]
@@ -556,20 +668,30 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace",
         help="export a chrome-trace of the stream schedule, or summarize/"
-             "validate an exported trace file",
+             "validate/analyze an exported trace file",
     )
     trace.add_argument("action", nargs="?", default="export",
-                       choices=["export", "summary", "validate"],
+                       choices=["export", *TRACE_ANALYSIS_ACTIONS],
                        help="export the modelled stream schedule (default), "
                             "or analyse an existing trace file")
     trace.add_argument("file", nargs="?", metavar="FILE",
-                       help="trace file for 'summary' / 'validate'")
+                       help="trace file for the analysis actions")
     _add_circuit_options(trace)
     trace.add_argument("--machine", default="p100", choices=sorted(MACHINES))
     trace.add_argument("--version", default="Q-GPU", choices=sorted(VERSIONS_BY_NAME))
     trace.add_argument("--gates", type=int, default=6,
                        help="streamed gates to include")
     trace.add_argument("--output", default="qgpu_trace.json")
+    trace.add_argument("--top", type=int, default=5,
+                       help="bottlenecks ('analyze') or segments "
+                            "('critical-path') to print")
+    trace.add_argument("--json", metavar="FILE",
+                       help="also write the analyze/critical-path result "
+                            "as JSON")
+    trace.add_argument("--tolerance", type=float, default=0.15,
+                       help="'drift': max per-stage share drift tolerated")
+    trace.add_argument("--report", metavar="FILE",
+                       help="'drift': write the JSON drift report here")
     trace.set_defaults(fn=_cmd_trace)
 
     reliability = sub.add_parser(
@@ -620,6 +742,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace", metavar="PATH",
                        help="write a Chrome trace of scheduling + simulation "
                             "(logical clock when --workers 1)")
+    serve.add_argument("--http-port", type=int, metavar="PORT",
+                       help="serve /metrics, /healthz and /jobs on this "
+                            "port while running (0 = ephemeral)")
+    serve.add_argument("--http-host", default="127.0.0.1", metavar="ADDR",
+                       help="bind address for --http-port")
+    serve.add_argument("--http-linger", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="keep the HTTP endpoint up this long after the "
+                            "queue drains (for scrapes of the final state)")
     serve.set_defaults(fn=_cmd_serve_batch)
 
     submit = sub.add_parser("submit", help="append a job to a journal")
@@ -650,10 +781,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     configure_logging(level=args.log_level, fmt=args.log_format)
     trace_analysis = (
-        args.command == "trace" and args.action in ("summary", "validate")
+        args.command == "trace" and args.action in TRACE_ANALYSIS_ACTIONS
     )
+    # 'drift' is the one analysis action that also needs a circuit: it
+    # re-runs the cost model for the same configuration as the trace.
+    circuit_free = trace_analysis and args.action != "drift"
     if getattr(args, "family", None) is None and not getattr(args, "qasm", None) \
-            and not trace_analysis \
+            and not circuit_free \
             and args.command in ("simulate", "estimate", "transpile", "plan",
                                  "trace", "reliability", "submit"):
         parser.error("provide --family or --qasm")

@@ -43,7 +43,7 @@ from repro.core.reorder import reorder
 from repro.core.versions import QGPU, VersionConfig
 from repro.errors import CheckpointError, FaultInjectionError, SimulationError
 from repro.hardware.machine import Machine
-from repro.hardware.specs import MachineSpec, PAPER_MACHINE
+from repro.hardware.specs import AMP_BYTES, MachineSpec, PAPER_MACHINE
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.reliability.checkpoint import load_checkpoint, save_checkpoint
 from repro.reliability.faults import FaultKind, FaultPlan
@@ -340,6 +340,11 @@ class QGpuSimulator:
                     continue
                 if guard is not None:
                     guard.begin_gate(index)
+                if tracer.enabled and tracer.histograms and groups:
+                    members = sum(len(g) for g in groups)
+                    tracer.counters.histogram("chunk_bytes").observe(
+                        members * (AMP_BYTES << state.chunk_bits)
+                    )
                 if tracer.enabled:
                     with tracer.span(
                         f"apply:{gate.name}",

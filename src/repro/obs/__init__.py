@@ -9,24 +9,57 @@ Quick start::
     sim.run(circuit)
     write_trace(tracer, "run.trace.json")   # open in Perfetto
 
-See ``docs/observability.md`` for the span taxonomy, export formats, and
-overhead numbers.
+Analytics over exported traces live in :mod:`repro.obs.analyze` (stage
+rollups, critical path, overlap efficiency, bottlenecks),
+:mod:`repro.obs.drift` (model-vs-measured comparison), and
+:mod:`repro.obs.prom` (Prometheus text exposition for the service's
+``/metrics`` endpoint).  See ``docs/observability.md`` for the span
+taxonomy, export formats, and overhead numbers.
 """
 
+from repro.obs.analyze import (
+    Bottleneck,
+    CriticalPath,
+    CriticalSegment,
+    OverlapStats,
+    StageRollup,
+    TraceAnalysis,
+    analyze,
+    critical_path,
+    overlap_stats,
+    render_analysis,
+    render_critical_path,
+    stage_rollups,
+    top_bottlenecks,
+)
 from repro.obs.clock import LogicalClock, WallClock
 from repro.obs.counters import CounterRegistry
+from repro.obs.drift import (
+    DRIFT_STAGES,
+    DriftReport,
+    StageDrift,
+    drift_report,
+    measured_breakdown,
+    predicted_breakdown,
+)
 from repro.obs.export import (
     TraceSummary,
+    events_from_spans,
     load_trace_events,
     metrics_json,
     render_summary,
     spans_from_events,
     summarize,
+    trace_clock_deterministic,
+    trace_counters_snapshot,
     trace_events,
     trace_json,
+    trace_process_name,
     write_trace,
 )
+from repro.obs.hist import Histogram, bucket_exponent
 from repro.obs.log import JsonLogFormatter, configure_logging, get_logger
+from repro.obs.prom import render_prometheus, sanitize_metric_name
 from repro.obs.tracer import (
     DES_RESOURCE_STAGES,
     NULL_TRACER,
@@ -38,27 +71,54 @@ from repro.obs.tracer import (
 from repro.obs.validate import check_spans, validate_spans, validate_trace_file
 
 __all__ = [
+    "Bottleneck",
     "CounterRegistry",
+    "CriticalPath",
+    "CriticalSegment",
     "DES_RESOURCE_STAGES",
+    "DRIFT_STAGES",
+    "DriftReport",
+    "Histogram",
     "JsonLogFormatter",
     "LogicalClock",
     "NULL_TRACER",
+    "OverlapStats",
     "STAGES",
     "Span",
+    "StageDrift",
+    "StageRollup",
+    "TraceAnalysis",
     "TraceSummary",
     "Tracer",
     "WallClock",
+    "analyze",
+    "bucket_exponent",
     "check_spans",
     "configure_logging",
+    "critical_path",
+    "drift_report",
+    "events_from_spans",
     "get_logger",
     "load_trace_events",
+    "measured_breakdown",
     "metrics_json",
+    "overlap_stats",
+    "predicted_breakdown",
+    "render_analysis",
+    "render_critical_path",
+    "render_prometheus",
     "render_summary",
+    "sanitize_metric_name",
     "spans_from_events",
     "stage_for_resource",
+    "stage_rollups",
     "summarize",
+    "top_bottlenecks",
+    "trace_clock_deterministic",
+    "trace_counters_snapshot",
     "trace_events",
     "trace_json",
+    "trace_process_name",
     "validate_spans",
     "validate_trace_file",
     "write_trace",

@@ -1,0 +1,187 @@
+"""Model-vs-measured drift: diff the DES cost model against a real trace.
+
+The paper's argument rests on per-stage breakdowns (Fig. 2/4/12).  PR 4
+made both sides producible - the DES model emits predicted stage times,
+the tracer emits measured ones - but nothing *compared* them.  This module
+closes the loop:
+
+* :func:`predicted_breakdown` - the model's per-stage **busy** seconds for
+  a circuit + config, derived from a
+  :class:`~repro.core.executor.TimedResult`: transfer stages from bytes
+  moved over the link bandwidth, compute from CPU + GPU busy time, codec
+  from codec busy time.  Busy time (not *exposed* time) is the right basis
+  because the traced side also records spans for work that overlap hides -
+  ``TimedResult.transfer_seconds`` would charge the Overlap version ~zero
+  transfer while its trace is full of ``h2d``/``d2h`` spans.
+* :func:`measured_breakdown` - the same stages out of a span list, using
+  the trace-summary self-time rule.
+* :func:`drift_report` - both breakdowns normalised to **shares** of their
+  core-stage totals and diffed per stage, with a tolerance gate on the
+  largest share drift.  Shares (not absolute seconds) are the comparable
+  quantity: the model predicts seconds on the paper's P100, the trace
+  measures ticks or host seconds - only the *shape* of the breakdown is
+  machine-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.export import summarize
+from repro.obs.tracer import Span
+
+if TYPE_CHECKING:  # duck-typed at runtime; keeps repro.obs import-light
+    from repro.core.executor import TimedResult
+    from repro.hardware.specs import MachineSpec
+
+#: The stages drift is gated on - the paper's Fig. 2 axes.  Runtime stages
+#: (transpile, schedule, checkpoint, ...) exist only on the measured side
+#: and are excluded from the comparison.
+DRIFT_STAGES: tuple[str, ...] = ("h2d", "compute", "codec", "d2h")
+
+#: Default gate: the largest per-stage share drift tolerated before the
+#: report (and the CI job running it) fails.
+DEFAULT_TOLERANCE = 0.15
+
+
+def predicted_breakdown(
+    timing: "TimedResult", machine: "MachineSpec"
+) -> dict[str, float]:
+    """The cost model's per-stage busy seconds for one modelled run."""
+    bandwidth = machine.link.bandwidth_per_direction
+    return {
+        "h2d": timing.bytes_h2d / bandwidth,
+        "compute": timing.cpu_seconds + timing.gpu_seconds,
+        "codec": timing.codec_seconds,
+        "d2h": timing.bytes_d2h / bandwidth,
+    }
+
+
+def measured_breakdown(spans: list[Span]) -> dict[str, float]:
+    """Traced per-stage self time, restricted to the drift stages."""
+    stages = summarize(spans).stages
+    return {stage: stages.get(stage, 0.0) for stage in DRIFT_STAGES}
+
+
+def _shares(breakdown: dict[str, float]) -> dict[str, float]:
+    total = sum(breakdown.get(stage, 0.0) for stage in DRIFT_STAGES)
+    if total <= 0.0:
+        return {stage: 0.0 for stage in DRIFT_STAGES}
+    return {stage: breakdown.get(stage, 0.0) / total for stage in DRIFT_STAGES}
+
+
+@dataclass
+class StageDrift:
+    """Predicted vs measured share of one stage."""
+
+    stage: str
+    predicted_seconds: float
+    measured_seconds: float
+    predicted_share: float
+    measured_share: float
+
+    @property
+    def drift(self) -> float:
+        """Absolute share difference - the gated quantity."""
+        return abs(self.predicted_share - self.measured_share)
+
+
+@dataclass
+class DriftReport:
+    """Outcome of one model-vs-measured comparison.
+
+    Attributes:
+        stages: Per-stage predicted/measured seconds and shares.
+        tolerance: Maximum share drift allowed by the gate.
+        context: Free-form labels for the report header (circuit, version,
+            machine, trace file ...).
+    """
+
+    stages: list[StageDrift] = field(default_factory=list)
+    tolerance: float = DEFAULT_TOLERANCE
+    context: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def max_drift(self) -> float:
+        return max((s.drift for s in self.stages), default=0.0)
+
+    @property
+    def worst_stage(self) -> str | None:
+        if not self.stages:
+            return None
+        return max(self.stages, key=lambda s: s.drift).stage
+
+    @property
+    def passed(self) -> bool:
+        return self.max_drift <= self.tolerance
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "context": dict(self.context),
+            "tolerance": self.tolerance,
+            "max_drift": self.max_drift,
+            "worst_stage": self.worst_stage,
+            "passed": self.passed,
+            "stages": {
+                s.stage: {
+                    "predicted_seconds": s.predicted_seconds,
+                    "measured_seconds": s.measured_seconds,
+                    "predicted_share": s.predicted_share,
+                    "measured_share": s.measured_share,
+                    "drift": s.drift,
+                }
+                for s in self.stages
+            },
+        }
+
+    def render(self) -> str:
+        lines = []
+        if self.context:
+            header = " ".join(f"{k}={v}" for k, v in self.context.items())
+            lines.append(f"drift report: {header}")
+        lines.append(
+            f"{'stage':<10} {'model s':>12} {'trace':>12} "
+            f"{'model %':>9} {'trace %':>9} {'drift':>8}"
+        )
+        for s in self.stages:
+            lines.append(
+                f"{s.stage:<10} {s.predicted_seconds:>12.6g} "
+                f"{s.measured_seconds:>12.6g} {s.predicted_share:>8.1%} "
+                f"{s.measured_share:>8.1%} {s.drift:>7.1%}"
+            )
+        verdict = "PASS" if self.passed else "FAIL"
+        lines.append(
+            f"max share drift {self.max_drift:.1%} "
+            f"(stage {self.worst_stage or '-'}) vs tolerance "
+            f"{self.tolerance:.1%}: {verdict}"
+        )
+        return "\n".join(lines)
+
+
+def drift_report(
+    predicted: dict[str, float],
+    measured: dict[str, float],
+    tolerance: float = DEFAULT_TOLERANCE,
+    context: dict[str, Any] | None = None,
+) -> DriftReport:
+    """Compare two per-stage breakdowns on normalised shares.
+
+    Either side may be in any time unit (model seconds vs logical ticks) -
+    each is normalised to shares of its own core-stage total first.  A side
+    with zero core-stage time gets all-zero shares, so an empty trace
+    drifts by exactly the model's largest share (a loud FAIL, not a crash).
+    """
+    predicted_shares = _shares(predicted)
+    measured_shares = _shares(measured)
+    stages = [
+        StageDrift(
+            stage=stage,
+            predicted_seconds=predicted.get(stage, 0.0),
+            measured_seconds=measured.get(stage, 0.0),
+            predicted_share=predicted_shares[stage],
+            measured_share=measured_shares[stage],
+        )
+        for stage in DRIFT_STAGES
+    ]
+    return DriftReport(stages=stages, tolerance=tolerance, context=dict(context or {}))

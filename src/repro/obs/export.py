@@ -40,10 +40,34 @@ def _scale(tracer: Tracer) -> float:
 
 def trace_events(tracer: Tracer, process_name: str = "repro") -> list[dict[str, Any]]:
     """Build the Trace Event list for a tracer's completed spans."""
-    spans = tracer.spans
-    lanes = tracer.lanes()
+    return events_from_spans(
+        tracer.spans,
+        counters=tracer.counters.snapshot(),
+        deterministic=bool(getattr(tracer.clock, "deterministic", False)),
+        process_name=process_name,
+        scale=_scale(tracer),
+    )
+
+
+def events_from_spans(
+    spans: list[Span],
+    counters: dict[str, Any] | None = None,
+    deterministic: bool = False,
+    process_name: str = "repro",
+    scale: float = 1.0,
+) -> list[dict[str, Any]]:
+    """Build a Trace Event list from a plain span list.
+
+    This is :func:`trace_events` without the tracer: re-exporting a parsed
+    trace (:func:`spans_from_events`) with the metadata read back off the
+    original events (:func:`trace_clock_deterministic`,
+    :func:`trace_counters_snapshot`, :func:`trace_process_name`) and
+    ``scale=1.0`` - parsed timestamps are already in trace units -
+    reproduces this module's output byte-for-byte.
+    """
+    lanes = sorted({span.lane for span in spans},
+                   key=lambda lane: (lane != "main", lane))
     tids = {lane: position + 1 for position, lane in enumerate(lanes)}
-    scale = _scale(tracer)
     events: list[dict[str, Any]] = [
         {
             "name": "process_name",
@@ -55,15 +79,13 @@ def trace_events(tracer: Tracer, process_name: str = "repro") -> list[dict[str, 
             "name": "clock",
             "ph": "M",
             "pid": 1,
-            "args": {
-                "deterministic": bool(getattr(tracer.clock, "deterministic", False))
-            },
+            "args": {"deterministic": bool(deterministic)},
         },
         {
             "name": "counters",
             "ph": "M",
             "pid": 1,
-            "args": tracer.counters.snapshot(),
+            "args": dict(counters) if counters is not None else {},
         },
     ]
     for lane in lanes:
@@ -112,6 +134,31 @@ def write_trace(tracer: Tracer, path: str | Path, process_name: str = "repro") -
 
 
 # -- reading traces back -------------------------------------------------------
+
+
+def trace_clock_deterministic(events: list[dict[str, Any]]) -> bool:
+    """Whether a trace's clock metadata declares logical (tick) timestamps."""
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "clock":
+            return bool(event.get("args", {}).get("deterministic"))
+    return False
+
+
+def trace_counters_snapshot(events: list[dict[str, Any]]) -> dict[str, Any]:
+    """The counter snapshot embedded in a trace's metadata (empty if none)."""
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "counters":
+            args = event.get("args")
+            return dict(args) if isinstance(args, dict) else {}
+    return {}
+
+
+def trace_process_name(events: list[dict[str, Any]], default: str = "repro") -> str:
+    """The process name embedded in a trace's metadata."""
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            return str(event.get("args", {}).get("name", default))
+    return default
 
 
 def load_trace_events(path: str | Path) -> list[dict[str, Any]]:

@@ -1,0 +1,103 @@
+"""Prometheus text exposition for counters, gauges, and histograms.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.counters.CounterRegistry`
+(plus optional caller-supplied gauges) into the Prometheus text format
+version 0.0.4 that ``/metrics`` scrapes expect:
+
+* every counter becomes ``<prefix>_<sanitised_name>`` with a ``# TYPE``
+  line (``counter`` - the registry only holds monotonic counts);
+* every :class:`~repro.obs.hist.Histogram` series becomes the standard
+  triple: cumulative ``_bucket{le="..."}`` lines over its occupied grid
+  range plus ``le="+Inf"``, then ``_sum`` and ``_count``;
+* gauges (queue depth, inflight jobs, uptime ...) are passed explicitly
+  since the registry deliberately has no gauge type.
+
+Output is deterministic: metrics sort by name, series by label set, so a
+scrape of an idle deterministic service is byte-stable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from repro.obs.counters import CounterRegistry
+from repro.obs.hist import Histogram
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+_LEADING_DIGIT = re.compile(r"^[0-9]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an internal counter name onto the Prometheus name grammar."""
+    cleaned = _INVALID.sub("_", name)
+    if _LEADING_DIGIT.match(cleaned):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels(pairs: tuple[tuple[str, str], ...], extra: str | None = None) -> str:
+    parts = [f'{sanitize_metric_name(k)}="{v}"' for k, v in pairs]
+    if extra is not None:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _render_histogram(series: Histogram, prefix: str) -> list[str]:
+    name = f"{prefix}_{sanitize_metric_name(series.name)}"
+    lines = [f"# TYPE {name} histogram"]
+    for bound, cumulative in series.cumulative():
+        le = 'le="' + repr(bound) + '"'
+        lines.append(f"{name}_bucket{_labels(series.labels, le)} {cumulative}")
+    count = series.count
+    inf = 'le="+Inf"'
+    lines.append(f"{name}_bucket{_labels(series.labels, inf)} {count}")
+    lines.append(f"{name}_sum{_labels(series.labels)} {_format_value(series.sum)}")
+    lines.append(f"{name}_count{_labels(series.labels)} {count}")
+    return lines
+
+
+def render_prometheus(
+    counters: CounterRegistry,
+    gauges: Mapping[str, float] | None = None,
+    prefix: str = "repro",
+) -> str:
+    """Render the registry (and optional gauges) as Prometheus text.
+
+    Args:
+        counters: Registry whose counters and histogram series to expose.
+        gauges: Extra point-in-time values (exposed as ``gauge`` type).
+        prefix: Metric-name prefix (the conventional per-app namespace).
+    """
+    lines: list[str] = []
+    for name, value in counters.snapshot().items():
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    # Histogram series of the same name share one # TYPE header.
+    by_name: dict[str, list[Histogram]] = {}
+    for series in counters.histograms():
+        by_name.setdefault(series.name, []).append(series)
+    for name in sorted(by_name):
+        first = True
+        for series in by_name[name]:
+            rendered = _render_histogram(series, prefix)
+            lines.extend(rendered if first else rendered[1:])
+            first = False
+    for name in sorted(gauges or {}):
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(float((gauges or {})[name]))}")
+    return "\n".join(lines) + "\n"

@@ -156,6 +156,12 @@ class Tracer:
             null context manager; counters still work.
         counters: Registry spans and call sites count into (default: a
             fresh :class:`CounterRegistry`).
+        histograms: When True (the default for an enabled tracer's call
+            sites to honour), every staged span's duration is observed
+            into the ``span_seconds`` histogram of the counter registry,
+            one series per stage, and instrumented call sites record
+            distribution metrics (e.g. chunk bytes).  Pass False to keep
+            full tracing but skip histogram bookkeeping.
     """
 
     def __init__(
@@ -163,14 +169,17 @@ class Tracer:
         clock: Any = None,
         enabled: bool = True,
         counters: CounterRegistry | None = None,
+        histograms: bool = True,
     ) -> None:
         self.enabled = enabled
         self.clock = clock if clock is not None else WallClock()
         self.counters = counters if counters is not None else CounterRegistry()
+        self.histograms = histograms
         self._lock = threading.Lock()
         self._spans: list[Span] = []
         self._next_index = 0
         self._local = threading.local()
+        self._stage_hists: dict[str, Any] = {}
 
     # -- span API ------------------------------------------------------------
 
@@ -263,6 +272,13 @@ class Tracer:
         )
         with self._lock:
             self._spans.append(span)
+        if self.histograms and span.stage is not None:
+            series = self._stage_hists.get(span.stage)
+            if series is None:
+                series = self._stage_hists[span.stage] = self.counters.histogram(
+                    "span_seconds", stage=span.stage
+                )
+            series.observe(span.duration)
 
 
 #: Shared disabled tracer: the default for every instrumented call site.

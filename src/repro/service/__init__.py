@@ -8,12 +8,17 @@ capacity model, a worker pool, a content-addressed result cache with LRU
 byte-budget eviction, a metrics registry, and a JSONL job journal for
 cross-process ``status``/``cancel``.
 
+A live service can additionally expose an HTTP observability endpoint
+(:class:`ServiceHTTPServer`: ``/metrics`` Prometheus text, ``/healthz``,
+``/jobs``) via ``repro serve-batch --http-port``.
+
 See ``docs/service.md`` for the architecture and worked examples, and the
 ``repro serve-batch`` / ``submit`` / ``status`` / ``cancel`` CLI commands.
 """
 
 from repro.service.admission import AdmissionController
 from repro.service.cache import ResultCache
+from repro.service.http import PROMETHEUS_CONTENT_TYPE, ServiceHTTPServer
 from repro.service.job import (
     ALLOWED_TRANSITIONS,
     Job,
@@ -54,8 +59,10 @@ __all__ = [
     "LogicalClock",
     "MetricsRegistry",
     "POLICIES",
+    "PROMETHEUS_CONTENT_TYPE",
     "PriorityPolicy",
     "ResultCache",
+    "ServiceHTTPServer",
     "SERVICE_VERSIONS",
     "SchedulingPolicy",
     "SjfPolicy",

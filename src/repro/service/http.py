@@ -1,0 +1,186 @@
+"""Live observability endpoint for a running batch service.
+
+:class:`ServiceHTTPServer` wraps a :class:`~repro.service.BatchService` in
+a stdlib :class:`~http.server.ThreadingHTTPServer` on a background daemon
+thread - no framework, no new dependency - serving three read-only routes:
+
+* ``/metrics`` - Prometheus text exposition (version 0.0.4) of the
+  service's counter registry, including every histogram series
+  (``_bucket`` / ``_sum`` / ``_count``), plus point-in-time gauges (jobs
+  by state, queue depth high-water mark, uptime);
+* ``/healthz`` - liveness JSON: ``{"status": "ok", ...}`` with job-state
+  counts, for load-balancer checks and CI smoke tests;
+* ``/jobs`` - the job table as JSON (id, state, attempts, timings).
+
+The server is read-only by construction: handlers only call the
+service's snapshot methods, never mutate job state, so they are safe to
+run concurrently with the coordinator's scheduling loop.
+
+Typical use (what ``repro serve-batch --http-port`` does)::
+
+    server = ServiceHTTPServer(service, port=0)   # 0 = ephemeral
+    server.start()
+    print(server.url)                             # http://127.0.0.1:NNNNN
+    ...
+    server.stop()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.obs.log import get_logger
+from repro.obs.prom import render_prometheus
+from repro.service.service import BatchService
+
+_logger = get_logger("service.http")
+
+#: Content type mandated by the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request; the ``server`` object carries the render hooks."""
+
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                self._respond(self.server.render_metrics(), PROMETHEUS_CONTENT_TYPE)
+            elif path == "/healthz":
+                self._respond_json(self.server.health())
+            elif path == "/jobs":
+                self._respond_json({"jobs": self.server.service.jobs_snapshot()})
+            else:
+                self._respond_json(
+                    {"error": f"no route {path!r}",
+                     "routes": ["/metrics", "/healthz", "/jobs"]},
+                    status=404,
+                )
+        except Exception as error:  # pragma: no cover - defensive
+            self._respond_json({"error": str(error)}, status=500)
+
+    def _respond(self, body: str, content_type: str, status: int = 200) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _respond_json(self, payload: dict[str, Any], status: int = 200) -> None:
+        self._respond(
+            json.dumps(payload, sort_keys=True) + "\n",
+            "application/json",
+            status,
+        )
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Route access logs through the repro logger instead of stderr.
+        _logger.debug("http %s", format % args)
+
+
+class ServiceHTTPServer:
+    """Background HTTP observability server for one :class:`BatchService`.
+
+    Args:
+        service: The service to expose (read-only).
+        port: TCP port; ``0`` picks an ephemeral port (read it back from
+            :attr:`port` after construction - useful in tests and CI).
+        host: Bind address (default loopback; pass ``"0.0.0.0"`` to expose
+            beyond the machine).
+        prefix: Prometheus metric-name prefix.
+    """
+
+    def __init__(
+        self,
+        service: BatchService,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        prefix: str = "repro",
+    ) -> None:
+        self.service = service
+        self.prefix = prefix
+        try:
+            self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        except OSError as error:
+            raise ServiceError(
+                f"cannot bind observability endpoint to {host}:{port}: {error}"
+            ) from None
+        self._httpd.daemon_threads = True
+        # Hand the handler its context via the server object it already sees.
+        self._httpd.render_metrics = self.render_metrics  # type: ignore[attr-defined]
+        self._httpd.health = self.health  # type: ignore[attr-defined]
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        self._started_at = time.monotonic()
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- payloads ------------------------------------------------------------
+
+    def gauges(self) -> dict[str, float]:
+        """Point-in-time values that don't belong in the counter registry."""
+        values: dict[str, float] = {
+            "up": 1.0,
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "queue_depth_max": float(self.service.metrics.max_queue_depth),
+        }
+        for state, count in sorted(self.service.state_counts().items()):
+            values[f"jobs_{state}"] = float(count)
+        return values
+
+    def render_metrics(self) -> str:
+        return render_prometheus(
+            self.service.metrics.counters, gauges=self.gauges(), prefix=self.prefix
+        )
+
+    def health(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "jobs": self.service.state_counts(),
+            "workers": self.service.workers,
+            "policy": self.service.policy.name,
+            "deterministic": self.service.deterministic,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ServiceHTTPServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise ServiceError("observability endpoint already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="obs-http",
+            daemon=True,
+        )
+        self._thread.start()
+        _logger.info("observability endpoint on %s", self.url,
+                     extra={"url": self.url})
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -49,6 +49,7 @@ class MetricsRegistry:
         self.max_queue_depth = 0
         self.retry_backoff_seconds = 0.0
         self.job_records: list[dict[str, Any]] = []
+        self._absorbed: set[str] = set()
 
     def count(self, name: str, increment: int = 1) -> None:
         self.counters.count(name, increment)
@@ -59,13 +60,19 @@ class MetricsRegistry:
     def charge_backoff(self, seconds: float) -> None:
         self.retry_backoff_seconds += seconds
 
-    def absorb_result(self, result: JobResult) -> None:
+    def absorb_result(self, result: JobResult, job_id: str | None = None) -> None:
         """Fold a freshly computed job's simulator-level stats into the export.
 
         Called on fresh completions only - a cache hit re-serves an old
         payload without re-running the simulator, so absorbing it again
-        would double-count.
+        would double-count.  When ``job_id`` is given the fold is
+        idempotent per job: a journal replay (or any double call) that
+        re-delivers a completion is absorbed at most once.
         """
+        if job_id is not None:
+            if job_id in self._absorbed:
+                return
+            self._absorbed.add(job_id)
         self.counters.merge({
             name: value
             for name, value in (
@@ -79,7 +86,13 @@ class MetricsRegistry:
         })
 
     def record_job(self, job: Job) -> None:
-        """Append the terminal summary of ``job``."""
+        """Append the terminal summary of ``job``; observe latency histograms."""
+        if job.wait_time is not None:
+            self.counters.histogram("job_wait_seconds").observe(job.wait_time)
+        if job.submitted_at is not None and job.finished_at is not None:
+            self.counters.histogram("job_latency_seconds").observe(
+                job.finished_at - job.submitted_at
+            )
         self.job_records.append({
             "id": job.job_id,
             "name": job.spec.display_name,

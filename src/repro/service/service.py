@@ -401,7 +401,7 @@ class BatchService:
                 self.journal.record_result(job)
             self.cache.put(job.cache_key, job.result)
             self.metrics.count("jobs_succeeded")
-            self.metrics.absorb_result(job.result)
+            self.metrics.absorb_result(job.result, job_id=job.job_id)
             self.metrics.record_job(job)
             return
         if not isinstance(error, ReproError):
@@ -440,6 +440,46 @@ class BatchService:
             self.journal.record_transition(job, at)
 
     # -- reporting -----------------------------------------------------------
+
+    def jobs_snapshot(self) -> list[dict[str, Any]]:
+        """JSON-safe view of every job, for the HTTP ``/jobs`` endpoint.
+
+        Safe to call from any thread: job mutation happens only on the
+        coordinator, but this reader may race a ``submit`` growing the
+        dict, so the iteration retries on the (rare) RuntimeError a
+        concurrent resize raises.
+        """
+        for _ in range(8):
+            try:
+                jobs = sorted(self._jobs.values(), key=lambda job: job.seq)
+                break
+            except RuntimeError:  # pragma: no cover - dict resized mid-read
+                continue
+        else:  # pragma: no cover - persistent contention
+            jobs = []
+        return [
+            {
+                "id": job.job_id,
+                "name": job.spec.display_name,
+                "state": job.state.value,
+                "priority": job.spec.priority,
+                "attempts": job.attempts,
+                "cache_hit": job.cache_hit,
+                "estimated_seconds": job.estimated_seconds,
+                "submitted_at": job.submitted_at,
+                "started_at": job.started_at,
+                "finished_at": job.finished_at,
+                "error": job.error,
+            }
+            for job in jobs
+        ]
+
+    def state_counts(self) -> dict[str, int]:
+        """Job count per state (the ``/healthz`` and ``/metrics`` gauges)."""
+        counts: dict[str, int] = {}
+        for record in self.jobs_snapshot():
+            counts[record["state"]] = counts.get(record["state"], 0) + 1
+        return counts
 
     def snapshot(self) -> dict[str, Any]:
         """The full metrics export for this run."""

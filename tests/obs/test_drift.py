@@ -1,0 +1,129 @@
+"""Model-vs-measured drift reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.library import get_circuit
+from repro.core.simulator import QGpuSimulator
+from repro.core.versions import VERSIONS_BY_NAME
+from repro.hardware.specs import MACHINES
+from repro.obs import (
+    DRIFT_STAGES,
+    Span,
+    drift_report,
+    measured_breakdown,
+    predicted_breakdown,
+)
+
+
+def _span(index, name, stage, lane, start, end, parent=None) -> Span:
+    return Span(index=index, name=name, stage=stage, lane=lane,
+                start=float(start), end=float(end), parent=parent)
+
+
+class TestBreakdowns:
+    def test_predicted_uses_busy_not_exposed_time(self):
+        machine = MACHINES["p100"]
+        circuit = get_circuit("bv", 32, seed=0)
+        version = VERSIONS_BY_NAME["Overlap"]
+        timing = QGpuSimulator(machine=machine, version=version).estimate(circuit)
+        predicted = predicted_breakdown(timing, machine)
+        assert set(predicted) == set(DRIFT_STAGES)
+        # Busy transfer time = bytes / bandwidth, independent of how much
+        # of it overlap hid.
+        assert predicted["h2d"] == pytest.approx(
+            timing.bytes_h2d / machine.link.bandwidth_per_direction
+        )
+        assert predicted["compute"] == pytest.approx(
+            timing.cpu_seconds + timing.gpu_seconds
+        )
+        assert predicted["h2d"] > 0
+
+    def test_measured_restricts_to_drift_stages(self):
+        spans = [
+            _span(0, "h2d", "h2d", "io", 0, 3),
+            _span(1, "comp", "compute", "gpu", 3, 5),
+            _span(2, "ckpt", "checkpoint", "main", 5, 9),
+        ]
+        measured = measured_breakdown(spans)
+        assert set(measured) == set(DRIFT_STAGES)
+        assert measured["h2d"] == pytest.approx(3.0)
+        assert measured["compute"] == pytest.approx(2.0)
+        assert measured["codec"] == 0.0
+
+
+class TestDriftReport:
+    def test_identical_shapes_pass_even_with_unit_mismatch(self):
+        predicted = {"h2d": 1.0, "compute": 2.0, "codec": 0.0, "d2h": 1.0}
+        measured = {stage: value * 1e6 for stage, value in predicted.items()}
+        report = drift_report(predicted, measured, tolerance=0.01)
+        assert report.passed
+        assert report.max_drift == pytest.approx(0.0)
+
+    def test_divergent_shapes_fail_the_gate(self):
+        predicted = {"h2d": 5.0, "compute": 1.0, "codec": 0.0, "d2h": 4.0}
+        measured = {"h2d": 1.0, "compute": 8.0, "codec": 0.0, "d2h": 1.0}
+        report = drift_report(predicted, measured, tolerance=0.15)
+        assert not report.passed
+        assert report.worst_stage == "compute"
+        assert report.max_drift > 0.5
+
+    def test_empty_measured_side_fails_loudly_not_crashing(self):
+        predicted = {"h2d": 1.0, "compute": 3.0, "codec": 0.0, "d2h": 1.0}
+        report = drift_report(predicted, {}, tolerance=0.15)
+        assert not report.passed
+        assert report.max_drift == pytest.approx(0.6)  # compute share
+
+    def test_both_empty_passes_trivially(self):
+        assert drift_report({}, {}).passed
+
+    def test_to_dict_and_render(self):
+        report = drift_report(
+            {"h2d": 1.0, "compute": 1.0, "codec": 0.0, "d2h": 1.0},
+            {"h2d": 1.0, "compute": 1.2, "codec": 0.0, "d2h": 1.0},
+            tolerance=0.2,
+            context={"circuit": "bv_32"},
+        )
+        payload = report.to_dict()
+        assert payload["passed"] is True
+        assert payload["context"]["circuit"] == "bv_32"
+        assert set(payload["stages"]) == set(DRIFT_STAGES)
+        text = report.render()
+        assert "bv_32" in text
+        assert "PASS" in text
+
+    def test_model_against_its_own_stream_trace(self):
+        """The CI gate in miniature: DES trace vs closed-form breakdown."""
+        from repro.core.schedule import GateStreamPlan, stream_makespan
+        from repro.hardware.pipeline import StageTimes
+
+        machine = MACHINES["p100"]
+        version = VERSIONS_BY_NAME["Overlap"]
+        circuit = get_circuit("bv", 32, seed=0)
+        timing = QGpuSimulator(machine=machine, version=version).estimate(circuit)
+        plans = []
+        for record in timing.per_gate:
+            if record.bytes_h2d <= 0 or record.name == "<readout>":
+                continue
+            bandwidth = machine.link.bandwidth_per_direction
+            plans.append(GateStreamPlan(
+                f"{record.index}:{record.name}", 4,
+                StageTimes(record.bytes_h2d / 4 / bandwidth,
+                           record.gpu_seconds / 4,
+                           record.bytes_d2h / 4 / bandwidth),
+            ))
+            if len(plans) >= 8:
+                break
+        assert plans, "bv_32 must stream on the paper machine"
+        result = stream_makespan(plans, overlap=version.overlap)
+        measured = {"h2d": 0.0, "compute": 0.0, "codec": 0.0, "d2h": 0.0}
+        from repro.obs.tracer import stage_for_resource
+
+        for resource, busy in result.busy.items():
+            stage = stage_for_resource(resource)
+            if stage in measured:
+                measured[stage] += busy
+        predicted = predicted_breakdown(timing, machine)
+        report = drift_report(predicted, measured, tolerance=0.15)
+        assert report.passed, report.render()

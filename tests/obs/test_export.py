@@ -143,3 +143,117 @@ def test_render_summary_shows_core_stages_and_wall():
     assert "wall total" in text
     assert "(untraced)" in text
     assert "ticks total" in text
+
+
+class TestEmptyAndZeroDurationTraces:
+    def test_render_summary_of_empty_trace_does_not_divide_by_zero(self):
+        # Regression: an empty trace has wall == 0; rendering must not
+        # raise ZeroDivisionError and must show an all-zero breakdown.
+        text = render_summary(summarize([]))
+        assert "wall total" in text
+        assert "0" in text
+
+    def test_render_summary_of_zero_duration_spans(self):
+        spans = [Span(index=0, name="p", stage="compute", lane="main",
+                      start=5.0, end=5.0, parent=None)]
+        summary = summarize(spans)
+        assert summary.wall == 0.0
+        text = render_summary(summary)
+        assert "compute" in text
+
+    def test_empty_trace_file_summary_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "empty.trace.json"
+        path.write_text('{"traceEvents": []}\n')
+        assert main(["trace", "summary", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "no spans" in captured.err
+        assert "wall total" in captured.out
+
+
+class TestMetadataHelpers:
+    def test_clock_counters_and_process_name_round_trip(self):
+        from repro.obs import (
+            trace_clock_deterministic,
+            trace_counters_snapshot,
+            trace_process_name,
+        )
+
+        events = trace_events(_sample_tracer(), process_name="unit")
+        assert trace_clock_deterministic(events) is True
+        assert trace_counters_snapshot(events) == {"kernels.dense": 3}
+        assert trace_process_name(events) == "unit"
+        assert trace_clock_deterministic([]) is False
+        assert trace_counters_snapshot([]) == {}
+        assert trace_process_name([]) == "repro"
+
+
+class TestMultiWorkerRoundTrip:
+    @pytest.fixture(scope="class")
+    def worker_tracer(self) -> Tracer:
+        """A real 4-worker functional run, traced on wall clock."""
+        from repro.circuits.library import get_circuit
+        from repro.core.simulator import QGpuSimulator
+
+        tracer = Tracer()
+        QGpuSimulator(workers=4, chunk_bits=6, tracer=tracer).run(
+            get_circuit("qft", 9)
+        )
+        return tracer
+
+    def test_four_worker_trace_is_multi_lane_and_validates(
+        self, worker_tracer, tmp_path
+    ):
+        from repro.obs import validate_trace_file, write_trace
+
+        lanes = worker_tracer.lanes()
+        workers = [lane for lane in lanes if lane.startswith("chunk-worker")]
+        assert len(workers) >= 2, lanes
+        path = tmp_path / "workers.trace.json"
+        write_trace(worker_tracer, path)
+        checked = validate_trace_file(path)
+        assert checked == len(worker_tracer.spans)
+
+    def test_export_parse_export_is_stable(self, worker_tracer, tmp_path):
+        from repro.obs import (
+            events_from_spans,
+            trace_clock_deterministic,
+            trace_counters_snapshot,
+            trace_process_name,
+        )
+
+        def re_export(events):
+            rebuilt = events_from_spans(
+                spans_from_events(events),
+                counters=trace_counters_snapshot(events),
+                deterministic=trace_clock_deterministic(events),
+                process_name=trace_process_name(events),
+            )
+            return json.dumps({"traceEvents": rebuilt}, sort_keys=True,
+                              separators=(",", ":"))
+
+        events = trace_events(worker_tracer)
+        first = re_export(events)
+        second = re_export(json.loads(first)["traceEvents"])
+        assert first == second
+
+    def test_logical_clock_round_trip_is_byte_identical(self):
+        from repro.obs import (
+            events_from_spans,
+            trace_clock_deterministic,
+            trace_counters_snapshot,
+            trace_process_name,
+        )
+
+        tracer = _sample_tracer()
+        text = trace_json(tracer, process_name="unit")
+        events = json.loads(text)["traceEvents"]
+        rebuilt = events_from_spans(
+            spans_from_events(events),
+            counters=trace_counters_snapshot(events),
+            deterministic=trace_clock_deterministic(events),
+            process_name=trace_process_name(events),
+        )
+        assert (json.dumps({"traceEvents": rebuilt}, sort_keys=True,
+                           separators=(",", ":")) + "\n") == text

@@ -1,0 +1,109 @@
+"""HTTP observability endpoint: /metrics, /healthz, /jobs."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import LogicalClock, Tracer
+from repro.service import BatchService, JobSpec, ServiceHTTPServer
+
+
+def _get(url: str) -> tuple[int, str, str]:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type", ""),
+            response.read().decode("utf-8"),
+        )
+
+
+@pytest.fixture()
+def served():
+    tracer = Tracer(clock=LogicalClock())
+    service = BatchService(workers=1, tracer=tracer)
+    service.submit(JobSpec(family="bv", qubits=6, shots=4))
+    service.submit(JobSpec(family="gs", qubits=6))
+    service.run_until_complete()
+    server = ServiceHTTPServer(service, port=0).start()
+    try:
+        yield service, server
+    finally:
+        server.stop()
+
+
+class TestRoutes:
+    def test_healthz(self, served):
+        _, server = served
+        status, content_type, body = _get(f"{server.url}/healthz")
+        assert status == 200
+        assert "application/json" in content_type
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["jobs"] == {"SUCCEEDED": 2}
+        assert payload["workers"] == 1
+
+    def test_metrics_prometheus_text(self, served):
+        _, server = served
+        status, content_type, body = _get(f"{server.url}/metrics")
+        assert status == 200
+        assert "version=0.0.4" in content_type
+        assert "# TYPE repro_jobs_submitted counter" in body
+        assert "repro_jobs_submitted 2" in body
+        # Histogram exposition: buckets, +Inf, sum and count.
+        assert "repro_job_latency_seconds_bucket{le=" in body
+        assert 'le="+Inf"' in body
+        assert "repro_job_latency_seconds_count 2" in body
+        # Traced service: per-stage span-duration series with labels.
+        assert 'repro_span_seconds_bucket{stage="compute",le=' in body
+        # Gauges carry live state.
+        assert "repro_up 1" in body
+        assert "repro_jobs_SUCCEEDED 2" in body
+
+    def test_jobs_table(self, served):
+        _, server = served
+        status, _, body = _get(f"{server.url}/jobs")
+        assert status == 200
+        payload = json.loads(body)
+        assert [job["id"] for job in payload["jobs"]] == ["j0001", "j0002"]
+        assert all(job["state"] == "SUCCEEDED" for job in payload["jobs"])
+
+    def test_unknown_route_404s(self, served):
+        _, server = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server.url}/nope")
+        assert excinfo.value.code == 404
+        payload = json.loads(excinfo.value.read().decode("utf-8"))
+        assert "/metrics" in payload["routes"]
+
+
+class TestLifecycle:
+    def test_ephemeral_port_and_url(self, served):
+        _, server = served
+        assert server.port > 0
+        assert server.url.startswith("http://127.0.0.1:")
+
+    def test_double_start_rejected(self, served):
+        from repro.errors import ServiceError
+
+        _, server = served
+        with pytest.raises(ServiceError):
+            server.start()
+
+    def test_serves_while_queue_is_live(self):
+        # The endpoint can come up before any job runs - gauges show the
+        # pending queue.
+        service = BatchService(workers=1)
+        service.submit(JobSpec(family="bv", qubits=5))
+        server = ServiceHTTPServer(service, port=0).start()
+        try:
+            _, _, body = _get(f"{server.url}/healthz")
+            assert json.loads(body)["jobs"] == {"PENDING": 1}
+            service.run_until_complete()
+            _, _, body = _get(f"{server.url}/healthz")
+            assert json.loads(body)["jobs"] == {"SUCCEEDED": 1}
+        finally:
+            server.stop()

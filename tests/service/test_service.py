@@ -313,3 +313,47 @@ class TestSimWorkers:
             svc.run_until_complete()
             digests.append(job.result.state_sha256)
         assert digests[0] == digests[1]
+
+
+class TestMetricsAbsorption:
+    def test_absorb_result_idempotent_per_job(self) -> None:
+        from repro.service import JobResult, MetricsRegistry
+
+        metrics = MetricsRegistry()
+        result = JobResult(chunk_updates_total=10, chunk_updates_skipped=4,
+                           transfers=2, retries=1, faults=1)
+        metrics.absorb_result(result, job_id="j0001")
+        metrics.absorb_result(result, job_id="j0001")  # journal replay
+        assert metrics.counters.get("sim.chunk_updates_total") == 10
+        assert metrics.counters.get("sim.retries") == 1
+        # A different job's identical stats still count.
+        metrics.absorb_result(result, job_id="j0002")
+        assert metrics.counters.get("sim.chunk_updates_total") == 20
+
+    def test_absorb_without_job_id_stays_unguarded(self) -> None:
+        from repro.service import JobResult, MetricsRegistry
+
+        metrics = MetricsRegistry()
+        result = JobResult(chunk_updates_total=5)
+        metrics.absorb_result(result)
+        metrics.absorb_result(result)
+        assert metrics.counters.get("sim.chunk_updates_total") == 10
+
+    def test_service_run_absorbs_each_job_once(self) -> None:
+        svc = service()
+        svc.submit(JobSpec(family="bv", qubits=6))
+        svc.submit(JobSpec(family="bv", qubits=6))  # cache hit: not absorbed twice
+        snap = svc.run_until_complete()
+        direct = QGpuSimulator().run(get_circuit("bv", 6))
+        assert (snap["counters"]["sim.chunk_updates_total"]
+                == direct.chunk_updates_total)
+
+    def test_job_latency_histograms_recorded(self) -> None:
+        svc = service()
+        svc.submit(JobSpec(family="bv", qubits=6))
+        svc.submit(JobSpec(family="gs", qubits=6))
+        svc.run_until_complete()
+        snapshot = svc.metrics.counters.histogram_snapshot()
+        assert snapshot["job_latency_seconds"]["count"] == 2
+        assert snapshot["job_wait_seconds"]["count"] == 2
+        assert snapshot["job_latency_seconds"]["sum"] > 0

@@ -341,3 +341,104 @@ class TestJournalCommands:
         main(["serve-batch", "--journal", journal])
         capsys.readouterr()
         assert main(["cancel", "j0001", "--journal", journal]) == 1
+
+
+class TestTraceAnalytics:
+    def _traced_run(self, tmp_path) -> str:
+        trace = tmp_path / "run.trace.json"
+        assert main(["simulate", "--family", "bv", "--qubits", "10",
+                     "--workers", "1", "--trace", str(trace),
+                     "--trace-clock", "logical"]) == 0
+        return str(trace)
+
+    def test_trace_analyze_renders_and_writes_json(self, tmp_path, capsys) -> None:
+        import json
+
+        trace = self._traced_run(tmp_path)
+        out_json = tmp_path / "analysis.json"
+        capsys.readouterr()
+        assert main(["trace", "analyze", trace, "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "bottlenecks" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["span_count"] > 0
+        assert payload["critical_path"]["duration"] > 0
+
+    def test_trace_critical_path_overlap_run(self, tmp_path, capsys) -> None:
+        import json
+
+        trace = tmp_path / "overlap.json"
+        assert main(["trace", "--family", "bv", "--qubits", "32",
+                     "--version", "Overlap", "--gates", "8",
+                     "--output", str(trace)]) == 0
+        out_json = tmp_path / "critical.json"
+        capsys.readouterr()
+        assert main(["trace", "critical-path", str(trace),
+                     "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "overlap efficiency" in out
+        payload = json.loads(out_json.read_text())
+        # The acceptance criteria: efficiency in (0, 1] and the critical
+        # path's stage totals tile the root duration within 1%.
+        efficiency = payload["overlap"]["efficiency"]
+        assert efficiency is not None and 0.0 < efficiency <= 1.0
+        path = payload["critical_path"]
+        coverage = sum(path["stage_totals"].values()) / path["duration"]
+        assert abs(coverage - 1.0) < 0.01
+
+    def test_trace_drift_gate_passes_on_stream_trace(self, tmp_path, capsys) -> None:
+        import json
+
+        trace = tmp_path / "overlap.json"
+        assert main(["trace", "--family", "bv", "--qubits", "32",
+                     "--version", "Overlap", "--gates", "8",
+                     "--output", str(trace)]) == 0
+        report = tmp_path / "drift.json"
+        capsys.readouterr()
+        assert main(["trace", "drift", str(trace), "--family", "bv",
+                     "--qubits", "32", "--version", "Overlap",
+                     "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        payload = json.loads(report.read_text())
+        assert payload["passed"] is True
+        assert payload["max_drift"] <= payload["tolerance"]
+
+    def test_trace_drift_fails_on_mismatched_trace(self, tmp_path, capsys) -> None:
+        # A functional bv_10 trace is ~all compute; the bv_32 model is
+        # transfer-dominated, so the gate must fail.
+        trace = self._traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "drift", trace, "--family", "bv",
+                     "--qubits", "32", "--version", "Overlap"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_trace_drift_requires_circuit(self, tmp_path) -> None:
+        trace = self._traced_run(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["trace", "drift", trace])
+
+    def test_trace_critical_path_empty_trace(self, tmp_path, capsys) -> None:
+        path = tmp_path / "empty.json"
+        path.write_text('{"traceEvents": []}\n')
+        assert main(["trace", "critical-path", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "empty trace" in captured.out
+        assert "no spans" in captured.err
+
+
+class TestServeBatchHttp:
+    def test_http_port_flag_serves_and_shuts_down(self, tmp_path, capsys) -> None:
+        import json
+
+        manifest = tmp_path / "jobs.json"
+        manifest.write_text(json.dumps([
+            {"family": "bv", "qubits": 6},
+            {"family": "gs", "qubits": 6},
+        ]))
+        assert main(["serve-batch", "--manifest", str(manifest),
+                     "--workers", "1", "--http-port", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "observability endpoint: http://127.0.0.1:" in out
+        assert "2 submitted, 2 succeeded" in out
