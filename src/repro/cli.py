@@ -23,9 +23,14 @@ Subcommands:
   result bit-identical, that checkpoint/resume works mid-circuit, and
   report the modelled retry overhead;
 * ``serve-batch`` - run a JSON manifest of jobs through the batch service
-  (admission control, scheduling policy, worker pool, result cache);
-* ``submit`` / ``status`` / ``cancel`` - manage jobs in a JSONL journal
-  across processes (see ``docs/service.md``).
+  (admission control, scheduling policy, worker pool, result cache,
+  watchdog supervision and crash recovery);
+* ``submit`` / ``status`` / ``cancel`` / ``compact`` - manage jobs in a
+  JSONL journal across processes (see ``docs/service.md``);
+* ``chaos`` - the service-level chaos soak: seeded kill-restart-recover
+  cycles with injected worker crashes, stalls, torn journal writes and
+  cache corruption, verifying exactly-once convergence (see
+  ``docs/reliability.md``).
 
 ``simulate`` also understands ``--fault-plan``, ``--checkpoint-every``,
 ``--checkpoint`` and ``--resume`` (see ``docs/reliability.md``), and
@@ -34,8 +39,9 @@ summary|analyze|critical-path|drift FILE`` analyse any exported trace
 (per-stage breakdown, rollups + bottlenecks, critical-path attribution
 with overlap efficiency, and model-vs-measured drift - see
 ``docs/observability.md``).  ``serve-batch --http-port`` exposes a live
-``/metrics`` / ``/healthz`` / ``/jobs`` endpoint.  The global
-``--log-level`` / ``--log-format`` flags control structured logging.
+``/metrics`` / ``/healthz`` / ``/livez`` / ``/readyz`` / ``/jobs``
+endpoint.  The global ``--log-level`` / ``--log-format`` flags control
+structured logging.
 """
 
 from __future__ import annotations
@@ -457,13 +463,25 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         STRICT_POLICY,
         RecoveryPolicy,
     )
-    from repro.service import BatchService, load_manifest
+    from repro.service import (
+        BatchService,
+        JobStore,
+        SupervisionConfig,
+        load_manifest,
+    )
 
     recovery = DEFAULT_POLICY
     if args.max_attempts is not None:
         recovery = RecoveryPolicy(max_transfer_attempts=args.max_attempts)
     sim_recovery = (
         STRICT_POLICY if args.sim_recovery == "strict" else DEFAULT_POLICY
+    )
+    supervision = SupervisionConfig(
+        enabled=not args.no_supervision,
+        stall_timeout_seconds=args.stall_timeout,
+    )
+    journal = (
+        JobStore(args.journal, fsync=args.journal_fsync) if args.journal else None
     )
     tracer = None
     if args.trace:
@@ -484,14 +502,18 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         sim_recovery=sim_recovery,
         sim_workers=args.sim_workers,
         seed=args.seed,
-        journal=args.journal,
+        journal=journal,
         tracer=tracer,
+        supervision=supervision,
     )
     if args.manifest:
         for spec in load_manifest(args.manifest):
             service.submit(spec)
     if args.journal and not args.manifest:
-        service.adopt_pending()
+        # Full crash recovery, not just PENDING adoption: repairs a torn
+        # tail, re-queues RUNNING/ADMITTED jobs from a crashed serve, and
+        # seeds the cache from journaled results.
+        service.recover()
     if not service.jobs:
         print("no jobs to run (empty manifest/journal)")
         return 0
@@ -503,7 +525,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             service, port=args.http_port, host=args.http_host
         ).start()
         print(f"observability endpoint: {http_server.url} "
-              "(/metrics /healthz /jobs)")
+              "(/metrics /healthz /livez /readyz /jobs)")
     try:
         snapshot = service.run_until_complete()
         if http_server is not None and args.http_linger > 0:
@@ -554,6 +576,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         version=args.version,
         shots=args.shots,
         priority=args.priority,
+        deadline_seconds=args.deadline,
     ))
     print(f"submitted {job.job_id} ({job.spec.display_name}) "
           f"fingerprint={job.fingerprint[:16]}...")
@@ -593,6 +616,60 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
     store.record_transition(job, None)
     print(f"cancelled {job.job_id}")
     return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.service import JobStore
+
+    store = JobStore(args.journal)
+    before = store.path.stat().st_size if store.path.exists() else 0
+    kept = store.compact()
+    after = store.path.stat().st_size
+    print(f"compacted {args.journal}: {kept} event(s) kept, "
+          f"{before} -> {after} bytes")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.chaos import run_chaos_soak
+
+    report = run_chaos_soak(
+        args.manifest,
+        args.journal,
+        seed=args.seed,
+        cycles=args.cycles,
+        workers=args.workers,
+        crash_rate=args.crash_rate,
+        stall_rate=args.stall_rate,
+        torn_rate=args.torn_rate,
+        cache_corrupt_rate=args.cache_corrupt_rate,
+        kill_after=args.kill_after,
+        max_attempts=args.max_attempts,
+        stall_timeout=args.stall_timeout,
+        strict=False,  # report + exit code instead of a raise, for CI logs
+    )
+    states = ", ".join(f"{k}={v}" for k, v in report["states"].items())
+    print(f"chaos soak: {report['jobs']} job(s), {report['crashes']} "
+          f"crash(es), {report['torn_writes']} torn write(s), "
+          f"{report['journal_appends']} journal appends")
+    print(f"states    : {states or 'none'}")
+    print(f"converged : {report['converged']}  "
+          f"byte-identical: {report['byte_identical']}  "
+          f"duplicate cache entries: {report['duplicate_cache_entries']}")
+    counters = report["final_metrics"].get("counters", {})
+    print(f"last cycle: {counters.get('watchdog.reaps', 0)} watchdog reap(s), "
+          f"{counters.get('jobs_retried', 0)} retr(ies), "
+          f"{counters.get('recovery.requeued', 0)} re-queued")
+    for violation in report["violations"]:
+        print(f"violation : {violation}", file=sys.stderr)
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report, sort_keys=True, indent=1) + "\n"
+        )
+        print(f"report written to {args.report}")
+    return 1 if report["violations"] else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -717,7 +794,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--manifest", metavar="PATH",
                        help="JSON job manifest (list or {'jobs': [...]})")
     serve.add_argument("--journal", metavar="PATH",
-                       help="JSONL job journal to record to / adopt pending jobs from")
+                       help="JSONL job journal to record to; without "
+                            "--manifest, recover and re-run its jobs")
+    serve.add_argument("--journal-fsync", default="never",
+                       choices=["never", "always"],
+                       help="fsync every journal append (durable against "
+                            "power loss, much slower)")
+    serve.add_argument("--no-supervision", action="store_true",
+                       help="disable the watchdog (no deadline or stall "
+                            "reaping)")
+    serve.add_argument("--stall-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="reap a worker whose heartbeat is older than "
+                            "this")
     serve.add_argument("--workers", type=int, default=4,
                        help="worker threads (1 = deterministic mode)")
     serve.add_argument("--policy", default="fifo",
@@ -758,6 +847,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--journal", required=True, metavar="PATH")
     submit.add_argument("--shots", type=int, default=0)
     submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--deadline", type=float, metavar="SECONDS",
+                        help="wall-clock deadline; the watchdog kills the "
+                             "job when an attempt exceeds it")
     submit.add_argument("--version", default="Q-GPU",
                         choices=sorted(VERSIONS_BY_NAME))
     submit.add_argument("--machine", default="p100", choices=sorted(MACHINES))
@@ -772,6 +864,46 @@ def build_parser() -> argparse.ArgumentParser:
     cancel.add_argument("--journal", required=True, metavar="PATH")
     cancel.add_argument("job", metavar="ID")
     cancel.set_defaults(fn=_cmd_cancel)
+
+    compact = sub.add_parser(
+        "compact",
+        help="rewrite a journal as a minimal replay-equivalent snapshot",
+    )
+    compact.add_argument("--journal", required=True, metavar="PATH")
+    compact.set_defaults(fn=_cmd_compact)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="service-level chaos soak: seeded kill-restart-recover cycles",
+    )
+    chaos.add_argument("--manifest", required=True, metavar="PATH",
+                       help="JSON job manifest to soak")
+    chaos.add_argument("--journal", required=True, metavar="PATH",
+                       help="journal file for the soak (must not exist)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="root of the crash schedule and fault plan")
+    chaos.add_argument("--cycles", type=int, default=3,
+                       help="crash cycles before the clean final cycle")
+    chaos.add_argument("--workers", type=int, default=2)
+    chaos.add_argument("--crash-rate", type=float, default=0.15,
+                       help="P(worker crash) per job attempt")
+    chaos.add_argument("--stall-rate", type=float, default=0.05,
+                       help="P(worker stall) per job attempt")
+    chaos.add_argument("--torn-rate", type=float, default=0.5,
+                       help="P(the killing journal append is torn)")
+    chaos.add_argument("--cache-corrupt-rate", type=float, default=0.1,
+                       help="P(cache entry corrupted) per store")
+    chaos.add_argument("--kill-after", type=int, metavar="N",
+                       help="fixed appends-per-cycle until the kill "
+                            "(default: seeded schedule)")
+    chaos.add_argument("--max-attempts", type=int, default=20,
+                       help="per-job retry budget during the soak")
+    chaos.add_argument("--stall-timeout", type=float, default=0.25,
+                       metavar="SECONDS",
+                       help="watchdog stall reap threshold")
+    chaos.add_argument("--report", metavar="FILE",
+                       help="write the full soak report JSON here")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     return parser
 

@@ -45,6 +45,7 @@ from repro.errors import CheckpointError, FaultInjectionError, SimulationError
 from repro.hardware.machine import Machine
 from repro.hardware.specs import AMP_BYTES, MachineSpec, PAPER_MACHINE
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.reliability.cancellation import CancellationToken
 from repro.reliability.checkpoint import load_checkpoint, save_checkpoint
 from repro.reliability.faults import FaultKind, FaultPlan
 from repro.reliability.integrity import ChunkTransferGuard, check_norm
@@ -159,6 +160,7 @@ class QGpuSimulator:
         resume_from: str | Path | None = None,
         stop_after: int | None = None,
         workers: int | str | None = None,
+        cancel: CancellationToken | None = None,
     ) -> FunctionalResult:
         """Exact simulation with the version's reordering and pruning.
 
@@ -166,6 +168,11 @@ class QGpuSimulator:
             circuit: Circuit to simulate.
             workers: Per-run override of the constructor's ``workers``
                 knob (None = use the constructor's setting).
+            cancel: Optional cooperative cancellation token.  The gate
+                loop polls it before every applied gate (which also
+                heartbeats the token), so a cancelled run stops within
+                one gate's work and raises
+                :class:`~repro.errors.JobCancelled`.
             checkpoint_every: Write a checkpoint after every N applied
                 gates (requires ``checkpoint_path``).
             checkpoint_path: File the (single, atomically replaced)
@@ -206,6 +213,7 @@ class QGpuSimulator:
                         resume_from=resume_from,
                         stop_after=stop_after,
                         workers=workers,
+                        cancel=cancel,
                     )
             return self._run(
                 circuit,
@@ -215,6 +223,7 @@ class QGpuSimulator:
                 resume_from=resume_from,
                 stop_after=stop_after,
                 workers=workers,
+                cancel=cancel,
             )
         finally:
             if tracer is not NULL_TRACER:
@@ -230,6 +239,7 @@ class QGpuSimulator:
         resume_from: str | Path | None,
         stop_after: int | None,
         workers: int | str | None,
+        cancel: CancellationToken | None = None,
     ) -> FunctionalResult:
         n = circuit.num_qubits
         chunk_bits = self.chunk_bits if self.chunk_bits is not None else max(1, min(10, n - 2))
@@ -313,8 +323,12 @@ class QGpuSimulator:
         skipped_updates = 0
         interrupted_at: int | None = None
 
+        if cancel is not None:
+            cancel.poll()
         try:
             for index, gate in enumerate(ordered):
+                if cancel is not None:
+                    cancel.poll()
                 applying = index >= start_cursor
                 if basis is not None:
                     basis.observe(gate)

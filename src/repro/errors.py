@@ -66,6 +66,23 @@ class ObservabilityError(ReproError):
     """
 
 
+class JobCancelled(ReproError):
+    """Raised inside a worker when its cancellation token fires.
+
+    Cooperative cancellation: the simulator's gate loop polls the token
+    and raises this between gates, so a RUNNING job can actually be
+    stopped - by a user ``cancel()``, by the watchdog reaping a stalled
+    worker, or by a deadline kill.  ``kind`` records who cancelled
+    (``user`` / ``deadline`` / ``stall`` / ``shutdown``) so the service
+    can route the outcome: user cancels become CANCELLED, watchdog kills
+    become FAILED (and retry per policy).
+    """
+
+    def __init__(self, message: str, kind: str = "user") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
 class ServiceError(ReproError):
     """Raised for invalid batch-service operations.
 

@@ -4,6 +4,8 @@ Out-of-core simulation is a distributed-systems problem: every amplitude
 crosses the PCIe link many times, and multi-hour runs must survive
 transient faults.  This package provides the substrate:
 
+* :mod:`repro.reliability.cancellation` - cooperative cancellation
+  tokens doubling as worker heartbeats;
 * :mod:`repro.reliability.faults` - seeded, deterministic fault plans;
 * :mod:`repro.reliability.integrity` - CRC32 transfer guards and the
   norm-conservation invariant;
@@ -15,6 +17,7 @@ transient faults.  This package provides the substrate:
 See ``docs/reliability.md`` for the fault taxonomy and worked examples.
 """
 
+from repro.reliability.cancellation import USER_KINDS, CancellationToken
 from repro.reliability.checkpoint import (
     CHECKPOINT_VERSION,
     Checkpoint,
@@ -38,6 +41,7 @@ from repro.reliability.policy import (
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "CancellationToken",
     "Checkpoint",
     "ChunkTransferGuard",
     "DEFAULT_POLICY",
@@ -47,6 +51,7 @@ __all__ = [
     "RecoveryPolicy",
     "ReliabilityReport",
     "STRICT_POLICY",
+    "USER_KINDS",
     "check_norm",
     "chunk_crc32",
     "load_checkpoint",

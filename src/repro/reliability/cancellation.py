@@ -1,0 +1,79 @@
+"""Cooperative cancellation for long-running simulations.
+
+A :class:`CancellationToken` is the one object threaded from the batch
+service down into :meth:`~repro.core.QGpuSimulator.run`'s gate loop.  The
+worker *polls* it (cancellation is cooperative - nothing is killed
+mid-kernel, so state is never torn) and *touches* it once per gate, which
+doubles as the worker's heartbeat: the watchdog supervisor reads
+``last_beat`` to tell a slow worker from a hung one.
+
+Cancellation is one-shot and racy-by-design: the first ``cancel()`` call
+wins and records who asked (``kind``) and why (``reason``); later calls
+are no-ops that return ``False``.  That makes the user-cancel vs.
+watchdog-reap race benign - exactly one outcome is ever observed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.errors import JobCancelled
+
+#: Token kinds with CANCELLED (rather than FAILED) semantics downstream.
+USER_KINDS = ("user", "shutdown")
+
+
+class CancellationToken:
+    """Cooperative cancellation flag plus worker heartbeat.
+
+    Args:
+        on_beat: Optional callback invoked on every :meth:`touch` (the
+            service wires this to its metrics registry so heartbeats are
+            observable).
+    """
+
+    def __init__(self, on_beat: Callable[[], None] | None = None) -> None:
+        self._cancelled = threading.Event()
+        self._lock = threading.Lock()
+        self._on_beat = on_beat
+        self.reason: str | None = None
+        self.kind: str | None = None
+        self.last_beat: float = time.monotonic()
+
+    def touch(self) -> None:
+        """Record a heartbeat: the worker holding this token is alive."""
+        self.last_beat = time.monotonic()
+        if self._on_beat is not None:
+            self._on_beat()
+
+    def cancel(self, reason: str, kind: str = "user") -> bool:
+        """Request cancellation; returns True only for the winning call."""
+        with self._lock:
+            if self._cancelled.is_set():
+                return False
+            self.reason = reason
+            self.kind = kind
+            self._cancelled.set()
+            return True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    def raise_if_cancelled(self) -> None:
+        """Raise :class:`~repro.errors.JobCancelled` once cancelled.
+
+        Raises:
+            JobCancelled: Carrying the winning ``reason`` and ``kind``.
+        """
+        if self._cancelled.is_set():
+            raise JobCancelled(
+                self.reason or "cancelled", kind=self.kind or "user"
+            )
+
+    def poll(self) -> None:
+        """One gate-loop check: heartbeat, then honor any cancellation."""
+        self.touch()
+        self.raise_if_cancelled()

@@ -18,6 +18,17 @@ Fault taxonomy (see ``docs/reliability.md``):
 * ``LINK_DEGRADE`` - the PCIe link transiently loses bandwidth (timed
   model only - it delays but never corrupts);
 * ``OOM`` - a host/device allocation fails.
+
+Service-layer kinds (injected by the batch service's chaos harness, not
+by the transfer guard):
+
+* ``WORKER_CRASH`` - a worker thread dies mid-job with an unexpected
+  error;
+* ``WORKER_STALL`` - a worker hangs (stops heartbeating) until the
+  watchdog reaps it;
+* ``JOURNAL_TORN_WRITE`` - a journal append is truncated mid-line, as a
+  process crash between ``write`` and ``flush`` would leave it;
+* ``CACHE_CORRUPT`` - a result-cache entry is corrupted at rest.
 """
 
 from __future__ import annotations
@@ -41,6 +52,10 @@ class FaultKind(str, Enum):
     DECODE = "decode"
     LINK_DEGRADE = "link_degrade"
     OOM = "oom"
+    WORKER_CRASH = "worker_crash"
+    WORKER_STALL = "worker_stall"
+    JOURNAL_TORN_WRITE = "journal_torn_write"
+    CACHE_CORRUPT = "cache_corrupt"
 
 
 #: Conditional kind split for a transfer fault: mostly silent corruption
@@ -99,6 +114,10 @@ class FaultPlan:
         codec_rate: P(GFC decode failure) per compressed receive.
         degrade_rate: P(transient link degradation) per gate.
         oom_failures: Number of leading allocation attempts that fail.
+        worker_crash_rate: P(worker dies mid-job) per (job, attempt).
+        worker_stall_rate: P(worker hangs mid-job) per (job, attempt).
+        journal_torn_rate: P(journal append torn) per append ordinal.
+        cache_corrupt_rate: P(cache entry corrupted) per cache put.
         forced: Extra faults injected unconditionally at their positions.
     """
 
@@ -107,10 +126,22 @@ class FaultPlan:
     codec_rate: float = 0.0
     degrade_rate: float = 0.0
     oom_failures: int = 0
+    worker_crash_rate: float = 0.0
+    worker_stall_rate: float = 0.0
+    journal_torn_rate: float = 0.0
+    cache_corrupt_rate: float = 0.0
     forced: tuple[FaultEvent, ...] = field(default=())
 
     def __post_init__(self) -> None:
-        for name in ("transfer_rate", "codec_rate", "degrade_rate"):
+        for name in (
+            "transfer_rate",
+            "codec_rate",
+            "degrade_rate",
+            "worker_crash_rate",
+            "worker_stall_rate",
+            "journal_torn_rate",
+            "cache_corrupt_rate",
+        ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise FaultInjectionError(f"{name} must be in [0, 1], got {rate}")
@@ -186,6 +217,38 @@ class FaultPlan:
             return True
         return alloc_index < self.oom_failures
 
+    # -- service-layer queries (chaos harness) -----------------------------
+
+    def _forced_at(self, kind: FaultKind, gate_index: int, attempt: int = 0) -> bool:
+        return any(
+            e.kind is kind and e.gate_index == gate_index and e.attempt == attempt
+            for e in self.forced
+        )
+
+    def worker_crash(self, job_seq: int, attempt: int) -> bool:
+        """True when this (job, attempt) execution dies mid-run."""
+        if self._forced_at(FaultKind.WORKER_CRASH, job_seq, attempt):
+            return True
+        return self._uniform(7, job_seq, attempt) < self.worker_crash_rate
+
+    def worker_stall(self, job_seq: int, attempt: int) -> bool:
+        """True when this (job, attempt) execution hangs until reaped."""
+        if self._forced_at(FaultKind.WORKER_STALL, job_seq, attempt):
+            return True
+        return self._uniform(8, job_seq, attempt) < self.worker_stall_rate
+
+    def journal_torn_write(self, append_ordinal: int) -> bool:
+        """True when journal append ``append_ordinal`` is torn mid-line."""
+        if self._forced_at(FaultKind.JOURNAL_TORN_WRITE, append_ordinal):
+            return True
+        return self._uniform(9, append_ordinal) < self.journal_torn_rate
+
+    def cache_corrupt(self, put_index: int) -> bool:
+        """True when the ``put_index``-th cache store is corrupted at rest."""
+        if self._forced_at(FaultKind.CACHE_CORRUPT, put_index):
+            return True
+        return self._uniform(10, put_index) < self.cache_corrupt_rate
+
     @property
     def active(self) -> bool:
         """True when this plan can ever inject anything."""
@@ -194,7 +257,28 @@ class FaultPlan:
             or self.codec_rate
             or self.degrade_rate
             or self.oom_failures
+            or self.worker_crash_rate
+            or self.worker_stall_rate
+            or self.journal_torn_rate
+            or self.cache_corrupt_rate
             or self.forced
+        )
+
+    @property
+    def service_active(self) -> bool:
+        """True when this plan injects faults at the service layer."""
+        service_kinds = (
+            FaultKind.WORKER_CRASH,
+            FaultKind.WORKER_STALL,
+            FaultKind.JOURNAL_TORN_WRITE,
+            FaultKind.CACHE_CORRUPT,
+        )
+        return bool(
+            self.worker_crash_rate
+            or self.worker_stall_rate
+            or self.journal_torn_rate
+            or self.cache_corrupt_rate
+            or any(e.kind in service_kinds for e in self.forced)
         )
 
     # -- spec parsing ------------------------------------------------------
@@ -204,7 +288,9 @@ class FaultPlan:
         """Parse a ``key=value`` spec, e.g. ``seed=7,transfer=0.05,oom=1``.
 
         Keys: ``seed`` (int), ``transfer`` / ``codec`` / ``degrade``
-        (float rates), ``oom`` (int, leading allocation failures).
+        (float rates), ``oom`` (int, leading allocation failures), and
+        the service-layer rates ``crash`` / ``stall`` / ``torn`` /
+        ``cachecorrupt`` (floats).
         """
         kwargs: dict[str, float | int] = {}
         names = {
@@ -213,6 +299,10 @@ class FaultPlan:
             "codec": ("codec_rate", float),
             "degrade": ("degrade_rate", float),
             "oom": ("oom_failures", int),
+            "crash": ("worker_crash_rate", float),
+            "stall": ("worker_stall_rate", float),
+            "torn": ("journal_torn_rate", float),
+            "cachecorrupt": ("cache_corrupt_rate", float),
         }
         for clause in filter(None, (c.strip() for c in spec.split(","))):
             key, _, value = clause.partition("=")
@@ -230,12 +320,26 @@ class FaultPlan:
         return cls(**kwargs)
 
     def to_spec(self) -> str:
-        """Inverse of :meth:`from_spec` (forced events are not spellable)."""
-        return (
+        """Inverse of :meth:`from_spec` (forced events are not spellable).
+
+        Service-layer keys are emitted only when nonzero so specs written
+        by older builds of this library parse identically.
+        """
+        spec = (
             f"seed={self.seed},transfer={self.transfer_rate},"
             f"codec={self.codec_rate},degrade={self.degrade_rate},"
             f"oom={self.oom_failures}"
         )
+        extras = (
+            ("crash", self.worker_crash_rate),
+            ("stall", self.worker_stall_rate),
+            ("torn", self.journal_torn_rate),
+            ("cachecorrupt", self.cache_corrupt_rate),
+        )
+        for key, rate in extras:
+            if rate:
+                spec += f",{key}={rate}"
+        return spec
 
     def describe(self) -> str:
         parts = [f"seed {self.seed}"]
@@ -247,6 +351,14 @@ class FaultPlan:
             parts.append(f"link degradation {self.degrade_rate:.1%}")
         if self.oom_failures:
             parts.append(f"{self.oom_failures} OOM alloc failure(s)")
+        if self.worker_crash_rate:
+            parts.append(f"worker crashes {self.worker_crash_rate:.1%}")
+        if self.worker_stall_rate:
+            parts.append(f"worker stalls {self.worker_stall_rate:.1%}")
+        if self.journal_torn_rate:
+            parts.append(f"torn journal writes {self.journal_torn_rate:.1%}")
+        if self.cache_corrupt_rate:
+            parts.append(f"cache corruption {self.cache_corrupt_rate:.1%}")
         if self.forced:
             parts.append(f"{len(self.forced)} forced event(s)")
         return ", ".join(parts) if len(parts) > 1 else f"seed {self.seed} (no faults)"

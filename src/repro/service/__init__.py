@@ -5,12 +5,20 @@ system: a job model with a validated lifecycle state machine, pluggable
 scheduling policies (FIFO / priority / shortest-estimated-job-first),
 admission control that bounds the aggregate resident footprint using the
 capacity model, a worker pool, a content-addressed result cache with LRU
-byte-budget eviction, a metrics registry, and a JSONL job journal for
-cross-process ``status``/``cancel``.
+byte-budget eviction and CRC-verified entries, a metrics registry, and a
+crash-safe JSONL job journal for cross-process ``status``/``cancel``.
+
+The service self-heals: per-job deadlines with cooperative cancellation,
+a watchdog :class:`~repro.service.supervision.Supervisor` reaping hung
+workers, per-fingerprint circuit breakers failing repeat offenders fast,
+torn-tail-tolerant journal replay with :meth:`JobStore.compact`, and
+:meth:`BatchService.recover` for end-to-end restart recovery.  The chaos
+harness (:mod:`repro.service.chaos`, ``repro chaos``) soak-tests all of
+it with seeded kill-restart-recover cycles.
 
 A live service can additionally expose an HTTP observability endpoint
 (:class:`ServiceHTTPServer`: ``/metrics`` Prometheus text, ``/healthz``,
-``/jobs``) via ``repro serve-batch --http-port``.
+``/livez``, ``/readyz``, ``/jobs``) via ``repro serve-batch --http-port``.
 
 See ``docs/service.md`` for the architecture and worked examples, and the
 ``repro serve-batch`` / ``submit`` / ``status`` / ``cancel`` CLI commands.
@@ -43,13 +51,26 @@ from repro.service.service import (
     execute_job,
     load_manifest,
 )
-from repro.service.store import JobStore
+from repro.service.store import FSYNC_POLICIES, JobStore
+from repro.service.supervision import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    SupervisionConfig,
+    Supervisor,
+)
 
 __all__ = [
     "ALLOWED_TRANSITIONS",
     "AdmissionController",
     "BatchService",
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
     "DEFAULT_CACHE_BUDGET",
+    "FSYNC_POLICIES",
     "FifoPolicy",
     "Job",
     "JobResult",
@@ -66,6 +87,8 @@ __all__ = [
     "SERVICE_VERSIONS",
     "SchedulingPolicy",
     "SjfPolicy",
+    "SupervisionConfig",
+    "Supervisor",
     "WallClock",
     "cache_key",
     "execute_job",

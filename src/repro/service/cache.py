@@ -8,17 +8,27 @@ entry is charged its canonical-JSON size so the ``budget_bytes`` bound is
 deterministic across runs and platforms.
 
 Eviction is least-recently-*used*: both hits and inserts refresh recency.
-Counters (hits / misses / evictions / stored bytes) feed the metrics
-registry.
+Counters (hits / misses / evictions / corruptions / stored bytes) feed the
+metrics registry.
+
+Every entry stores the CRC32 of its payload at insert time and verifies it
+on :meth:`ResultCache.get`: a corrupted entry is dropped and counted, and
+the lookup reports a miss, so the scheduler transparently recomputes
+instead of serving damaged bytes.  :meth:`ResultCache.corrupt_entry` is
+the chaos harness's injection point.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from collections import OrderedDict
 
 from repro.errors import ServiceError
+from repro.obs.log import get_logger
 from repro.service.job import JobResult
+
+_LOG = get_logger("service.cache")
 
 
 class ResultCache:
@@ -34,11 +44,13 @@ class ResultCache:
         if budget_bytes <= 0:
             raise ServiceError(f"cache budget must be positive, got {budget_bytes}")
         self.budget_bytes = int(budget_bytes)
-        self._entries: "OrderedDict[str, tuple[str, int]]" = OrderedDict()
+        # key -> (payload, byte cost, crc32 at insert)
+        self._entries: "OrderedDict[str, tuple[str, int, int]]" = OrderedDict()
         self.stored_bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corruptions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -54,6 +66,8 @@ class ResultCache:
     def get(self, key: str) -> JobResult | None:
         """Look up ``key``, counting a hit or miss and refreshing recency.
 
+        The stored payload's CRC32 is verified first: a corrupted entry is
+        dropped, counted, and reported as a miss (the caller recomputes).
         Returns a fresh :class:`JobResult` decoded from the stored payload,
         so callers can never mutate the cached copy.
         """
@@ -61,9 +75,19 @@ class ResultCache:
         if entry is None:
             self.misses += 1
             return None
+        payload, cost, crc = entry
+        if zlib.crc32(payload.encode()) != crc:
+            self._entries.pop(key)
+            self.stored_bytes -= cost
+            self.corruptions += 1
+            self.misses += 1
+            _LOG.warning(
+                "dropped corrupt result-cache entry %s (crc mismatch)", key[:12]
+            )
+            return None
         self.hits += 1
         self._entries.move_to_end(key)
-        return JobResult.from_dict(json.loads(entry[0]))
+        return JobResult.from_dict(json.loads(payload))
 
     def peek(self, key: str) -> bool:
         """Whether ``key`` is cached, without touching counters or recency."""
@@ -82,11 +106,25 @@ class ResultCache:
         if cost > self.budget_bytes:
             return  # can never fit; do not flush the whole cache for it
         while self.stored_bytes + cost > self.budget_bytes and self._entries:
-            _, (_, evicted_cost) = self._entries.popitem(last=False)
+            _, (_, evicted_cost, _) = self._entries.popitem(last=False)
             self.stored_bytes -= evicted_cost
             self.evictions += 1
-        self._entries[key] = (payload, cost)
+        self._entries[key] = (payload, cost, zlib.crc32(payload.encode()))
         self.stored_bytes += cost
+
+    def corrupt_entry(self, key: str) -> bool:
+        """Flip a byte of ``key``'s stored payload (chaos injection).
+
+        The CRC recorded at insert time is kept, so the next :meth:`get`
+        detects the damage.  Returns whether the key existed.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        payload, cost, crc = entry
+        flipped = chr(ord(payload[0]) ^ 0x20) + payload[1:]
+        self._entries[key] = (flipped, cost, crc)
+        return True
 
     @property
     def hit_rate(self) -> float:
@@ -102,5 +140,6 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "corruptions": self.corruptions,
             "hit_rate": self.hit_rate,
         }

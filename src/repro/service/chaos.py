@@ -1,0 +1,354 @@
+"""Service-level chaos harness: seeded kill-restart-recover soaks.
+
+The unit under test here is not the simulator - it is the *service*:
+journal, recovery, watchdog, retries, cache.  :func:`run_chaos_soak`
+drives a :class:`~repro.service.service.BatchService` through repeated
+simulated process crashes and verifies the self-healing invariants:
+
+* every submitted job converges to SUCCEEDED across restarts;
+* every job reaches a terminal state **exactly once** in the journal
+  (the state machine forbids a second terminal transition, and the
+  journal replay enforces it);
+* results are byte-identical to a fault-free baseline run
+  (``state_sha256`` per job), so crashes never corrupt answers;
+* duplicate submissions never produce divergent cached results.
+
+Crashes are simulated at the one place a real crash is observable
+afterwards: the journal.  :class:`ChaosJournal` counts appends and, when
+armed, raises :class:`SimulatedCrash` at a seeded ordinal - optionally
+tearing the in-flight record first, exactly as a process death between
+``write`` and ``flush`` would.  The coordinator unwinds, worker tokens
+are cancelled, and the next cycle recovers from the journal like a fresh
+process would.  Worker crashes, worker stalls and cache corruption are
+injected independently through the service's ``chaos_plan``
+(:class:`~repro.reliability.faults.FaultPlan` service-layer kinds), so
+one soak exercises every recovery edge at once.
+
+Every decision is a deterministic function of the seed: the same soak
+replays the same crash schedule, fault sequence and torn writes.
+
+``repro chaos --manifest ... --journal ...`` is the CLI front-end.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.obs.log import get_logger
+from repro.reliability.faults import FaultPlan, _fnv
+from repro.reliability.policy import RecoveryPolicy
+from repro.service.job import JobState
+from repro.service.service import BatchService, load_manifest
+from repro.service.store import JobStore
+from repro.service.supervision import BreakerConfig, SupervisionConfig
+
+_LOG = get_logger("service.chaos")
+
+
+class SimulatedCrash(Exception):
+    """The chaos harness's stand-in for a process death.
+
+    Deliberately **not** a :class:`~repro.errors.ReproError`: nothing in
+    the service may catch and absorb it, exactly as nothing survives a
+    real ``kill -9``.  It unwinds the coordinator, which cancels worker
+    tokens with ``kind="shutdown"`` on the way out.
+    """
+
+
+class ChaosJournal(JobStore):
+    """A :class:`JobStore` that can tear a write and kill the process.
+
+    Overrides the store's documented ``_write_line`` override point.
+    Appends are numbered with a global ordinal (continued across
+    restarts via ``start_ordinal``) so the fault plan's torn-write
+    decisions replay deterministically over a whole soak.
+
+    Args:
+        path: Journal file (shared across simulated restarts).
+        plan: Fault plan consulted for ``journal_torn_write`` at the
+            crash ordinal.
+        fsync: Passed through to :class:`JobStore`.
+        start_ordinal: First append's ordinal (the previous incarnation's
+            final count).
+    """
+
+    #: Fraction of the line that survives a torn write.  Cutting a third
+    #: always destroys the CRC suffix, so the fragment can never be
+    #: mistaken for an intact record.
+    TORN_KEEP_NUMERATOR = 2
+    TORN_KEEP_DENOMINATOR = 3
+
+    def __init__(
+        self,
+        path: str | Path,
+        plan: FaultPlan,
+        *,
+        fsync: str = "never",
+        start_ordinal: int = 0,
+    ) -> None:
+        super().__init__(path, fsync=fsync)
+        self.plan = plan
+        self.append_ordinal = start_ordinal
+        self.torn_writes = 0
+        self._kill_at: int | None = None
+
+    def arm_kill(self, after_appends: int) -> None:
+        """Schedule a :class:`SimulatedCrash` on the ``after_appends``-th
+        append from now (``1`` = the very next one).
+
+        Armed *after* manifest submission (so submitted jobs are durable,
+        as they would be in a real deployment) and never on the soak's
+        final cycle.
+        """
+        if after_appends < 1:
+            raise ServiceError(
+                f"kill must be at least 1 append away, got {after_appends}"
+            )
+        self._kill_at = self.append_ordinal + after_appends - 1
+
+    def disarm(self) -> None:
+        self._kill_at = None
+
+    def _write_line(self, line: str) -> None:
+        ordinal = self.append_ordinal
+        self.append_ordinal += 1
+        if self._kill_at is not None and ordinal >= self._kill_at:
+            self._kill_at = None  # one crash per arming
+            if self.plan.journal_torn_write(ordinal):
+                # The crash lands mid-write: a prefix of the record (no
+                # newline, no intact CRC) reaches the disk.
+                keep = max(
+                    1, len(line) * self.TORN_KEEP_NUMERATOR // self.TORN_KEEP_DENOMINATOR
+                )
+                super()._write_line(line[:keep])
+                self.torn_writes += 1
+            raise SimulatedCrash(
+                f"chaos: simulated process crash at journal append {ordinal}"
+            )
+        super()._write_line(line)
+
+
+def _kill_schedule(seed: int, cycle: int, span: int = 30, floor: int = 8) -> int:
+    """Seeded appends-until-crash for one cycle (salt 99, replayable)."""
+    return floor + _fnv(seed, 99, cycle) % span
+
+
+def run_chaos_soak(
+    manifest: str | Path,
+    journal_path: str | Path,
+    *,
+    seed: int = 0,
+    cycles: int = 3,
+    workers: int = 2,
+    crash_rate: float = 0.15,
+    stall_rate: float = 0.05,
+    torn_rate: float = 0.5,
+    cache_corrupt_rate: float = 0.1,
+    kill_after: int | None = None,
+    max_attempts: int = 20,
+    stall_timeout: float = 0.25,
+    strict: bool = True,
+) -> dict[str, Any]:
+    """Soak the service through ``cycles`` crash-restart-recover rounds.
+
+    First runs the manifest on a pristine fault-free service to obtain
+    the baseline ``state_sha256`` per job, then replays it under chaos:
+    each of the ``cycles`` rounds arms a seeded journal kill (plus
+    worker crashes / stalls / torn writes / cache corruption from the
+    fault plan) and the following round recovers from the journal; a
+    final unkilled round drains whatever is left.  The journal is then
+    audited for the convergence invariants.
+
+    Args:
+        manifest: Job manifest (see :func:`~repro.service.load_manifest`).
+        journal_path: Journal file for the soak (must not pre-exist).
+        seed: Root of every injected-fault and kill-schedule decision.
+        cycles: Crash rounds before the clean final round.
+        workers: Service worker threads during chaos rounds.
+        crash_rate / stall_rate / torn_rate / cache_corrupt_rate:
+            Service-layer fault-plan rates.
+        kill_after: Fixed appends-per-round until the kill (``None`` =
+            seeded schedule).
+        max_attempts: Per-job retry budget; generous, so injected faults
+            delay convergence instead of exhausting it.
+        stall_timeout: Watchdog stall reap threshold (seconds) - small,
+            so injected stalls resolve quickly.
+        strict: Raise :class:`~repro.errors.ServiceError` on any violated
+            invariant (CI mode) instead of only reporting it.
+
+    Returns:
+        The soak report (JSON-safe): per-cycle log, journal audit,
+        baseline comparison, violations, and the final cycle's metrics.
+    """
+    manifest = Path(manifest)
+    journal_path = Path(journal_path)
+    if journal_path.exists():
+        raise ServiceError(
+            f"chaos journal {journal_path} already exists; refusing to soak "
+            "over prior state"
+        )
+    specs = load_manifest(manifest)
+
+    # -- baseline: the answers a fault-free service produces ----------------
+    pristine = BatchService(workers=1, seed=seed)
+    for spec in specs:
+        pristine.submit(spec)
+    pristine.run_until_complete()
+    baseline: dict[str, str] = {}
+    for job in pristine.jobs:
+        if job.state is not JobState.SUCCEEDED or job.result is None:
+            raise ServiceError(
+                f"baseline run failed for {job.job_id} ({job.state.value}): "
+                f"{job.error}"
+            )
+        baseline[job.job_id] = job.result.state_sha256
+
+    plan = FaultPlan(
+        seed=seed,
+        worker_crash_rate=crash_rate,
+        worker_stall_rate=stall_rate,
+        journal_torn_rate=torn_rate,
+        cache_corrupt_rate=cache_corrupt_rate,
+    )
+    recovery = RecoveryPolicy(max_transfer_attempts=max_attempts)
+    supervision = SupervisionConfig(
+        poll_interval_seconds=0.01, stall_timeout_seconds=stall_timeout
+    )
+    # The breaker must not turn injected (recoverable) faults into
+    # terminal fast-fails mid-soak; it is tested separately.
+    breaker = BreakerConfig(failure_threshold=max_attempts + cycles + 8)
+
+    ordinal = 0
+    crashes = 0
+    torn_writes = 0
+    cycle_log: list[dict[str, Any]] = []
+    final_snapshot: dict[str, Any] | None = None
+    for cycle in range(cycles + 1):
+        journal = ChaosJournal(journal_path, plan, start_ordinal=ordinal)
+        service = BatchService(
+            workers=workers,
+            seed=seed,
+            journal=journal,
+            recovery=recovery,
+            supervision=supervision,
+            breaker=breaker,
+            chaos_plan=plan,
+        )
+        if cycle == 0:
+            for spec in specs:
+                service.submit(spec)
+            recovered = 0
+        else:
+            recovered = len(service.recover())
+        if cycle < cycles:
+            journal.arm_kill(
+                kill_after if kill_after is not None else _kill_schedule(seed, cycle)
+            )
+        crashed = False
+        try:
+            final_snapshot = service.run_until_complete()
+        except SimulatedCrash as death:
+            crashed = True
+            crashes += 1
+            _LOG.info("cycle %d: %s", cycle, death)
+        torn_writes += journal.torn_writes
+        cycle_log.append({
+            "cycle": cycle,
+            "recovered": recovered,
+            "crashed": crashed,
+            "appends": journal.append_ordinal - ordinal,
+            "torn_writes": journal.torn_writes,
+        })
+        ordinal = journal.append_ordinal
+
+    # -- audit the journal the way a fresh process would --------------------
+    audit = JobStore(journal_path)
+    violations: list[str] = []
+    terminal_counts: dict[str, int] = {}
+    result_counts: dict[str, int] = {}
+    terminal_states = {JobState.SUCCEEDED.value, JobState.FAILED.value,
+                       JobState.CANCELLED.value}
+    for event in audit.iter_events():
+        if event.get("event") == "transition" and event.get("to") in terminal_states:
+            # FAILED has a retry edge back to PENDING, so only count the
+            # true terminals here; FAILED convergence is caught below.
+            if event["to"] != JobState.FAILED.value:
+                terminal_counts[event["id"]] = terminal_counts.get(event["id"], 0) + 1
+        elif event.get("event") == "result":
+            result_counts[event["id"]] = result_counts.get(event["id"], 0) + 1
+    jobs = audit.load()  # replays through the state machine: legality check
+    if len(jobs) != len(specs):
+        violations.append(f"journal has {len(jobs)} job(s), manifest has {len(specs)}")
+    states: dict[str, int] = {}
+    mismatches: list[str] = []
+    missing_results = 0
+    sha_by_key: dict[str, set[str]] = {}
+    for job in jobs.values():
+        states[job.state.value] = states.get(job.state.value, 0) + 1
+        if job.state is not JobState.SUCCEEDED:
+            violations.append(
+                f"{job.job_id} did not converge: {job.state.value} ({job.error})"
+            )
+            continue
+        if terminal_counts.get(job.job_id, 0) != 1:
+            violations.append(
+                f"{job.job_id} journaled {terminal_counts.get(job.job_id, 0)} "
+                "terminal transition(s), expected exactly 1"
+            )
+        if result_counts.get(job.job_id, 0) > 1:
+            violations.append(
+                f"{job.job_id} journaled {result_counts[job.job_id]} results"
+            )
+        if job.result is None:
+            # The crash landed between the SUCCEEDED transition and the
+            # result record: the terminal state is durable, the payload
+            # is not.  Legal (exactly-once still holds) - reported.
+            missing_results += 1
+            continue
+        sha_by_key.setdefault(job.cache_key, set()).add(job.result.state_sha256)
+        if job.result.state_sha256 != baseline.get(job.job_id):
+            mismatches.append(job.job_id)
+            violations.append(
+                f"{job.job_id} result diverged from the fault-free baseline"
+            )
+    duplicate_cache_entries = sum(
+        1 for shas in sha_by_key.values() if len(shas) > 1
+    )
+    if duplicate_cache_entries:
+        violations.append(
+            f"{duplicate_cache_entries} cache key(s) with divergent results"
+        )
+
+    report: dict[str, Any] = {
+        "manifest": str(manifest),
+        "journal": str(journal_path),
+        "plan": plan.to_spec(),
+        "seed": seed,
+        "cycles": cycles,
+        "workers": workers,
+        "specs": len(specs),
+        "jobs": len(jobs),
+        "states": dict(sorted(states.items())),
+        "crashes": crashes,
+        "torn_writes": torn_writes,
+        "journal_appends": ordinal,
+        "missing_results": missing_results,
+        "duplicate_cache_entries": duplicate_cache_entries,
+        "byte_identical": not mismatches,
+        "converged": states.get(JobState.SUCCEEDED.value, 0) == len(specs)
+        and len(jobs) == len(specs),
+        "violations": violations,
+        "cycle_log": cycle_log,
+        "final_metrics": {
+            key: (final_snapshot or {}).get(key, {})
+            for key in ("counters", "cache", "supervision")
+        },
+    }
+    if strict and violations:
+        raise ServiceError(
+            "chaos soak failed: " + "; ".join(violations[:5])
+            + (f" (+{len(violations) - 5} more)" if len(violations) > 5 else "")
+        )
+    return report

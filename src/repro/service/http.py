@@ -2,14 +2,22 @@
 
 :class:`ServiceHTTPServer` wraps a :class:`~repro.service.BatchService` in
 a stdlib :class:`~http.server.ThreadingHTTPServer` on a background daemon
-thread - no framework, no new dependency - serving three read-only routes:
+thread - no framework, no new dependency - serving read-only routes:
 
 * ``/metrics`` - Prometheus text exposition (version 0.0.4) of the
   service's counter registry, including every histogram series
   (``_bucket`` / ``_sum`` / ``_count``), plus point-in-time gauges (jobs
-  by state, queue depth high-water mark, uptime);
-* ``/healthz`` - liveness JSON: ``{"status": "ok", ...}`` with job-state
-  counts, for load-balancer checks and CI smoke tests;
+  by state, queue depth high-water mark, watchdog reaps, open breakers,
+  uptime);
+* ``/healthz`` - combined health JSON (kept for compatibility): job-state
+  counts plus the supervision snapshot;
+* ``/livez`` - liveness: answers 200 whenever the process can serve a
+  request at all (the probe a restart decision hangs off);
+* ``/readyz`` - readiness: 503 when the service cannot currently make
+  safe progress - specifically, when supervision is enabled, jobs are
+  RUNNING, and the watchdog thread is dead (hung workers would go
+  unreaped); open circuit breakers are reported as degradation reasons
+  without failing the probe;
 * ``/jobs`` - the job table as JSON (id, state, attempts, timings).
 
 The server is read-only by construction: handlers only call the
@@ -48,6 +56,10 @@ class _Handler(BaseHTTPRequestHandler):
     """Routes one request; the ``server`` object carries the render hooks."""
 
     protocol_version = "HTTP/1.1"
+    #: Socket timeout for one request.  A client that connects and never
+    #: sends a request line would otherwise pin its handler thread (and
+    #: with it, a lingering ``stop()``) indefinitely.
+    timeout = 10.0
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         path = self.path.split("?", 1)[0]
@@ -56,12 +68,20 @@ class _Handler(BaseHTTPRequestHandler):
                 self._respond(self.server.render_metrics(), PROMETHEUS_CONTENT_TYPE)
             elif path == "/healthz":
                 self._respond_json(self.server.health())
+            elif path == "/livez":
+                self._respond_json(self.server.liveness())
+            elif path == "/readyz":
+                payload = self.server.readiness()
+                self._respond_json(
+                    payload, status=200 if payload["ready"] else 503
+                )
             elif path == "/jobs":
                 self._respond_json({"jobs": self.server.service.jobs_snapshot()})
             else:
                 self._respond_json(
                     {"error": f"no route {path!r}",
-                     "routes": ["/metrics", "/healthz", "/jobs"]},
+                     "routes": ["/metrics", "/healthz", "/livez",
+                                "/readyz", "/jobs"]},
                     status=404,
                 )
         except Exception as error:  # pragma: no cover - defensive
@@ -115,9 +135,15 @@ class ServiceHTTPServer:
                 f"cannot bind observability endpoint to {host}:{port}: {error}"
             ) from None
         self._httpd.daemon_threads = True
+        # Do not wait on handler threads at close: they are daemonic and
+        # time-bounded, and blocking here is exactly the stop() hang this
+        # server once had.
+        self._httpd.block_on_close = False
         # Hand the handler its context via the server object it already sees.
         self._httpd.render_metrics = self.render_metrics  # type: ignore[attr-defined]
         self._httpd.health = self.health  # type: ignore[attr-defined]
+        self._httpd.liveness = self.liveness  # type: ignore[attr-defined]
+        self._httpd.readiness = self.readiness  # type: ignore[attr-defined]
         self._httpd.service = service  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
         self._started_at = time.monotonic()
@@ -138,10 +164,14 @@ class ServiceHTTPServer:
 
     def gauges(self) -> dict[str, float]:
         """Point-in-time values that don't belong in the counter registry."""
+        supervision = self.service.supervision_snapshot()
         values: dict[str, float] = {
             "up": 1.0,
             "uptime_seconds": time.monotonic() - self._started_at,
             "queue_depth_max": float(self.service.metrics.max_queue_depth),
+            "watchdog_reaps": float(supervision["watchdog_reaps"]),
+            "watched_jobs": float(supervision["watched_jobs"]),
+            "breakers_open": float(supervision["breakers"].get("open", 0)),
         }
         for state, count in sorted(self.service.state_counts().items()):
             values[f"jobs_{state}"] = float(count)
@@ -159,6 +189,45 @@ class ServiceHTTPServer:
             "workers": self.service.workers,
             "policy": self.service.policy.name,
             "deterministic": self.service.deterministic,
+            "supervision": self.service.supervision_snapshot(),
+        }
+
+    def liveness(self) -> dict[str, Any]:
+        """The ``/livez`` payload: serving a response *is* the evidence."""
+        return {
+            "status": "ok",
+            "uptime_seconds": time.monotonic() - self._started_at,
+        }
+
+    def readiness(self) -> dict[str, Any]:
+        """The ``/readyz`` payload; ``ready: False`` maps to HTTP 503.
+
+        Not-ready means the service cannot currently make *safe*
+        progress: supervision is enabled and jobs are RUNNING, but the
+        watchdog thread is dead, so a hung worker would never be reaped.
+        Open circuit breakers are a per-fingerprint degradation, not an
+        outage, so they are surfaced as reasons without flipping the
+        probe.
+        """
+        supervision = self.service.supervision_snapshot()
+        running = self.service.state_counts().get("RUNNING", 0)
+        reasons: list[str] = []
+        ready = True
+        if supervision["enabled"] and running and not self.service.supervisor.alive:
+            ready = False
+            reasons.append(
+                f"watchdog supervisor is not running with {running} "
+                "RUNNING job(s)"
+            )
+        open_breakers = supervision["breakers"].get("open", 0)
+        if open_breakers:
+            reasons.append(f"{open_breakers} circuit breaker(s) open")
+        return {
+            "status": "ok" if ready else "unavailable",
+            "ready": ready,
+            "reasons": reasons,
+            "jobs": self.service.state_counts(),
+            "supervision": supervision,
         }
 
     # -- lifecycle -----------------------------------------------------------
@@ -178,9 +247,21 @@ class ServiceHTTPServer:
         return self
 
     def stop(self) -> None:
-        """Shut the listener down and join the serving thread."""
+        """Shut the listener down and join the serving thread.
+
+        The join is bounded: handler threads are daemonic and the
+        accept loop exits on ``shutdown()``, so five seconds only ever
+        elapses if something is wedged - in which case we warn and
+        abandon the daemon thread rather than hang the caller's
+        shutdown path.
+        """
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+            if self._thread.is_alive():  # pragma: no cover - wedged socket
+                _logger.warning(
+                    "observability endpoint thread did not exit within 5s; "
+                    "abandoning it (daemon thread, will not block exit)"
+                )
             self._thread = None

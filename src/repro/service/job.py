@@ -9,11 +9,15 @@ A :class:`Job` is one simulation request flowing through the service:
        v            v           v
     CANCELLED   CANCELLED     FAILED --> PENDING   (retry)
 
+plus ``RUNNING -> CANCELLED`` (cooperative cancellation of a live run)
+and ``ADMITTED -> PENDING`` (restart-recovery re-queue).
 Transitions are validated by :meth:`Job.transition`; anything outside the
 map above raises :class:`~repro.errors.ServiceError`.  The ``FAILED ->
 PENDING`` edge is the retry path - whether it is taken, and how often, is
 decided by the service's :class:`~repro.reliability.policy.RecoveryPolicy`,
-not by the job itself.
+not by the job itself.  ``ADMITTED -> PENDING`` is the restart-recovery
+edge: a journal that ends with a job ADMITTED (the scheduler died between
+admission and dispatch) re-queues it without charging an attempt.
 
 The :class:`JobSpec` names the workload declaratively (family/width/seed or
 inline QASM, version, shots) so jobs serialize to the JSONL journal and to
@@ -47,11 +51,17 @@ class JobState(str, Enum):
         return self in (JobState.SUCCEEDED, JobState.CANCELLED)
 
 
-#: Legal lifecycle transitions.  ``FAILED -> PENDING`` is the retry edge.
+#: Legal lifecycle transitions.  ``FAILED -> PENDING`` is the retry edge,
+#: ``ADMITTED -> PENDING`` the restart-recovery re-queue, and
+#: ``RUNNING -> CANCELLED`` cooperative cancellation of a live run.
 ALLOWED_TRANSITIONS: dict[JobState, frozenset[JobState]] = {
     JobState.PENDING: frozenset({JobState.ADMITTED, JobState.CANCELLED}),
-    JobState.ADMITTED: frozenset({JobState.RUNNING, JobState.CANCELLED}),
-    JobState.RUNNING: frozenset({JobState.SUCCEEDED, JobState.FAILED}),
+    JobState.ADMITTED: frozenset(
+        {JobState.RUNNING, JobState.CANCELLED, JobState.PENDING}
+    ),
+    JobState.RUNNING: frozenset(
+        {JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED}
+    ),
     JobState.FAILED: frozenset({JobState.PENDING}),
     JobState.SUCCEEDED: frozenset(),
     JobState.CANCELLED: frozenset(),
@@ -74,6 +84,11 @@ class JobSpec:
         chunk_bits: Within-chunk qubits override for the functional engine.
         fault_plan: Fault-plan spec string injected into the run
             (see :meth:`repro.reliability.FaultPlan.from_spec`).
+        deadline_seconds: Wall-clock budget for one execution attempt;
+            the watchdog reaps a RUNNING job that exceeds it.  ``None``
+            means no deadline.  Deliberately *not* part of the cache
+            key - a deadline changes when a run is abandoned, never what
+            it computes.
         name: Optional display name; defaults to ``family_qubits``.
     """
 
@@ -86,6 +101,7 @@ class JobSpec:
     priority: int = 0
     chunk_bits: int | None = None
     fault_plan: str | None = None
+    deadline_seconds: float | None = None
     name: str | None = None
 
     def __post_init__(self) -> None:
@@ -95,6 +111,11 @@ class JobSpec:
             raise ServiceError(f"job spec qubits must be positive, got {self.qubits}")
         if self.shots < 0:
             raise ServiceError(f"job spec shots must be >= 0, got {self.shots}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ServiceError(
+                f"job spec deadline_seconds must be positive, "
+                f"got {self.deadline_seconds}"
+            )
 
     def build_circuit(self) -> QuantumCircuit:
         """Materialize the circuit this spec names."""
@@ -120,7 +141,8 @@ class JobSpec:
         for key, default in (
             ("family", None), ("qubits", 0), ("seed", 0), ("qasm", None),
             ("version", "Q-GPU"), ("shots", 0), ("priority", 0),
-            ("chunk_bits", None), ("fault_plan", None), ("name", None),
+            ("chunk_bits", None), ("fault_plan", None),
+            ("deadline_seconds", None), ("name", None),
         ):
             value = getattr(self, key)
             if value != default:
@@ -131,7 +153,7 @@ class JobSpec:
     def from_dict(cls, data: dict[str, Any]) -> "JobSpec":
         unknown = set(data) - {
             "family", "qubits", "seed", "qasm", "version", "shots",
-            "priority", "chunk_bits", "fault_plan", "name",
+            "priority", "chunk_bits", "fault_plan", "deadline_seconds", "name",
         }
         if unknown:
             raise ServiceError(f"unknown job spec fields: {sorted(unknown)}")

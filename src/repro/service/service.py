@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
+import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from pathlib import Path
 from typing import Any
@@ -32,9 +34,18 @@ from repro.analysis.capacity import host_footprint_bytes
 from repro.core.planner import QGPU_BASIS_TRACKING, QGPU_DIAGONAL_AWARE
 from repro.core.simulator import QGpuSimulator
 from repro.core.versions import VERSIONS_BY_NAME, VersionConfig
-from repro.errors import AdmissionError, JobNotFound, ReproError, ServiceError, SimulationError
+from repro.errors import (
+    AdmissionError,
+    FaultInjectionError,
+    JobCancelled,
+    JobNotFound,
+    ReproError,
+    ServiceError,
+    SimulationError,
+)
 from repro.hardware.specs import MachineSpec, PAPER_MACHINE
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.reliability.cancellation import USER_KINDS, CancellationToken
 from repro.reliability.faults import FaultPlan
 from repro.reliability.policy import DEFAULT_POLICY, RecoveryPolicy
 from repro.service.admission import AdmissionController
@@ -43,6 +54,13 @@ from repro.service.job import Job, JobResult, JobSpec, JobState
 from repro.service.metrics import LogicalClock, MetricsRegistry, WallClock
 from repro.service.scheduling import SchedulingPolicy, get_policy
 from repro.service.store import JobStore
+from repro.service.supervision import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    SupervisionConfig,
+    Supervisor,
+)
 from repro.statevector.measure import sample_counts
 from repro.statevector.parallel import resolve_workers
 
@@ -65,6 +83,10 @@ def execute_job(
     tracer: Tracer | None = None,
     job_id: str | None = None,
     parent_span: int | None = None,
+    cancel: CancellationToken | None = None,
+    chaos: FaultPlan | None = None,
+    job_seq: int = 0,
+    attempt: int = 0,
 ) -> JobResult:
     """Run one job to completion (worker-thread body).
 
@@ -77,8 +99,30 @@ def execute_job(
     the whole job becomes one span on this worker thread's lane (parented
     to the coordinator's ``serve`` span via ``parent_span``), with the
     simulator's span tree nested inside.
+
+    ``cancel`` is this attempt's cancellation token: the simulator's gate
+    loop polls it (heartbeat + cooperative kill).  ``chaos`` is the
+    *service-level* fault plan - distinct from the spec's in-run plan -
+    consulted once per attempt for injected worker crashes and stalls,
+    keyed deterministically on ``(job_seq, attempt)``.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
+    if chaos is not None and chaos.worker_crash(job_seq, attempt):
+        raise FaultInjectionError(
+            f"chaos: worker crash injected (job seq {job_seq}, attempt {attempt})"
+        )
+    if chaos is not None and chaos.worker_stall(job_seq, attempt):
+        # Hang without heartbeating: the watchdog must reap us.  The loop
+        # only *reads* the token, so the heartbeat stays frozen at the
+        # attempt's start and staleness accrues.
+        while cancel is not None and not cancel.cancelled:
+            time.sleep(0.002)
+        if cancel is not None:
+            cancel.raise_if_cancelled()
+        raise FaultInjectionError(
+            f"chaos: worker stall injected with no supervision "
+            f"(job seq {job_seq}, attempt {attempt})"
+        )
     circuit = spec.build_circuit()
     version = SERVICE_VERSIONS[spec.version]
     plan = FaultPlan.from_spec(spec.fault_plan) if spec.fault_plan else None
@@ -94,7 +138,7 @@ def execute_job(
     with tracer.span(
         f"job:{job_id or spec.display_name}", parent=parent_span, job=job_id
     ):
-        outcome = simulator.run(circuit)
+        outcome = simulator.run(circuit, cancel=cancel)
         amplitudes = outcome.amplitudes
         counts: dict[str, int] = {}
         if spec.shots > 0:
@@ -152,6 +196,16 @@ class BatchService:
             share one timeline) and backs its metrics with the tracer's
             counters, merging per-job simulator stats into the same
             export; each job becomes a span on its worker thread's lane.
+        supervision: Watchdog configuration (deadline and stall reaping
+            by a daemon supervisor thread).  ``None`` uses the defaults
+            (enabled); pass ``SupervisionConfig(enabled=False)`` to
+            disable supervision entirely.
+        breaker: Per-fingerprint circuit-breaker tuning; ``None`` uses
+            :class:`~repro.service.supervision.BreakerConfig` defaults.
+        chaos_plan: Service-level fault plan consulted for injected
+            worker crashes, worker stalls and cache corruption.  This is
+            the chaos harness's knob, separate from each spec's in-run
+            ``fault_plan``.
     """
 
     def __init__(
@@ -168,6 +222,9 @@ class BatchService:
         seed: int = 0,
         journal: JobStore | str | Path | None = None,
         tracer: Tracer | None = None,
+        supervision: SupervisionConfig | None = None,
+        breaker: BreakerConfig | None = None,
+        chaos_plan: FaultPlan | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"need at least one worker, got {workers}")
@@ -204,6 +261,24 @@ class BatchService:
         self._jobs: dict[str, Job] = {}
         self._next_seq = self.journal.next_seq() if self.journal is not None else 1
         self._inflight: dict[str, str] = {}  # cache key -> running job id
+        self.supervision = (
+            supervision if supervision is not None else SupervisionConfig()
+        )
+        self.supervisor = Supervisor(self.supervision, on_reap=self._on_reap)
+        self.breakers = BreakerBoard(breaker, on_transition=self._on_breaker)
+        self.chaos_plan = chaos_plan
+        self._tokens: dict[str, CancellationToken] = {}  # job id -> RUNNING token
+        self._cancel_lock = threading.Lock()  # cancel() vs. dispatch race
+        self._cache_puts = 0  # chaos cache-corruption ordinal
+
+    def _on_reap(self, job_id: str, kind: str) -> None:
+        """Supervisor callback (supervisor thread): count one reap."""
+        self.metrics.count("watchdog.reaps")
+        self.metrics.count(f"{kind}.kills")  # deadline.kills / stall.kills
+
+    def _on_breaker(self, fingerprint: str, old: BreakerState, new: BreakerState) -> None:
+        """Breaker-board callback (coordinator thread): count a transition."""
+        self.metrics.count(f"breaker.{new.value}_transitions")
 
     # -- submission ----------------------------------------------------------
 
@@ -268,6 +343,74 @@ class BatchService:
                 adopted.append(job)
         return adopted
 
+    def recover(self) -> list[Job]:
+        """Full crash recovery from the journal; returns re-runnable jobs.
+
+        Beyond :meth:`adopt_pending`'s PENDING adoption, this:
+
+        * repairs a torn journal tail (so subsequent appends are clean);
+        * re-queues jobs journaled RUNNING at crash time - the attempt
+          died with the process, so they take ``RUNNING -> FAILED ->
+          PENDING`` (charging the attempt already journaled);
+        * re-queues ADMITTED jobs via ``ADMITTED -> PENDING`` without
+          charging an attempt (admission died before dispatch);
+        * re-queues FAILED jobs with retry budget left (the crash landed
+          between the failure and the retry decision);
+        * seeds the result cache from journaled SUCCEEDED results, so
+          duplicate submissions after restart are served without
+          recomputing (no duplicated side effects).
+
+        Raises:
+            ServiceError: If the service has no journal.
+        """
+        if self.journal is None:
+            raise ServiceError("recover requires a journal")
+        self.journal.repair_tail()
+        self.metrics.count("recovery.replays")
+        recovered: list[Job] = []
+        for job in self.journal.load().values():
+            if job.job_id in self._jobs:
+                continue
+            if job.state is JobState.SUCCEEDED and job.result is not None:
+                if not self.cache.peek(job.cache_key):
+                    self.cache.put(job.cache_key, job.result)
+                    self.metrics.count("recovery.cache_seeded")
+                continue
+            if job.state is JobState.RUNNING:
+                job.error = "recovered: service crashed while job was RUNNING"
+                job.transition(JobState.FAILED, at=self.clock.tick())
+                self._journal_transition(job, job.finished_at)
+                self.journal.record_error(job, job.error)
+                if (
+                    self.recovery.on_fault != "retry"
+                    or job.attempts >= self.recovery.max_transfer_attempts
+                ):
+                    self.metrics.count("jobs_failed")
+                    self.metrics.record_job(job)
+                    continue  # out of budget: stays FAILED
+                job.transition(JobState.PENDING)
+                self._journal_transition(job, None)
+            elif job.state is JobState.ADMITTED:
+                job.transition(JobState.PENDING)
+                self._journal_transition(job, None)
+            elif job.state is JobState.FAILED:
+                if (
+                    self.recovery.on_fault != "retry"
+                    or job.attempts >= self.recovery.max_transfer_attempts
+                ):
+                    continue  # out of budget: stays FAILED
+                job.transition(JobState.PENDING)
+                self._journal_transition(job, None)
+            elif job.state is not JobState.PENDING:
+                continue  # CANCELLED (or other terminal): nothing to do
+            self._jobs[job.job_id] = job
+            self.metrics.count(
+                "jobs_adopted" if job.attempts == 0 and job.error is None
+                else "recovery.requeued"
+            )
+            recovered.append(job)
+        return recovered
+
     def job(self, job_id: str) -> Job:
         """Look up a job by id.
 
@@ -283,50 +426,84 @@ class BatchService:
         return sorted(self._jobs.values(), key=lambda job: job.seq)
 
     def cancel(self, job_id: str) -> Job:
-        """Cancel a job that has not started running.
+        """Cancel a job.
 
-        A PENDING job is guaranteed never to execute after this returns.
+        A PENDING or ADMITTED job is cancelled synchronously - it is
+        guaranteed never to execute after this returns (the cancel lock
+        closes the race against a concurrent dispatch pass).  A RUNNING
+        job is cancelled *cooperatively*: its token is flipped, the
+        worker stops at its next gate, and the job transitions to
+        CANCELLED when the coordinator processes the completion.
 
         Raises:
             JobNotFound: Unknown id.
-            ServiceError: If the job is already running or terminal.
+            ServiceError: If the job is already terminal.
         """
         job = self.job(job_id)
-        if job.state not in (JobState.PENDING, JobState.ADMITTED):
-            raise ServiceError(
-                f"job {job_id} is {job.state.value}; only queued jobs can be cancelled"
-            )
-        job.transition(JobState.CANCELLED, at=self.clock.tick())
-        self.metrics.count("jobs_cancelled")
-        self.metrics.record_job(job)
-        if self.journal is not None:
-            self.journal.record_transition(job, job.finished_at)
-        return job
+        with self._cancel_lock:
+            if job.state in (JobState.PENDING, JobState.ADMITTED):
+                job.transition(JobState.CANCELLED, at=self.clock.tick())
+                self.metrics.count("jobs_cancelled")
+                self.metrics.record_job(job)
+                if self.journal is not None:
+                    self.journal.record_transition(job, job.finished_at)
+                return job
+            if job.state is JobState.RUNNING:
+                token = self._tokens.get(job_id)
+                if token is not None:
+                    token.cancel(f"job {job_id} cancelled by user", kind="user")
+                self.metrics.count("jobs_cancel_requested")
+                return job
+        raise ServiceError(
+            f"job {job_id} is {job.state.value}; terminal jobs cannot be cancelled"
+        )
 
     # -- scheduling loop -----------------------------------------------------
 
     def run_until_complete(self) -> dict[str, Any]:
-        """Drain the queue and return the metrics snapshot."""
-        with self.tracer.span("serve", stage="schedule", jobs=len(self._jobs)):
-            with ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="job-worker"
-            ) as pool:
-                futures: dict[Future, str] = {}
-                while True:
-                    self._dispatch(pool, futures)
-                    if not futures:
-                        stuck = [
-                            j for j in self._jobs.values() if j.state is JobState.PENDING
-                        ]
-                        if stuck:  # pragma: no cover - defensive; vetted at submit
-                            raise ServiceError(
-                                f"{len(stuck)} pending job(s) cannot be dispatched"
-                            )
-                        break
-                    done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
-                    for future in sorted(done, key=lambda f: self._jobs[futures[f]].seq):
-                        self._complete(future, futures.pop(future))
+        """Drain the queue and return the metrics snapshot.
+
+        While draining, the watchdog supervisor (when enabled) reaps
+        deadline-exceeded and stalled workers.  If the coordinator itself
+        dies - a crash, or the chaos harness's simulated one - every
+        outstanding worker token is cancelled with ``kind="shutdown"`` so
+        the pool drains promptly instead of hanging on live jobs.
+        """
+        if self.supervision.enabled:
+            self.supervisor.start()
+        try:
+            with self.tracer.span("serve", stage="schedule", jobs=len(self._jobs)):
+                with ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="job-worker"
+                ) as pool:
+                    try:
+                        self._drain(pool)
+                    except BaseException:
+                        for token in list(self._tokens.values()):
+                            token.cancel("service shutting down", kind="shutdown")
+                        raise
+        finally:
+            if self.supervision.enabled:
+                self.supervisor.stop()
         return self.snapshot()
+
+    def _drain(self, pool: ThreadPoolExecutor) -> None:
+        """The dispatch/complete loop (coordinator thread)."""
+        futures: dict[Future, str] = {}
+        while True:
+            self._dispatch(pool, futures)
+            if not futures:
+                stuck = [
+                    j for j in self._jobs.values() if j.state is JobState.PENDING
+                ]
+                if stuck:  # pragma: no cover - defensive; vetted at submit
+                    raise ServiceError(
+                        f"{len(stuck)} pending job(s) cannot be dispatched"
+                    )
+                break
+            done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+            for future in sorted(done, key=lambda f: self._jobs[futures[f]].seq):
+                self._complete(future, futures.pop(future))
 
     def _dispatch(self, pool: ThreadPoolExecutor, futures: dict[Future, str]) -> None:
         """One scheduling pass: fill free worker slots from the queue."""
@@ -334,8 +511,7 @@ class BatchService:
         self.metrics.observe_queue_depth(len(pending))
         for job in self.policy.order(pending):
             key = job.cache_key
-            if self.cache.peek(key):
-                self._complete_from_cache(job, key)
+            if self.cache.peek(key) and self._complete_from_cache(job, key):
                 continue
             if key in self._inflight:
                 # A duplicate is computing right now; next pass hits the cache.
@@ -349,12 +525,39 @@ class BatchService:
                 continue
             if not admitted:
                 continue  # queued: would overcommit the byte budget right now
-            self.cache.record_miss()
-            job.attempts += 1
-            job.transition(JobState.ADMITTED, at=self.clock.tick())
-            self._journal_transition(job, job.admitted_at)
-            job.transition(JobState.RUNNING, at=self.clock.tick())
-            self._journal_transition(job, job.started_at)
+            decision = self.breakers.decision(job.fingerprint)
+            if decision != "allow":
+                self.admission.release(job.job_id)
+                if decision == "reject":
+                    self.metrics.count("breaker.rejections")
+                    self._fail_terminal(
+                        job,
+                        f"circuit breaker open for fingerprint "
+                        f"{job.fingerprint[:12]}: failing fast",
+                    )
+                # "defer": a HALF_OPEN probe is in flight; its outcome
+                # decides whether this job dispatches or fails fast.
+                continue
+            with self._cancel_lock:
+                if job.state is not JobState.PENDING:
+                    # cancel() won the race after this pass snapshotted
+                    # the queue; never dispatch a cancelled job.
+                    self.admission.release(job.job_id)
+                    continue
+                self.cache.record_miss()
+                job.attempts += 1
+                job.transition(JobState.ADMITTED, at=self.clock.tick())
+                self._journal_transition(job, job.admitted_at)
+                job.transition(JobState.RUNNING, at=self.clock.tick())
+                self._journal_transition(job, job.started_at)
+                token = CancellationToken(
+                    on_beat=(
+                        lambda job_id=job.job_id: self.metrics.record_heartbeat(job_id)
+                    )
+                )
+                self._tokens[job.job_id] = token
+            if self.supervision.enabled:
+                self.supervisor.watch(job.job_id, token, job.spec.deadline_seconds)
             self._inflight[key] = job.job_id
             futures[
                 pool.submit(
@@ -366,13 +569,23 @@ class BatchService:
                     self.tracer if self.tracer is not NULL_TRACER else None,
                     job.job_id,
                     self.tracer.current_parent() if self.tracer.enabled else None,
+                    token,
+                    self.chaos_plan,
+                    job.seq,
+                    job.attempts,
                 )
             ] = job.job_id
 
-    def _complete_from_cache(self, job: Job, key: str) -> None:
-        """Serve a queued job instantly from the result cache."""
+    def _complete_from_cache(self, job: Job, key: str) -> bool:
+        """Serve a queued job instantly from the result cache.
+
+        Returns False when the entry failed its CRC check between the
+        scheduler's peek and this get - the corrupt payload has been
+        dropped and the caller falls through to a fresh execution.
+        """
         result = self.cache.get(key)  # counts the hit, refreshes recency
-        assert result is not None
+        if result is None:  # corrupt entry dropped by the CRC check
+            return False
         job.attempts += 1
         job.cache_hit = True
         job.transition(JobState.ADMITTED, at=self.clock.tick())
@@ -386,12 +599,16 @@ class BatchService:
             self.journal.record_result(job)
         self.metrics.count("jobs_succeeded")
         self.metrics.record_job(job)
+        return True
 
     def _complete(self, future: Future, job_id: str) -> None:
         """Process one finished worker future (coordinator thread)."""
         job = self._jobs[job_id]
         self.admission.release(job_id)
         self._inflight.pop(job.cache_key, None)
+        self._tokens.pop(job_id, None)
+        if self.supervision.enabled:
+            self.supervisor.release(job_id)
         error = future.exception()
         if error is None:
             job.result = future.result()
@@ -400,17 +617,35 @@ class BatchService:
             if self.journal is not None:
                 self.journal.record_result(job)
             self.cache.put(job.cache_key, job.result)
+            if self.chaos_plan is not None and self.chaos_plan.cache_corrupt(
+                self._cache_puts
+            ):
+                self.cache.corrupt_entry(job.cache_key)
+            self._cache_puts += 1
+            self.breakers.record_success(job.fingerprint)
             self.metrics.count("jobs_succeeded")
             self.metrics.absorb_result(job.result, job_id=job.job_id)
             self.metrics.record_job(job)
             return
+        if isinstance(error, JobCancelled) and error.kind in USER_KINDS:
+            # A user (or shutdown) cancel acknowledged by the worker:
+            # terminal CANCELLED, never a failure, never retried.
+            job.error = str(error)
+            job.transition(JobState.CANCELLED, at=self.clock.tick())
+            self._journal_transition(job, job.finished_at)
+            self.metrics.count("jobs_cancelled")
+            self.metrics.record_job(job)
+            return
         if not isinstance(error, ReproError):
             raise error  # a bug, not a simulation fault - do not swallow it
+        # Watchdog reaps (deadline / stall) arrive here as JobCancelled
+        # and take the normal failure path: FAILED, then retry per policy.
         job.error = str(error)
         job.transition(JobState.FAILED, at=self.clock.tick())
         self._journal_transition(job, job.finished_at)
         if self.journal is not None:
             self.journal.record_error(job, str(error))
+        self.breakers.record_failure(job.fingerprint)
         self.metrics.count("job_attempt_failures")
         if (
             self.recovery.on_fault == "retry"
@@ -425,13 +660,17 @@ class BatchService:
             self.metrics.record_job(job)
 
     def _fail_terminal(self, job: Job, message: str) -> None:
-        """Mark a job FAILED with no retry (admission can never succeed)."""
+        """Mark a job FAILED with no retry (it can never succeed here)."""
         job.error = message
         job.attempts += 1
         job.transition(JobState.ADMITTED, at=self.clock.tick())
+        self._journal_transition(job, job.admitted_at)
         job.transition(JobState.RUNNING, at=self.clock.tick())
+        self._journal_transition(job, job.started_at)
         job.transition(JobState.FAILED, at=self.clock.tick())
         self._journal_transition(job, job.finished_at)
+        if self.journal is not None:
+            self.journal.record_error(job, message)
         self.metrics.count("jobs_failed")
         self.metrics.record_job(job)
 
@@ -497,7 +736,18 @@ class BatchService:
             cache=self.cache.snapshot(),
             admission=self.admission.snapshot(),
             config=config,
+            supervision=self.supervision_snapshot(),
         )
+
+    def supervision_snapshot(self) -> dict[str, Any]:
+        """Watchdog and breaker state, for the export and the gauges."""
+        return {
+            "enabled": self.supervision.enabled,
+            "stall_timeout_seconds": self.supervision.stall_timeout_seconds,
+            "watchdog_reaps": self.supervisor.reaps,
+            "watched_jobs": self.supervisor.watched(),
+            "breakers": self.breakers.state_counts(),
+        }
 
     def metrics_json(self) -> str:
         """Canonical JSON metrics (byte-identical in deterministic mode)."""

@@ -1,4 +1,4 @@
-"""Persistent job store: an append-only JSONL journal.
+"""Persistent job store: an append-only, crash-safe JSONL journal.
 
 Every externally visible job event - submission, state transition, result,
 error - is one JSON object per line.  Reloading a journal replays the
@@ -6,6 +6,26 @@ events through the :class:`~repro.service.job.Job` state machine, so
 ``repro status`` and ``repro cancel`` work from a different process than
 the one that submitted or ran the jobs, and a crashed ``serve-batch`` can
 be re-run over the same journal (terminal jobs are simply not re-executed).
+
+Crash safety:
+
+* Every appended line carries a CRC32 suffix (``{json}\\tcrc32=xxxxxxxx``),
+  the same integrity idea :mod:`repro.reliability.integrity` applies to
+  chunk transfers.  Legacy journals without suffixes still load - a JSON
+  line never contains a literal tab, so the suffix is unambiguous.
+* A *torn tail* - the final record truncated by a crash mid-append - is
+  tolerated on replay: a warning is logged and replay stops at the last
+  intact record.  Corruption anywhere **before** the tail still raises
+  :class:`~repro.errors.ServiceError`: that is not a crash artifact, it
+  is a damaged journal.
+* :meth:`JobStore.repair_tail` truncates a torn tail in place (invoked
+  automatically before the first append, so new records never concatenate
+  onto a torn fragment).
+* The ``fsync`` policy bounds how much a power loss can tear: ``never``
+  (default) leaves flushing to the OS; ``always`` fsyncs every append.
+* :meth:`JobStore.compact` rewrites the journal as one minimal snapshot
+  whose replay is state-for-state identical to the original, bounding
+  journal growth for long-lived services.
 
 The journal is the source of truth for cross-process state; the in-memory
 :class:`~repro.service.service.BatchService` is the source of truth while
@@ -15,11 +35,61 @@ a scheduler is live.
 from __future__ import annotations
 
 import json
+import os
+import zlib
 from pathlib import Path
 from typing import Any, Iterator
 
 from repro.errors import JobNotFound, ServiceError
+from repro.obs.log import get_logger
 from repro.service.job import Job, JobResult, JobSpec, JobState
+
+_LOG = get_logger("service.store")
+
+#: CRC suffix framing: ``{json}\tcrc32={8 hex digits}``.  JSON emitted by
+#: :func:`json.dumps` never contains a literal tab, so splitting on the
+#: last tab is unambiguous and suffix-less legacy lines parse unchanged.
+_CRC_SEP = "\t"
+_CRC_PREFIX = "crc32="
+
+#: Accepted fsync policies for :class:`JobStore`.
+FSYNC_POLICIES = ("never", "always")
+
+
+def encode_line(event: dict[str, Any]) -> str:
+    """Serialize one event to its CRC32-suffixed journal line."""
+    body = json.dumps(event, sort_keys=True)
+    return f"{body}{_CRC_SEP}{_CRC_PREFIX}{zlib.crc32(body.encode('utf-8')):08x}\n"
+
+
+def decode_line(line: str) -> dict[str, Any]:
+    """Parse one journal line, verifying its CRC suffix when present.
+
+    Raises:
+        ValueError: On any corruption - bad JSON, malformed suffix, or a
+            CRC mismatch.  Callers map this to torn-tail recovery or
+            :class:`~repro.errors.ServiceError` depending on position.
+    """
+    body, sep, suffix = line.rpartition(_CRC_SEP)
+    if sep:
+        if not suffix.startswith(_CRC_PREFIX):
+            raise ValueError(f"bad integrity suffix {suffix!r}")
+        recorded = int(suffix[len(_CRC_PREFIX):], 16)
+        computed = zlib.crc32(body.encode("utf-8"))
+        if recorded != computed:
+            raise ValueError(
+                f"crc32 mismatch: recorded {recorded:08x}, computed {computed:08x}"
+            )
+        payload = body
+    else:
+        payload = line
+    try:
+        event = json.loads(payload)
+    except json.JSONDecodeError as error:
+        raise ValueError(str(error)) from None
+    if not isinstance(event, dict):
+        raise ValueError("journal line is not a JSON object")
+    return event
 
 
 class JobStore:
@@ -27,18 +97,78 @@ class JobStore:
 
     Args:
         path: Journal file; created (with parents) on first append.
+        fsync: Flush policy - ``never`` (OS decides, default) or
+            ``always`` (fsync after every append; durable against power
+            loss at a large throughput cost).
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, *, fsync: str = "never") -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ServiceError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
         self.path = Path(path)
+        self.fsync = fsync
+        self._tail_checked = False
 
     # -- writing -------------------------------------------------------------
 
     def append(self, event: dict[str, Any]) -> None:
-        """Append one event object as a JSON line."""
+        """Append one event object as a CRC32-suffixed JSON line."""
+        self._write_line(encode_line(event))
+
+    def _write_line(self, line: str) -> None:
+        """Write one pre-encoded line (the chaos harness's override point)."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not self._tail_checked:
+            self.repair_tail()
         with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(event, sort_keys=True) + "\n")
+            handle.write(line)
+            if self.fsync == "always":
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def repair_tail(self) -> int:
+        """Truncate a torn final record in place; returns bytes removed.
+
+        A crash mid-append leaves the journal ending in a partial line
+        (or, with unlucky buffering, a complete-looking line whose CRC
+        does not verify).  Repair drops that fragment so subsequent
+        appends start on a clean record boundary.  Intact journals are
+        left untouched.
+        """
+        self._tail_checked = True
+        if not self.path.exists():
+            return 0
+        raw = self.path.read_bytes()
+        if not raw:
+            return 0
+        trimmed = raw[:-1] if raw.endswith(b"\n") else raw
+        cut = trimmed.rfind(b"\n") + 1  # 0 when the file is a single record
+        tail = trimmed[cut:]
+        text = tail.decode("utf-8", errors="replace").strip()
+        torn = False
+        if text:
+            try:
+                decode_line(text)
+            except ValueError:
+                torn = True
+        if torn:
+            removed = len(raw) - cut
+            with self.path.open("r+b") as handle:
+                handle.truncate(cut)
+            _LOG.warning(
+                "repaired torn journal tail in %s: dropped %d byte(s)",
+                self.path,
+                removed,
+            )
+            return removed
+        if not raw.endswith(b"\n"):
+            # Final record is intact but unterminated; close it so the
+            # next append starts a fresh line.
+            with self.path.open("ab") as handle:
+                handle.write(b"\n")
+        return 0
 
     def record_submit(self, job: Job) -> None:
         self.append({
@@ -79,22 +209,46 @@ class JobStore:
     def iter_events(self) -> Iterator[dict[str, Any]]:
         """Yield events in journal order; a missing file yields nothing.
 
+        A corrupt or truncated **final** record is treated as a torn
+        tail: a warning is logged and replay stops at the last intact
+        record.  Corruption before the tail raises - that cannot be a
+        crash artifact of a single append.
+
         Raises:
-            ServiceError: On an unparsable journal line.
+            ServiceError: On an unparsable journal line before the tail.
         """
         if not self.path.exists():
             return
-        with self.path.open("r", encoding="utf-8") as handle:
-            for lineno, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    yield json.loads(line)
-                except json.JSONDecodeError as error:
-                    raise ServiceError(
-                        f"{self.path}:{lineno}: corrupt journal line ({error})"
-                    ) from None
+        raw = self.path.read_bytes()
+        if not raw:
+            return
+        lines = raw.decode("utf-8", errors="replace").split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        last_content = 0
+        for index, line in enumerate(lines, start=1):
+            if line.strip():
+                last_content = index
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield decode_line(line)
+            except ValueError as error:
+                if lineno == last_content:
+                    _LOG.warning(
+                        "torn journal tail at %s:%d (%s); "
+                        "replaying %d intact record(s)",
+                        self.path,
+                        lineno,
+                        error,
+                        lineno - 1,
+                    )
+                    return
+                raise ServiceError(
+                    f"{self.path}:{lineno}: corrupt journal line ({error})"
+                ) from None
 
     def load(self) -> dict[str, Job]:
         """Replay the journal into jobs keyed by id, in submission order.
@@ -157,3 +311,81 @@ class JobStore:
         """The next submission sequence number for this journal."""
         jobs = self.load()
         return 1 + max((job.seq for job in jobs.values()), default=0)
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self) -> int:
+        """Rewrite the journal as a minimal snapshot; returns events kept.
+
+        The snapshot emits, per job in submission order, one ``submit``
+        event plus the shortest legal transition path to its current
+        state (with its current timestamps and attempt count), the
+        ``result`` for finished jobs and the last ``error`` if any.
+        Replaying the compacted journal yields jobs equal field-for-field
+        to replaying the original - history is discarded, state is not.
+
+        The rewrite is atomic (temp file + ``os.replace``) and fsynced
+        regardless of the append policy, so a crash mid-compaction leaves
+        either the old journal or the new one, never a hybrid.
+        """
+        jobs = self.load()
+        lines: list[str] = []
+        probe = JobStore(self.path)  # records built via the same encoders
+        probe._write_line = lines.append  # type: ignore[method-assign]
+        count = 0
+        for job in sorted(jobs.values(), key=lambda j: j.seq):
+            probe.record_submit(job)
+            count += 1
+            for state, at in self._minimal_path(job):
+                snapshot = Job(
+                    job_id=job.job_id, seq=job.seq, spec=job.spec,
+                    state=state, attempts=job.attempts,
+                )
+                probe.record_transition(snapshot, at)
+                count += 1
+            if job.result is not None:
+                probe.record_result(job)
+                count += 1
+            if job.error is not None:
+                probe.record_error(job, job.error)
+                count += 1
+        tmp = self.path.with_name(self.path.name + ".compact.tmp")
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        return count
+
+    @staticmethod
+    def _minimal_path(job: Job) -> list[tuple[JobState, float | None]]:
+        """Shortest legal transition path reproducing ``job``'s state."""
+        state = job.state
+        if state is JobState.PENDING:
+            if job.attempts == 0 and job.error is None:
+                return []
+            # A re-queued job (retry or recovery); the PENDING re-entry
+            # resets the per-attempt timestamps, so None throughout.
+            return [(JobState.ADMITTED, None), (JobState.PENDING, None)]
+        if state is JobState.ADMITTED:
+            return [(JobState.ADMITTED, job.admitted_at)]
+        if state is JobState.RUNNING:
+            return [
+                (JobState.ADMITTED, job.admitted_at),
+                (JobState.RUNNING, job.started_at),
+            ]
+        if state is JobState.CANCELLED:
+            path: list[tuple[JobState, float | None]] = []
+            if job.admitted_at is not None:
+                path.append((JobState.ADMITTED, job.admitted_at))
+            if job.started_at is not None:
+                path.append((JobState.RUNNING, job.started_at))
+            path.append((JobState.CANCELLED, job.finished_at))
+            return path
+        # SUCCEEDED / FAILED both sit at the end of the running path.
+        return [
+            (JobState.ADMITTED, job.admitted_at),
+            (JobState.RUNNING, job.started_at),
+            (state, job.finished_at),
+        ]

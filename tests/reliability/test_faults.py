@@ -109,3 +109,52 @@ class TestSpec:
     def test_describe_mentions_rates(self) -> None:
         assert "transfer faults" in FaultPlan(seed=1, transfer_rate=0.1).describe()
         assert "no faults" in FaultPlan(seed=1).describe()
+
+
+class TestServiceLayerKinds:
+    def test_service_queries_are_deterministic(self) -> None:
+        a = FaultPlan(seed=4, worker_crash_rate=0.3, worker_stall_rate=0.3,
+                      journal_torn_rate=0.3, cache_corrupt_rate=0.3)
+        b = FaultPlan(seed=4, worker_crash_rate=0.3, worker_stall_rate=0.3,
+                      journal_torn_rate=0.3, cache_corrupt_rate=0.3)
+        for i in range(50):
+            assert a.worker_crash(i, 1) == b.worker_crash(i, 1)
+            assert a.worker_stall(i, 1) == b.worker_stall(i, 1)
+            assert a.journal_torn_write(i) == b.journal_torn_write(i)
+            assert a.cache_corrupt(i) == b.cache_corrupt(i)
+
+    def test_kinds_draw_independent_streams(self) -> None:
+        # Same rate, same indices: crash and stall must not mirror each
+        # other (they hash with distinct salts).
+        plan = FaultPlan(seed=2, worker_crash_rate=0.5, worker_stall_rate=0.5)
+        crash = [plan.worker_crash(i, 0) for i in range(64)]
+        stall = [plan.worker_stall(i, 0) for i in range(64)]
+        assert crash != stall
+
+    def test_zero_rates_inject_no_service_faults(self) -> None:
+        plan = FaultPlan(seed=3)
+        assert not any(plan.worker_crash(i, a)
+                       for i in range(20) for a in range(3))
+        assert not any(plan.journal_torn_write(i) for i in range(20))
+        assert not any(plan.cache_corrupt(i) for i in range(20))
+
+    def test_forced_service_events_fire(self) -> None:
+        plan = FaultPlan(forced=(
+            FaultEvent(FaultKind.WORKER_CRASH, gate_index=3, attempt=1),
+            FaultEvent(FaultKind.CACHE_CORRUPT, gate_index=0),
+        ))
+        assert plan.worker_crash(3, 1)
+        assert not plan.worker_crash(3, 2)
+        assert plan.cache_corrupt(0)
+        assert not plan.cache_corrupt(1)
+
+    def test_spec_round_trip_covers_service_rates(self) -> None:
+        plan = FaultPlan.from_spec(
+            "seed=9,crash=0.1,stall=0.2,torn=0.3,cachecorrupt=0.4"
+        )
+        assert plan.worker_crash_rate == 0.1
+        assert plan.worker_stall_rate == 0.2
+        assert plan.journal_torn_rate == 0.3
+        assert plan.cache_corrupt_rate == 0.4
+        again = FaultPlan.from_spec(plan.to_spec())
+        assert again == plan

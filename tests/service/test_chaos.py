@@ -1,0 +1,142 @@
+"""Chaos harness: simulated crashes, torn writes, and full soaks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.reliability.faults import FaultEvent, FaultKind, FaultPlan
+from repro.service.chaos import ChaosJournal, SimulatedCrash, run_chaos_soak
+from repro.service.job import JobState
+from repro.service.store import JobStore
+
+
+MANIFEST = {
+    "jobs": [
+        {"family": "bv", "qubits": 6, "shots": 20, "copies": 2},
+        {"family": "gs", "qubits": 5, "copies": 2},
+        {"family": "qft", "qubits": 5, "shots": 10},
+    ]
+}
+
+
+@pytest.fixture()
+def manifest(tmp_path):
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps(MANIFEST))
+    return path
+
+
+class TestChaosJournal:
+    def test_armed_kill_raises_at_the_scheduled_append(self, tmp_path):
+        journal = ChaosJournal(tmp_path / "j.jsonl", FaultPlan(seed=1))
+        journal.append({"event": "error", "id": "x", "message": "one"})
+        journal.arm_kill(2)
+        journal.append({"event": "error", "id": "x", "message": "two"})
+        with pytest.raises(SimulatedCrash):
+            journal.append({"event": "error", "id": "x", "message": "three"})
+        # The killed append never reached the file (torn off or dropped).
+        lines = (tmp_path / "j.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        # A crash disarms: the journal's next incarnation appends cleanly.
+        journal.append({"event": "error", "id": "x", "message": "four"})
+
+    def test_torn_kill_leaves_a_recoverable_fragment(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        # Force the torn write at the killing append (ordinal 1).
+        plan = FaultPlan(
+            seed=1,
+            forced=(FaultEvent(FaultKind.JOURNAL_TORN_WRITE, gate_index=1),),
+        )
+        journal = ChaosJournal(path, plan)
+        journal.append({"event": "error", "id": "x", "message": "intact"})
+        journal.arm_kill(1)
+        with pytest.raises(SimulatedCrash):
+            journal.append({"event": "error", "id": "x", "message": "torn"})
+        assert journal.torn_writes == 1
+        raw = path.read_bytes()
+        assert not raw.endswith(b"\n")  # the fragment is mid-line
+        # Replay tolerates the torn tail; repair truncates it.
+        fresh = JobStore(path)
+        events = list(fresh.iter_events())
+        assert [e["message"] for e in events] == ["intact"]
+        removed = fresh.repair_tail()
+        assert removed > 0
+        assert path.read_bytes().endswith(b"\n")
+
+    def test_ordinals_continue_across_incarnations(self, tmp_path):
+        plan = FaultPlan(seed=1)
+        first = ChaosJournal(tmp_path / "j.jsonl", plan)
+        first.append({"event": "error", "id": "x", "message": "a"})
+        second = ChaosJournal(
+            tmp_path / "j.jsonl", plan, start_ordinal=first.append_ordinal
+        )
+        assert second.append_ordinal == 1
+
+    def test_kill_must_be_in_the_future(self, tmp_path):
+        journal = ChaosJournal(tmp_path / "j.jsonl", FaultPlan())
+        with pytest.raises(ServiceError):
+            journal.arm_kill(0)
+
+
+class TestChaosSoak:
+    def test_soak_converges_exactly_once_and_byte_identical(
+        self, tmp_path, manifest
+    ):
+        journal = tmp_path / "soak.jsonl"
+        report = run_chaos_soak(
+            manifest, journal, seed=3, cycles=2, workers=2, stall_rate=0.0
+        )
+        assert report["converged"]
+        assert report["byte_identical"]
+        assert report["violations"] == []
+        assert report["duplicate_cache_entries"] == 0
+        assert report["states"] == {"SUCCEEDED": 5}
+        assert report["crashes"] >= 1  # at least one cycle actually died
+        # The journal is the ground truth: every job terminal exactly once.
+        jobs = JobStore(journal).load()
+        assert len(jobs) == 5
+        assert all(j.state is JobState.SUCCEEDED for j in jobs.values())
+
+    def test_soak_refuses_a_preexisting_journal(self, tmp_path, manifest):
+        journal = tmp_path / "soak.jsonl"
+        journal.write_text("")
+        with pytest.raises(ServiceError, match="already exists"):
+            run_chaos_soak(manifest, journal)
+
+    def test_soak_is_deterministic_in_journal_shape(self, tmp_path, manifest):
+        # Same seed, workers=1: identical crash schedule and append counts.
+        first = run_chaos_soak(
+            manifest, tmp_path / "a.jsonl", seed=9, cycles=2, workers=1,
+            stall_rate=0.0,
+        )
+        second = run_chaos_soak(
+            manifest, tmp_path / "b.jsonl", seed=9, cycles=2, workers=1,
+            stall_rate=0.0,
+        )
+        assert first["journal_appends"] == second["journal_appends"]
+        assert first["crashes"] == second["crashes"]
+        assert [c["appends"] for c in first["cycle_log"]] == [
+            c["appends"] for c in second["cycle_log"]
+        ]
+
+    def test_soak_with_heavy_stalls_is_reaped_not_stuck(self, tmp_path, manifest):
+        # A large stall rate: many attempts hang and must be reaped by
+        # the watchdog (without it, the pool would block forever).  The
+        # retry budget absorbs the reaps and the soak still converges.
+        report = run_chaos_soak(
+            manifest,
+            tmp_path / "soak.jsonl",
+            seed=5,
+            cycles=1,
+            workers=2,
+            crash_rate=0.0,
+            torn_rate=0.0,
+            cache_corrupt_rate=0.0,
+            stall_rate=0.4,
+            stall_timeout=0.1,
+        )
+        assert report["converged"]
+        assert report["violations"] == []

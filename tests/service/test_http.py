@@ -107,3 +107,81 @@ class TestLifecycle:
             assert json.loads(body)["jobs"] == {"SUCCEEDED": 1}
         finally:
             server.stop()
+
+
+class TestProbes:
+    def test_livez_always_ok(self, served):
+        _, server = served
+        status, _, body = _get(f"{server.url}/livez")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["uptime_seconds"] >= 0
+
+    def test_readyz_ready_when_healthy(self, served):
+        _, server = served
+        status, _, body = _get(f"{server.url}/readyz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["ready"] is True
+        assert payload["reasons"] == []
+        assert payload["supervision"]["enabled"] is True
+
+    def test_readyz_503_when_watchdog_dead_with_running_jobs(self):
+        from repro.service import JobState
+
+        service = BatchService(workers=1)  # supervision on, never started
+        job = service.submit(JobSpec(family="bv", qubits=5))
+        job.transition(JobState.ADMITTED, at=1.0)
+        job.transition(JobState.RUNNING, at=2.0)
+        server = ServiceHTTPServer(service, port=0).start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/readyz")
+            assert excinfo.value.code == 503
+            payload = json.loads(excinfo.value.read().decode("utf-8"))
+            assert payload["ready"] is False
+            assert any("watchdog" in reason for reason in payload["reasons"])
+            # Liveness is unaffected: the process still serves.
+            status, _, _ = _get(f"{server.url}/livez")
+            assert status == 200
+        finally:
+            server.stop()
+
+    def test_readyz_reports_open_breakers_without_failing(self):
+        from repro.service import BreakerConfig
+
+        service = BatchService(
+            workers=1, breaker=BreakerConfig(failure_threshold=1)
+        )
+        service.breakers.record_failure("ab" * 32)
+        server = ServiceHTTPServer(service, port=0).start()
+        try:
+            status, _, body = _get(f"{server.url}/readyz")
+            assert status == 200  # degraded, not down
+            payload = json.loads(body)
+            assert payload["ready"] is True
+            assert any("breaker" in reason for reason in payload["reasons"])
+            _, _, metrics = _get(f"{server.url}/metrics")
+            assert "repro_breakers_open 1" in metrics
+        finally:
+            server.stop()
+
+
+class TestStopPromptness:
+    def test_stop_returns_despite_idle_open_connection(self):
+        # A client that connects and never sends a request used to pin a
+        # handler thread and hang stop(); the bounded join and per-request
+        # socket timeout make shutdown prompt.
+        import socket
+        import time
+
+        service = BatchService(workers=1)
+        server = ServiceHTTPServer(service, port=0).start()
+        sock = socket.create_connection((server.host, server.port), timeout=10)
+        try:
+            start = time.monotonic()
+            server.stop()
+            assert time.monotonic() - start < 5.0
+        finally:
+            sock.close()

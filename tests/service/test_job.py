@@ -49,10 +49,26 @@ class TestStateMachine:
         for terminal in (JobState.SUCCEEDED, JobState.CANCELLED):
             assert not ALLOWED_TRANSITIONS[terminal]
 
-    def test_cancel_only_before_running(self) -> None:
+    def test_running_job_can_be_cancelled(self) -> None:
         job = make_job()
         job.transition(JobState.ADMITTED)
         job.transition(JobState.RUNNING)
+        job.transition(JobState.CANCELLED, at=5.0)
+        assert job.state is JobState.CANCELLED
+        assert job.finished_at == 5.0
+
+    def test_admitted_job_can_requeue(self) -> None:
+        job = make_job()
+        job.transition(JobState.ADMITTED, at=2.0)
+        job.transition(JobState.PENDING)
+        assert job.state is JobState.PENDING
+        assert job.admitted_at is None
+
+    def test_no_cancel_after_terminal(self) -> None:
+        job = make_job()
+        job.transition(JobState.ADMITTED)
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.SUCCEEDED)
         with pytest.raises(ServiceError):
             job.transition(JobState.CANCELLED)
 

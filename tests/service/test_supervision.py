@@ -1,0 +1,194 @@
+"""Watchdog supervisor, circuit breakers, and cancellation tokens."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import JobCancelled, ServiceError
+from repro.reliability.cancellation import USER_KINDS, CancellationToken
+from repro.service.supervision import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    SupervisionConfig,
+    Supervisor,
+)
+
+
+class TestCancellationToken:
+    def test_poll_beats_then_raises_once_cancelled(self):
+        beats = []
+        token = CancellationToken(on_beat=lambda: beats.append(1))
+        token.poll()
+        token.poll()
+        assert len(beats) == 2
+        assert token.cancel("stop it", kind="user")
+        with pytest.raises(JobCancelled, match="stop it") as excinfo:
+            token.poll()
+        assert excinfo.value.kind == "user"
+
+    def test_first_cancel_wins(self):
+        token = CancellationToken()
+        assert token.cancel("first", kind="deadline")
+        assert not token.cancel("second", kind="user")
+        with pytest.raises(JobCancelled, match="first") as excinfo:
+            token.raise_if_cancelled()
+        assert excinfo.value.kind == "deadline"
+
+    def test_touch_advances_heartbeat(self):
+        token = CancellationToken()
+        before = token.last_beat
+        time.sleep(0.002)
+        token.touch()
+        assert token.last_beat > before
+
+    def test_user_kinds(self):
+        assert "user" in USER_KINDS
+        assert "shutdown" in USER_KINDS
+        assert "deadline" not in USER_KINDS
+        assert "stall" not in USER_KINDS
+
+
+class TestSupervisorScan:
+    def test_deadline_exceeded_is_reaped(self):
+        reaped = []
+        sup = Supervisor(
+            SupervisionConfig(stall_timeout_seconds=1000.0),
+            on_reap=lambda job_id, kind: reaped.append((job_id, kind)),
+        )
+        token = CancellationToken()
+        sup.watch("j0001", token, deadline_seconds=5.0)
+        start = time.monotonic()
+        assert sup.scan(now=start + 1.0) == 0
+        assert sup.scan(now=start + 60.0) == 1
+        assert reaped == [("j0001", "deadline")]
+        assert token.cancelled
+        with pytest.raises(JobCancelled) as excinfo:
+            token.raise_if_cancelled()
+        assert excinfo.value.kind == "deadline"
+        assert sup.watched() == 0  # reaped entries are released
+
+    def test_stale_heartbeat_is_reaped_as_stall(self):
+        reaped = []
+        sup = Supervisor(
+            SupervisionConfig(stall_timeout_seconds=0.5),
+            on_reap=lambda job_id, kind: reaped.append((job_id, kind)),
+        )
+        token = CancellationToken()
+        sup.watch("j0001", token, deadline_seconds=None)
+        assert sup.scan(now=token.last_beat + 0.1) == 0
+        assert sup.scan(now=token.last_beat + 10.0) == 1
+        assert reaped == [("j0001", "stall")]
+
+    def test_heartbeat_defers_the_stall_reap(self):
+        sup = Supervisor(
+            SupervisionConfig(stall_timeout_seconds=0.5), on_reap=lambda *a: None
+        )
+        token = CancellationToken()
+        sup.watch("j0001", token, deadline_seconds=None)
+        token.touch()
+        assert sup.scan(now=token.last_beat + 0.1) == 0
+        assert sup.watched() == 1
+
+    def test_released_job_is_not_reaped(self):
+        sup = Supervisor(SupervisionConfig(), on_reap=lambda *a: None)
+        token = CancellationToken()
+        sup.watch("j0001", token, deadline_seconds=0.001)
+        sup.release("j0001")
+        assert sup.scan(now=time.monotonic() + 100.0) == 0
+        assert not token.cancelled
+
+    def test_supervisor_thread_reaps_live(self):
+        reaped = []
+        sup = Supervisor(
+            SupervisionConfig(
+                poll_interval_seconds=0.01, stall_timeout_seconds=0.05
+            ),
+            on_reap=lambda job_id, kind: reaped.append(kind),
+        )
+        token = CancellationToken()
+        with sup:
+            sup.watch("j0001", token, deadline_seconds=None)
+            deadline = time.monotonic() + 5.0
+            while not token.cancelled and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert token.cancelled
+        assert reaped == ["stall"]
+        assert not sup.alive
+
+    def test_config_validation(self):
+        with pytest.raises(ServiceError):
+            SupervisionConfig(poll_interval_seconds=0.0)
+        with pytest.raises(ServiceError):
+            SupervisionConfig(stall_timeout_seconds=-1.0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=3))
+        now = 100.0
+        for _ in range(2):
+            breaker.record_failure(now)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(now)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.decision(now + 0.1) == "reject"
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=2))
+        breaker.record_failure(1.0)
+        breaker.record_success()
+        breaker.record_failure(2.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_cooldown_admits_a_single_probe(self):
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=1, cooldown_seconds=10.0)
+        )
+        breaker.record_failure(0.0)
+        assert breaker.decision(5.0) == "reject"  # still cooling
+        assert breaker.decision(11.0) == "allow"  # the half-open probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.decision(11.1) == "defer"  # one probe at a time
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.decision(11.2) == "allow"
+
+    def test_failed_probe_reopens(self):
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=1, cooldown_seconds=10.0)
+        )
+        breaker.record_failure(0.0)
+        assert breaker.decision(11.0) == "allow"
+        breaker.record_failure(12.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.decision(13.0) == "reject"
+        assert breaker.decision(23.0) == "allow"  # cooldown restarts from 12.0
+
+    def test_config_validation(self):
+        with pytest.raises(ServiceError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ServiceError):
+            BreakerConfig(cooldown_seconds=-1.0)
+
+
+class TestBreakerBoard:
+    def test_per_fingerprint_isolation_and_transitions(self):
+        transitions = []
+        clock = iter(float(i) for i in range(100))
+        board = BreakerBoard(
+            BreakerConfig(failure_threshold=1, cooldown_seconds=1000.0),
+            on_transition=lambda fp, old, new: transitions.append(
+                (fp, old.value, new.value)
+            ),
+            now=lambda: next(clock),
+        )
+        board.record_failure("aaaa")
+        assert board.decision("aaaa") == "reject"
+        assert board.decision("bbbb") == "allow"  # other circuits unaffected
+        assert transitions == [("aaaa", "closed", "open")]
+        assert board.state_counts() == {"closed": 1, "half_open": 0, "open": 1}
+        assert board.state_of("aaaa") is BreakerState.OPEN
