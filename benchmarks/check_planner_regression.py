@@ -1,0 +1,95 @@
+"""CI gate: fail when the adaptive planner's selection quality regresses.
+
+Reads a fresh ``BENCH_planner.json`` (produced by
+``benchmarks/test_planner.py``) and enforces the recipe's two headline
+claims:
+
+* selection accuracy - the planner picks the measured-fastest feasible
+  backend (within the benchmark's noise tolerance) on at least
+  ``--min-accuracy`` of the circuits (default 0.8);
+* geomean speedup - planner-routed runs beat always-dense complex128 by
+  more than ``--min-speedup`` geomean (default 1.0).
+
+Unlike the kernel gate this needs no committed baseline: both metrics are
+dimensionless and host-portable, so the thresholds are absolute.
+
+Usage::
+
+    python benchmarks/check_planner_regression.py [RESULTS] \
+        [--min-accuracy 0.8] [--min-speedup 1.0]
+
+exits 0 when both thresholds hold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except OSError as error:
+        sys.exit(f"cannot read {path}: {error}")
+    except json.JSONDecodeError as error:
+        sys.exit(f"{path}: not valid JSON ({error})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "results",
+        nargs="?",
+        default="BENCH_planner.json",
+        help="fresh benchmark output (default: ./BENCH_planner.json)",
+    )
+    parser.add_argument(
+        "--min-accuracy",
+        type=float,
+        default=0.8,
+        help="minimum selection accuracy (default 0.8)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="geomean speedup vs always-dense must exceed this (default 1.0)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load(Path(args.results))
+    accuracy = current.get("accuracy")
+    geomean = current.get("geomean_speedup_vs_dense")
+    if accuracy is None or geomean is None:
+        sys.exit(f"{args.results}: missing accuracy/geomean fields")
+
+    failures = []
+    if accuracy < args.min_accuracy:
+        failures.append(
+            f"selection accuracy {accuracy:.0%} below {args.min_accuracy:.0%}"
+        )
+    if geomean <= args.min_speedup:
+        failures.append(
+            f"geomean speedup {geomean:.2f}x not above {args.min_speedup:.2f}x"
+        )
+    wrong = [
+        case["circuit"]
+        for case in current.get("cases", [])
+        if not case.get("correct")
+    ]
+    print(f"planner gate ({current.get('mode', 'full')} mode): "
+          f"accuracy {accuracy:.0%}, geomean {geomean:.2f}x vs dense"
+          + (f", mispicks: {', '.join(wrong)}" if wrong else ""))
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: planner selection quality within thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

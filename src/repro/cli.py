@@ -32,7 +32,12 @@ Subcommands:
   cache corruption, verifying exactly-once convergence (see
   ``docs/reliability.md``).
 
-``simulate`` also understands ``--fault-plan``, ``--checkpoint-every``,
+``simulate`` and ``submit`` take ``--backend`` (``auto`` engages the
+circuit-aware backend planner, see ``docs/planner.md``) and
+``--precision`` (``single``/``auto`` run the dense engine in complex64
+with a norm-guarded complex128 fallback); ``plan`` prints the planner's
+per-backend cost table.  ``simulate`` also understands ``--fault-plan``,
+``--checkpoint-every``,
 ``--checkpoint`` and ``--resume`` (see ``docs/reliability.md``), and
 ``--trace FILE`` / ``--metrics FILE`` for observability exports; ``trace
 summary|analyze|critical-path|drift FILE`` analyse any exported trace
@@ -131,12 +136,14 @@ def _write_observability(tracer, args: argparse.Namespace) -> None:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    import numpy as np
+
     circuit = _load_circuit(args)
     version = VERSIONS_BY_NAME[args.version]
     tracer = _build_tracer(args)
     simulator = QGpuSimulator(
         version=version, fault_plan=_fault_plan(args), workers=args.workers,
-        tracer=tracer,
+        tracer=tracer, backend=args.backend, precision=args.precision,
     )
     result = simulator.run(
         circuit,
@@ -145,12 +152,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         resume_from=args.resume,
     )
     print(f"{circuit.name}: {len(circuit)} gates, version {version.name}")
-    print(f"pruned chunk updates: {result.pruned_fraction:.1%}")
-    report = result.reliability
-    if report is not None and (report.total_faults or report.checkpoints_written
-                               or report.resumed_from_gate is not None):
-        print(report.summary())
-    counts = sample_counts(result.amplitudes, shots=args.shots, seed=args.seed)
+    if args.backend != "statevector" or args.precision != "double":
+        line = f"backend: {result.backend}, precision: {result.precision}"
+        if result.precision_fallback:
+            line += (f" (fell back from single: norm deviation "
+                     f"{result.norm_deviation:.3g})")
+        if result.truncation_error:
+            line += f", truncation error {result.truncation_error:.3g}"
+        print(line)
+    if result.backend == "statevector":
+        print(f"pruned chunk updates: {result.pruned_fraction:.1%}")
+        report = result.reliability
+        if report is not None and (report.total_faults
+                                   or report.checkpoints_written
+                                   or report.resumed_from_gate is not None):
+            print(report.summary())
+        amplitudes = result.amplitudes
+        if amplitudes.dtype != np.complex128:
+            # The sampler checks normalisation at double precision; bring
+            # the single-precision state back onto the unit sphere first.
+            amplitudes = amplitudes.astype(np.complex128)
+            amplitudes /= np.linalg.norm(amplitudes)
+        counts = sample_counts(amplitudes, shots=args.shots, seed=args.seed)
+    else:
+        counts = result.state.sample_counts(args.shots, seed=args.seed)
     width = circuit.num_qubits
     for outcome, count in sorted(counts.items(), key=lambda kv: -kv[1])[: args.top]:
         print(f"  |{outcome:0{width}b}>  {count}")
@@ -206,10 +231,27 @@ def _cmd_transpile(args: argparse.Namespace) -> int:
 
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.core.planner import plan_execution
+    from repro.errors import SimulationError
+    from repro.planner import PlannerConfig, plan as plan_backend
 
     circuit = _load_circuit(args)
-    plan = plan_execution(circuit, machine=MACHINES[args.machine])
-    print(plan.render())
+    machine = MACHINES[args.machine]
+    config = PlannerConfig(
+        machine=machine,
+        backend=args.backend,
+        precision=args.precision,
+        max_bond=args.max_bond,
+    )
+    backend_plan = plan_backend(circuit, config)
+    print(backend_plan.render())
+    if backend_plan.backend == "statevector":
+        # The dense engine is also priced per version by the DES model;
+        # append that ranking so one command shows both decisions.
+        try:
+            print()
+            print(plan_execution(circuit, machine=machine).render())
+        except SimulationError:
+            pass  # circuit outside the DES model's envelope
     return 0
 
 
@@ -577,6 +619,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         shots=args.shots,
         priority=args.priority,
         deadline_seconds=args.deadline,
+        backend=args.backend,
+        precision=args.precision,
     ))
     print(f"submitted {job.job_id} ({job.spec.display_name}) "
           f"fingerprint={job.fingerprint[:16]}...")
@@ -684,6 +728,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="log line format (json = one object per line)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_backend_options(cmd: argparse.ArgumentParser) -> None:
+        from repro.planner import BACKEND_CHOICES, PRECISION_CHOICES
+
+        cmd.add_argument("--backend", default="statevector",
+                         choices=BACKEND_CHOICES,
+                         help="execution engine ('auto' = circuit-aware "
+                              "planner selection)")
+        cmd.add_argument("--precision", default="double",
+                         choices=PRECISION_CHOICES,
+                         help="statevector dtype: double (complex128), "
+                              "single (complex64, norm-guarded with a "
+                              "double fallback), or auto")
+
     def _add_obs_options(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument("--trace", metavar="FILE",
                          help="write a Chrome trace of this run")
@@ -712,6 +769,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--workers", type=_workers_arg, default="auto",
                           metavar="N|auto",
                           help="chunk-worker threads (1 = bit-exact serial)")
+    _add_backend_options(simulate)
     _add_obs_options(simulate)
     simulate.set_defaults(fn=_cmd_simulate)
 
@@ -740,6 +798,15 @@ def build_parser() -> argparse.ArgumentParser:
     plan = sub.add_parser("plan", help="rank engines/versions for a workload")
     _add_circuit_options(plan)
     plan.add_argument("--machine", default="p100", choices=sorted(MACHINES))
+    from repro.planner import BACKEND_CHOICES, PRECISION_CHOICES
+
+    plan.add_argument("--backend", default="auto", choices=BACKEND_CHOICES,
+                      help="force a backend instead of auto-selecting")
+    plan.add_argument("--precision", default="auto",
+                      choices=PRECISION_CHOICES,
+                      help="precision knob fed to the planner")
+    plan.add_argument("--max-bond", type=int, default=64,
+                      help="MPS bond-dimension cap used for pricing")
     plan.set_defaults(fn=_cmd_plan)
 
     trace = sub.add_parser(
@@ -853,6 +920,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--version", default="Q-GPU",
                         choices=sorted(VERSIONS_BY_NAME))
     submit.add_argument("--machine", default="p100", choices=sorted(MACHINES))
+    _add_backend_options(submit)
     submit.set_defaults(fn=_cmd_submit)
 
     status = sub.add_parser("status", help="show jobs recorded in a journal")

@@ -41,7 +41,12 @@ from repro.core.involvement import InvolvementTracker
 from repro.core.pruning import chunk_is_pruned
 from repro.core.reorder import reorder
 from repro.core.versions import QGPU, VersionConfig
-from repro.errors import CheckpointError, FaultInjectionError, SimulationError
+from repro.errors import (
+    AnalysisError,
+    CheckpointError,
+    FaultInjectionError,
+    SimulationError,
+)
 from repro.hardware.machine import Machine
 from repro.hardware.specs import AMP_BYTES, MachineSpec, PAPER_MACHINE
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -61,7 +66,10 @@ class FunctionalResult:
     """Outcome of a functional (exact) Q-GPU run.
 
     Attributes:
-        state: Final chunked state (``state.to_dense()`` for the vector).
+        state: Final state - a :class:`ChunkedStateVector` for dense runs,
+            or a :class:`~repro.planner.engines.BackendExecution` when the
+            planner routed the circuit to another engine (both expose
+            ``to_dense()`` where representable).
         circuit_name: Name of the executed circuit.
         version: Version name used.
         chunk_updates_total: Chunk-group updates the unoptimized engine
@@ -72,6 +80,16 @@ class FunctionalResult:
             zeros when no plan or guard was active).
         interrupted_at: Gate cursor where ``stop_after`` halted the run
             (None = ran to completion).
+        backend: Backend that produced the state.
+        precision: Numeric precision the returned state was computed at
+            (``"double"`` after a norm-guard fallback, even if single was
+            requested).
+        norm_deviation: ``|1 - sum |amp|^2|`` measured after a
+            single-precision dense run (None on double-only runs).
+        precision_fallback: A single-precision run violated the norm
+            bound and was deterministically re-run in complex128.
+        truncation_error: Accumulated MPS truncation error (0.0 for exact
+            backends).
     """
 
     state: ChunkedStateVector
@@ -81,6 +99,11 @@ class FunctionalResult:
     chunk_updates_skipped: int = 0
     reliability: ReliabilityReport | None = None
     interrupted_at: int | None = None
+    backend: str = "statevector"
+    precision: str = "double"
+    norm_deviation: float | None = None
+    precision_fallback: bool = False
+    truncation_error: float = 0.0
 
     @property
     def amplitudes(self) -> np.ndarray:
@@ -123,6 +146,18 @@ class QGpuSimulator:
             transfers / checkpoints) and run statistics land in the
             tracer's counters.  Default: the shared disabled tracer
             (near-zero overhead).
+        backend: Execution backend - ``"statevector"`` (default, the
+            dense chunked engine and the only pre-planner behaviour), a
+            forced ``"stabilizer"`` / ``"sparse"`` / ``"mps"``, or
+            ``"auto"`` to let :mod:`repro.planner` pick per circuit.
+        precision: ``"double"`` (default, bit-exact complex128),
+            ``"single"`` (the dense engine's complex64 fast path, guarded
+            by a norm-deviation bound with deterministic complex128
+            fallback), or ``"auto"`` (planner decides).
+        max_bond: MPS bond cap for planned/forced MPS runs and the
+            planner's pricing.
+        single_norm_bound: Norm-deviation ceiling accepted from a
+            single-precision run before falling back to double.
     """
 
     def __init__(
@@ -134,20 +169,52 @@ class QGpuSimulator:
         reliability_policy: RecoveryPolicy = DEFAULT_POLICY,
         workers: int | str | None = "auto",
         tracer: Tracer | None = None,
+        backend: str = "statevector",
+        precision: str = "double",
+        max_bond: int = 64,
+        single_norm_bound: float | None = None,
     ) -> None:
+        # Imported lazily everywhere in this module: repro.planner imports
+        # repro.core.involvement, whose package __init__ imports this
+        # module - a top-level import would cycle.
+        from repro.planner import (
+            BACKEND_CHOICES,
+            DEFAULT_NORM_BOUND,
+            PRECISION_CHOICES,
+        )
+
         if chunk_bits is not None and chunk_bits <= 0:
             raise SimulationError(
                 f"chunk_bits must be a positive number of within-chunk "
                 f"qubits, got {chunk_bits}"
             )
+        if backend not in BACKEND_CHOICES:
+            raise SimulationError(
+                f"unknown backend {backend!r} "
+                f"(choose from {sorted(BACKEND_CHOICES)})"
+            )
+        if precision not in PRECISION_CHOICES:
+            raise SimulationError(
+                f"unknown precision {precision!r} "
+                f"(choose from {sorted(PRECISION_CHOICES)})"
+            )
+        if max_bond < 1:
+            raise SimulationError(f"max_bond must be >= 1, got {max_bond}")
         resolve_workers(workers, 1)  # validate eagerly; resolved per run
         self.machine = Machine(machine)
+        self.machine_spec = machine
         self.version = version
         self.chunk_bits = chunk_bits
         self.fault_plan = fault_plan
         self.reliability_policy = reliability_policy
         self.workers = workers
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.backend = backend
+        self.precision = precision
+        self.max_bond = max_bond
+        self.single_norm_bound = (
+            single_norm_bound if single_norm_bound is not None else DEFAULT_NORM_BOUND
+        )
 
     # -- functional ---------------------------------------------------------
 
@@ -192,22 +259,32 @@ class QGpuSimulator:
             IntegrityError: A guard detected corruption and the policy
                 forbids recovery.
             FaultInjectionError: An injected fault exhausted its retries.
+            AnalysisError: ``backend="auto"`` and no backend can execute
+                this circuit on this machine.
         """
         tracer = self.tracer
+        backend, precision = self._route(circuit, tracer)
         previous_counters = (
             set_kernel_counters(tracer.counters) if tracer is not NULL_TRACER else None
         )
         run_span = (
-            tracer.span("run", circuit=circuit.name, version=self.version.name)
+            tracer.span(
+                "run",
+                circuit=circuit.name,
+                version=self.version.name,
+                backend=backend,
+            )
             if tracer.enabled
             else None
         )
         try:
             if run_span is not None:
                 with run_span:
-                    return self._run(
+                    return self._execute(
                         circuit,
                         tracer,
+                        backend,
+                        precision,
                         checkpoint_every=checkpoint_every,
                         checkpoint_path=checkpoint_path,
                         resume_from=resume_from,
@@ -215,9 +292,11 @@ class QGpuSimulator:
                         workers=workers,
                         cancel=cancel,
                     )
-            return self._run(
+            return self._execute(
                 circuit,
                 tracer,
+                backend,
+                precision,
                 checkpoint_every=checkpoint_every,
                 checkpoint_path=checkpoint_path,
                 resume_from=resume_from,
@@ -228,6 +307,209 @@ class QGpuSimulator:
         finally:
             if tracer is not NULL_TRACER:
                 set_kernel_counters(previous_counters)
+
+    # -- planner routing ----------------------------------------------------
+
+    def resolve_backend(self, circuit: QuantumCircuit) -> tuple[str, str]:
+        """The (backend, precision) this simulator would run ``circuit`` on.
+
+        Deterministic and side-effect free; ``"auto"`` knobs are resolved
+        through :func:`repro.planner.plan`.
+        """
+        if self.backend != "auto" and self.precision != "auto":
+            return self.backend, self.precision
+        chosen = self.plan(circuit)
+        return chosen.backend, chosen.precision
+
+    def plan(self, circuit: QuantumCircuit):
+        """The full :class:`~repro.planner.BackendPlan` for ``circuit``."""
+        from repro.planner import PlannerConfig, plan as plan_circuit
+
+        config = PlannerConfig(
+            machine=self.machine_spec,
+            backend=self.backend,
+            precision=self.precision,
+            max_bond=self.max_bond,
+        )
+        return plan_circuit(circuit, config)
+
+    def _route(self, circuit: QuantumCircuit, tracer: Tracer) -> tuple[str, str]:
+        """Resolve the run's backend/precision, tracing auto decisions."""
+        if self.backend != "auto" and self.precision != "auto":
+            return self.backend, self.precision
+        if tracer.enabled:
+            with tracer.span("plan", stage="plan", circuit=circuit.name):
+                chosen = self.plan(circuit)
+        else:
+            chosen = self.plan(circuit)
+        if tracer is not NULL_TRACER:
+            tracer.counters.count(f"planner.selected.{chosen.backend}")
+        return chosen.backend, chosen.precision
+
+    def _execute(
+        self,
+        circuit: QuantumCircuit,
+        tracer: Tracer,
+        backend: str,
+        precision: str,
+        *,
+        checkpoint_every: int | None,
+        checkpoint_path: str | Path | None,
+        resume_from: str | Path | None,
+        stop_after: int | None,
+        workers: int | str | None,
+        cancel: CancellationToken | None,
+    ) -> FunctionalResult:
+        if backend != "statevector":
+            return self._run_nondense(
+                circuit,
+                tracer,
+                backend,
+                checkpoint_every=checkpoint_every,
+                resume_from=resume_from,
+                stop_after=stop_after,
+                cancel=cancel,
+            )
+        if precision == "single":
+            return self._run_single(
+                circuit,
+                tracer,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path,
+                resume_from=resume_from,
+                stop_after=stop_after,
+                workers=workers,
+                cancel=cancel,
+            )
+        return self._run(
+            circuit,
+            tracer,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            resume_from=resume_from,
+            stop_after=stop_after,
+            workers=workers,
+            cancel=cancel,
+        )
+
+    def _run_nondense(
+        self,
+        circuit: QuantumCircuit,
+        tracer: Tracer,
+        backend: str,
+        *,
+        checkpoint_every: int | None,
+        resume_from: str | Path | None,
+        stop_after: int | None,
+        cancel: CancellationToken | None,
+    ) -> FunctionalResult:
+        """Execute on the tableau / hash-map / MPS engine."""
+        from repro.planner import run_backend
+
+        if checkpoint_every is not None or resume_from is not None:
+            raise SimulationError(
+                f"backend {backend!r} does not support checkpoint/resume; "
+                "use the statevector backend"
+            )
+        if stop_after is not None:
+            raise SimulationError(
+                f"backend {backend!r} does not support partial runs "
+                "(stop_after)"
+            )
+        if self.fault_plan is not None and self.fault_plan.active:
+            raise SimulationError(
+                f"backend {backend!r} does not support fault injection; "
+                "use the statevector backend"
+            )
+        if cancel is not None:
+            cancel.poll()
+        if tracer.enabled:
+            with tracer.span(
+                f"backend:{backend}", stage="compute", circuit=circuit.name
+            ):
+                execution = run_backend(
+                    circuit, backend, max_bond=self.max_bond
+                )
+        else:
+            execution = run_backend(circuit, backend, max_bond=self.max_bond)
+        if cancel is not None:
+            cancel.poll()
+        if tracer is not NULL_TRACER:
+            tracer.counters.count("runs.completed")
+        return FunctionalResult(
+            state=execution,
+            circuit_name=circuit.name,
+            version=self.version.name,
+            reliability=ReliabilityReport(),
+            backend=backend,
+            precision="double",
+            truncation_error=execution.truncation_error,
+        )
+
+    def _run_single(
+        self,
+        circuit: QuantumCircuit,
+        tracer: Tracer,
+        *,
+        checkpoint_every: int | None,
+        checkpoint_path: str | Path | None,
+        resume_from: str | Path | None,
+        stop_after: int | None,
+        workers: int | str | None,
+        cancel: CancellationToken | None,
+    ) -> FunctionalResult:
+        """The complex64 fast path with the norm-guard double fallback."""
+        from repro.planner import norm_deviation
+
+        if checkpoint_every is not None or resume_from is not None:
+            raise SimulationError(
+                "single precision does not support checkpoint/resume "
+                "(checkpoints are complex128); use precision='double'"
+            )
+        if self.fault_plan is not None and self.fault_plan.active:
+            raise SimulationError(
+                "single precision does not support fault injection; "
+                "use precision='double'"
+            )
+        result = self._run(
+            circuit,
+            tracer,
+            checkpoint_every=None,
+            checkpoint_path=None,
+            resume_from=None,
+            stop_after=stop_after,
+            workers=workers,
+            cancel=cancel,
+            dtype=np.complex64,
+        )
+        result.precision = "single"
+        if result.interrupted_at is not None:
+            # A partial state is not norm-1; the guard only covers
+            # completed runs.
+            return result
+        deviation = norm_deviation(result.state.backing)
+        result.norm_deviation = deviation
+        if deviation <= self.single_norm_bound:
+            return result
+        # Rounding exceeded the bound: deterministic full re-run at
+        # double precision (no partial reuse - reproducibility beats
+        # salvaging a degraded state).
+        if tracer is not NULL_TRACER:
+            tracer.counters.count("planner.fallbacks")
+        retried = self._run(
+            circuit,
+            tracer,
+            checkpoint_every=None,
+            checkpoint_path=None,
+            resume_from=None,
+            stop_after=stop_after,
+            workers=workers,
+            cancel=cancel,
+        )
+        retried.precision = "double"
+        retried.precision_fallback = True
+        retried.norm_deviation = deviation
+        return retried
 
     def _run(
         self,
@@ -240,6 +522,7 @@ class QGpuSimulator:
         stop_after: int | None,
         workers: int | str | None,
         cancel: CancellationToken | None = None,
+        dtype=np.complex128,
     ) -> FunctionalResult:
         n = circuit.num_qubits
         chunk_bits = self.chunk_bits if self.chunk_bits is not None else max(1, min(10, n - 2))
@@ -298,7 +581,7 @@ class QGpuSimulator:
             start_cursor = checkpoint.gate_cursor
             report.resumed_from_gate = start_cursor
         else:
-            state = self._allocate_state(n, chunk_bits, report)
+            state = self._allocate_state(n, chunk_bits, report, dtype)
 
         guard: ChunkTransferGuard | None = None
         if self.fault_plan is not None and self.fault_plan.active:
@@ -418,7 +701,11 @@ class QGpuSimulator:
         )
 
     def _allocate_state(
-        self, n: int, chunk_bits: int, report: ReliabilityReport
+        self,
+        n: int,
+        chunk_bits: int,
+        report: ReliabilityReport,
+        dtype=np.complex128,
     ) -> ChunkedStateVector:
         """Allocate the chunked state, degrading chunk size on injected OOM."""
         plan = self.fault_plan
@@ -431,7 +718,7 @@ class QGpuSimulator:
                     bits -= 1  # halve the chunk size and retry
                     report.degraded_chunk_bits = bits
                 continue
-            return ChunkedStateVector(n, bits)
+            return ChunkedStateVector(n, bits, dtype=dtype)
         raise FaultInjectionError(
             f"state allocation failed {policy.max_alloc_attempts} times "
             f"(last attempted chunk_bits={bits})"
@@ -499,10 +786,32 @@ class QGpuSimulator:
         scheduler in :mod:`repro.service` prices every queued job with this
         hook, so it must stay closed-form fast at any width.
 
+        Circuits this simulator routes to the dense chunked engine are
+        priced by the timed DES model; circuits routed elsewhere (a
+        forced or auto-selected tableau / hash-map / MPS backend)
+        delegate to the planner's calibrated per-backend estimator - the
+        DES model knows nothing about those engines and silently pricing
+        them as dense is exactly the wrong answer this used to give.
+
         Raises:
             SimulationError: If the state fits no engine on this machine.
+            AnalysisError: ``backend="auto"`` and nothing can execute the
+                circuit.
         """
-        return self.estimate(circuit, compression_ratio=compression_ratio).total_seconds
+        backend, _precision = self.resolve_backend(circuit)
+        if backend == "statevector":
+            return self.estimate(
+                circuit, compression_ratio=compression_ratio
+            ).total_seconds
+        from repro.planner import analyze_circuit, backend_cost
+
+        features = analyze_circuit(circuit, bond_cap=self.max_bond)
+        cost = backend_cost(features, backend, self.machine_spec, "double")
+        if not cost.feasible:
+            raise AnalysisError(
+                f"backend {backend!r} cannot run {circuit.name}: {cost.reason}"
+            )
+        return cost.seconds
 
     def estimate(
         self,
@@ -521,7 +830,21 @@ class QGpuSimulator:
                 (useful for sensitivity studies); by default the ratio is
                 measured on real amplitudes at a tractable width for this
                 circuit's family.
+
+        Raises:
+            AnalysisError: The circuit routes to a non-dense backend -
+                the DES timeline models the dense chunked engine only, so
+                a timed result here would be a wrong-engine answer.  Use
+                :meth:`estimate_cost` or :func:`repro.planner.plan` for
+                per-backend pricing.
         """
+        backend, _precision = self.resolve_backend(circuit)
+        if backend != "statevector":
+            raise AnalysisError(
+                f"the timed DES model prices the dense chunked engine, but "
+                f"{circuit.name} routes to the {backend!r} backend; use "
+                f"estimate_cost() or repro.planner.plan() instead"
+            )
         if compression_ratio is None:
             compression_ratio = (
                 family_ratio(circuit_family(circuit))

@@ -66,6 +66,16 @@ class ObservabilityError(ReproError):
     """
 
 
+class AnalysisError(ReproError):
+    """Raised when a cost/feature analysis cannot price a request.
+
+    Covers asking the DES timed model (which prices the dense chunked
+    engine only) for a circuit the planner routed to another backend,
+    and planning a circuit no backend can feasibly execute.  Raised
+    instead of silently returning a wrong-engine estimate.
+    """
+
+
 class JobCancelled(ReproError):
     """Raised inside a worker when its cancellation token fires.
 

@@ -1,0 +1,220 @@
+"""Per-backend cost estimation for the adaptive planner.
+
+Extends the repo's pricing beyond the DES statevector model: each backend
+gets a closed-form cost in *calibrated host seconds* built from the work
+integrals :mod:`repro.planner.features` extracts.  The calibration
+constants are fixed in code (measured once on the reference host, see
+``docs/planner.md`` for the methodology) rather than probed at runtime -
+a deliberate trade: absolute times drift with the host, but the planner's
+*ordering* of backends is what selection accuracy measures, and fixed
+constants keep every plan deterministic and byte-stable.
+
+Units: ``per_gate_seconds`` charges the Python/dispatch overhead every
+gate pays regardless of state size; the ``*_per_second`` throughputs
+charge the bulk work (amplitude ops for dense numpy kernels, dictionary
+entry ops for the hash-map engine, tableau cell ops for the vectorised
+Clifford columns, tensor element ops through einsum + SVD for MPS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.hardware.specs import MachineSpec, PAPER_MACHINE
+from repro.planner.features import CircuitFeatures
+
+#: Backends the planner knows how to price, in deterministic tie-break
+#: order (earlier wins a tie on estimated seconds).
+BACKENDS: tuple[str, ...] = ("stabilizer", "sparse", "statevector", "mps")
+
+#: Functional width ceiling of the dense chunked engine
+#: (:class:`~repro.statevector.chunks.ChunkedStateVector`).
+DENSE_QUBIT_LIMIT = 26
+
+#: Bytes per complex amplitude at double / single precision.
+AMP_BYTES_DOUBLE = 16
+AMP_BYTES_SINGLE = 8
+
+#: Estimated resident bytes per sparse dictionary entry (key + boxed
+#: complex + hash-table overhead).
+SPARSE_ENTRY_BYTES = 128
+
+#: Calibrated host constants (reference-host measurements, fixed for
+#: determinism; see docs/planner.md "Cost calibration").
+CALIBRATION: dict[str, dict[str, float]] = {
+    "statevector": {
+        "per_gate_seconds": 5e-05,
+        "amp_ops_per_second": 2.0e08,
+        # Measured dense-kernel speedup of the complex64 fast path
+        # (bandwidth-bound kernels move half the bytes).
+        "single_speedup": 1.6,
+    },
+    "stabilizer": {
+        "per_gate_seconds": 4e-06,
+        "cell_ops_per_second": 2.0e08,
+    },
+    "sparse": {
+        "per_gate_seconds": 5e-06,
+        "entry_ops_per_second": 2.0e06,
+    },
+    "mps": {
+        "per_gate_seconds": 6e-05,
+        "element_ops_per_second": 5.0e07,
+    },
+}
+
+
+@dataclass(frozen=True)
+class BackendCost:
+    """One backend's priced execution of one circuit.
+
+    Attributes:
+        backend: Backend name (one of :data:`BACKENDS`).
+        feasible: The backend can execute this circuit on this machine.
+        seconds: Calibrated modelled host seconds (``inf`` when
+            infeasible).
+        memory_bytes: Estimated peak resident bytes.
+        approximate: A feasible run may not be exact (MPS whose bond
+            proxy exceeds the cap: truncation possible).
+        reason: Why the backend is infeasible / approximate ("" when
+            exact and feasible).
+    """
+
+    backend: str
+    feasible: bool
+    seconds: float
+    memory_bytes: float
+    approximate: bool = False
+    reason: str = ""
+
+
+def _statevector_cost(
+    features: CircuitFeatures, machine: MachineSpec, precision: str
+) -> BackendCost:
+    amp_bytes = AMP_BYTES_SINGLE if precision == "single" else AMP_BYTES_DOUBLE
+    # State + the fused kernels' scratch buffer.
+    memory = float(2 * amp_bytes * (1 << min(features.num_qubits, 62)))
+    if features.num_qubits > DENSE_QUBIT_LIMIT:
+        return BackendCost(
+            "statevector", False, float("inf"), memory,
+            reason=f"functional dense engine is limited to "
+                   f"{DENSE_QUBIT_LIMIT} qubits",
+        )
+    if memory > machine.host_memory_bytes:
+        return BackendCost(
+            "statevector", False, float("inf"), memory,
+            reason="dense state exceeds host memory",
+        )
+    c = CALIBRATION["statevector"]
+    bulk = features.dense_amp_ops / c["amp_ops_per_second"]
+    if precision == "single":
+        bulk /= c["single_speedup"]
+    seconds = features.num_gates * c["per_gate_seconds"] + bulk
+    return BackendCost("statevector", True, seconds, memory)
+
+
+def _stabilizer_cost(
+    features: CircuitFeatures, machine: MachineSpec
+) -> BackendCost:
+    n = features.num_qubits
+    memory = float(2 * (2 * n * n) + 2 * n)  # bool tableaus + sign column
+    if not features.is_clifford:
+        return BackendCost(
+            "stabilizer", False, float("inf"), memory,
+            reason=f"{1 - features.clifford_fraction:.0%} of gates are "
+                   "outside the Clifford set",
+        )
+    c = CALIBRATION["stabilizer"]
+    cells = features.num_gates * 4.0 * n  # x+z column updates of length 2n
+    seconds = (
+        features.num_gates * c["per_gate_seconds"]
+        + cells / c["cell_ops_per_second"]
+    )
+    return BackendCost("stabilizer", True, seconds, memory)
+
+
+def _sparse_cost(features: CircuitFeatures, machine: MachineSpec) -> BackendCost:
+    support = (
+        features.probe_support_peak
+        if features.probe_completed
+        else features.support_bound_peak
+    )
+    memory = float(2 * support * SPARSE_ENTRY_BYTES)  # old + rebuilt dict
+    if memory > machine.host_memory_bytes:
+        return BackendCost(
+            "sparse", False, float("inf"), memory,
+            reason="support bound exceeds host memory",
+        )
+    c = CALIBRATION["sparse"]
+    seconds = (
+        features.num_gates * c["per_gate_seconds"]
+        + features.sparse_ops / c["entry_ops_per_second"]
+    )
+    reason = "" if features.probe_completed else (
+        "support probe aborted; priced at the structural involvement bound"
+    )
+    return BackendCost("sparse", True, seconds, memory, reason=reason)
+
+
+def _mps_cost(features: CircuitFeatures, machine: MachineSpec) -> BackendCost:
+    n = features.num_qubits
+    chi = features.bond_estimate
+    # Site tensors plus merged-theta and SVD work buffers.
+    memory = float(3 * n * 2 * chi * chi * AMP_BYTES_DOUBLE)
+    if memory > machine.host_memory_bytes:
+        return BackendCost(
+            "mps", False, float("inf"), memory,
+            reason=f"bond {chi} tensors exceed host memory",
+        )
+    c = CALIBRATION["mps"]
+    seconds = (
+        features.num_gates * c["per_gate_seconds"]
+        + features.mps_ops / c["element_ops_per_second"]
+    )
+    reason = (
+        f"bond proxy exceeds cap {features.bond_cap}: result may truncate"
+        if features.mps_truncates
+        else ""
+    )
+    return BackendCost(
+        "mps", True, seconds, memory,
+        approximate=features.mps_truncates, reason=reason,
+    )
+
+
+def backend_cost(
+    features: CircuitFeatures,
+    backend: str,
+    machine: MachineSpec = PAPER_MACHINE,
+    precision: str = "double",
+) -> BackendCost:
+    """Price ``features`` on one backend.
+
+    Raises:
+        AnalysisError: On an unknown backend name.
+    """
+    if backend == "statevector":
+        return _statevector_cost(features, machine, precision)
+    if backend == "stabilizer":
+        return _stabilizer_cost(features, machine)
+    if backend == "sparse":
+        return _sparse_cost(features, machine)
+    if backend == "mps":
+        return _mps_cost(features, machine)
+    raise AnalysisError(
+        f"unknown backend {backend!r} (choose from {sorted(BACKENDS)})"
+    )
+
+
+def all_backend_costs(
+    features: CircuitFeatures,
+    machine: MachineSpec = PAPER_MACHINE,
+    precision: str = "double",
+    backends: tuple[str, ...] = BACKENDS,
+) -> tuple[BackendCost, ...]:
+    """Price every candidate backend, in :data:`BACKENDS` order."""
+    return tuple(
+        backend_cost(features, backend, machine, precision)
+        for backend in backends
+    )

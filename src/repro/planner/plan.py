@@ -1,0 +1,308 @@
+"""Backend/precision selection: ``plan(circuit, config) -> BackendPlan``.
+
+The planner glues the static features (:mod:`repro.planner.features`) to
+the per-backend prices (:mod:`repro.planner.costs`) and picks the
+cheapest *feasible, exact* backend, falling back to an approximate MPS
+run only when nothing exact fits the machine.  Selection is fully
+deterministic: same circuit + same :class:`PlannerConfig` always yields
+the same :class:`BackendPlan`, including byte-identical rationale text -
+the batch service journals plans and replays must agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import AnalysisError
+from repro.hardware.specs import MachineSpec, PAPER_MACHINE
+from repro.planner.costs import (
+    BACKENDS,
+    BackendCost,
+    all_backend_costs,
+    backend_cost,
+)
+from repro.planner.features import CircuitFeatures, analyze_circuit
+from repro.statevector.parallel import AUTO_PARALLEL_THRESHOLD, MAX_AUTO_WORKERS
+
+#: Valid values for the backend knob ("auto" resolves via the planner).
+BACKEND_CHOICES: tuple[str, ...] = ("auto",) + BACKENDS
+
+#: Valid values for the precision knob.
+PRECISION_CHOICES: tuple[str, ...] = ("auto", "single", "double")
+
+#: ``precision="auto"`` picks the complex64 fast path for dense runs up
+#: to this many gates; beyond it rounding accumulation makes the
+#: norm-guard fallback likely enough that double is the better bet.
+SINGLE_PRECISION_GATE_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Knobs for :func:`plan`.
+
+    Attributes:
+        machine: Hardware model used for feasibility and memory limits.
+        backend: ``"auto"`` or a forced backend name.
+        precision: ``"auto"``, ``"single"`` or ``"double"``.  ``single``
+            is the dense engine's complex64 fast path; requesting it
+            restricts auto-selection to the statevector backend.
+        max_bond: MPS bond cap the plan prices (and an MPS run uses).
+        allow_approximate: Let auto-selection pick an approximate
+            (bond-truncating) MPS run even when exact backends are
+            feasible, if it prices cheaper.
+        backends: Candidate pool, in deterministic tie-break order.
+        single_gate_limit: Gate-count ceiling for the ``auto`` -> single
+            precision decision.
+    """
+
+    machine: MachineSpec = PAPER_MACHINE
+    backend: str = "auto"
+    precision: str = "auto"
+    max_bond: int = 64
+    allow_approximate: bool = False
+    backends: tuple[str, ...] = BACKENDS
+    single_gate_limit: int = SINGLE_PRECISION_GATE_LIMIT
+
+
+DEFAULT_CONFIG = PlannerConfig()
+
+
+@dataclass(frozen=True)
+class BackendPlan:
+    """The planner's decision for one circuit on one machine.
+
+    Attributes:
+        circuit_name: Name of the planned circuit.
+        machine_name: Name of the machine the plan priced against.
+        num_qubits: Register width.
+        backend: Chosen backend (one of :data:`~repro.planner.costs.BACKENDS`).
+        precision: Resolved numeric precision (``single`` / ``double``).
+        workers: Recommended dense worker count (1 for non-dense
+            backends and for states below the parallel threshold).
+        estimated_seconds: Modelled cost of the chosen backend at the
+            resolved precision.
+        estimated_bytes: Modelled peak resident bytes of the chosen
+            backend.
+        approximate: The chosen run may truncate (MPS over its cap).
+        rationale: Stable human-readable justification.
+        costs: Every candidate's price, in candidate order.
+        features: The static features the decision was made from.
+    """
+
+    circuit_name: str
+    machine_name: str
+    num_qubits: int
+    backend: str
+    precision: str
+    workers: int
+    estimated_seconds: float
+    estimated_bytes: float
+    approximate: bool
+    rationale: str
+    costs: tuple[BackendCost, ...] = field(repr=False)
+    features: CircuitFeatures = field(repr=False)
+
+    def cost_for(self, backend: str) -> BackendCost:
+        """Return the priced entry for ``backend``.
+
+        Raises:
+            AnalysisError: If the backend was not in the candidate pool.
+        """
+        for cost in self.costs:
+            if cost.backend == backend:
+                return cost
+        raise AnalysisError(f"backend {backend!r} was not priced in this plan")
+
+    def render(self) -> str:
+        """Multi-line human-readable report (deterministic text)."""
+        f = self.features
+        lines = [
+            f"plan for {self.circuit_name} on {self.machine_name}:",
+            f"  qubits {self.num_qubits}  gates {f.num_gates}  "
+            f"depth {f.depth}  clifford {f.clifford_fraction:.0%}  "
+            f"support bound {f.support_bound_final}  "
+            f"probe peak {f.probe_support_peak}"
+            f"{'' if f.probe_completed else ' (aborted)'}  "
+            f"bond proxy {f.bond_estimate}",
+            f"  {'backend':<12} {'feasible':<9} {'est seconds':>12} "
+            f"{'est memory':>12}  note",
+        ]
+        for cost in self.costs:
+            seconds = "-" if not cost.feasible else f"{cost.seconds:.6g}"
+            note = cost.reason
+            if cost.approximate and cost.feasible:
+                note = f"approximate: {note}" if note else "approximate"
+            lines.append(
+                f"  {cost.backend:<12} {'yes' if cost.feasible else 'no':<9} "
+                f"{seconds:>12} {_format_bytes(cost.memory_bytes):>12}  {note}"
+            )
+        lines.append(
+            f"  -> chosen: {self.backend}, precision {self.precision}, "
+            f"workers {self.workers}"
+        )
+        lines.append(f"  rationale: {self.rationale}")
+        return "\n".join(lines)
+
+
+def _format_bytes(value: float) -> str:
+    if value >= 1 << 30:
+        return f"{value / (1 << 30):.1f}GiB"
+    if value >= 1 << 20:
+        return f"{value / (1 << 20):.1f}MiB"
+    if value >= 1 << 10:
+        return f"{value / (1 << 10):.1f}KiB"
+    return f"{int(value)}B"
+
+
+def _resolve_precision(backend: str, config: PlannerConfig, num_gates: int) -> str:
+    if config.precision == "double":
+        return "double"
+    if config.precision == "single":
+        return "single"
+    # "auto": the complex64 fast path only exists on the dense engine and
+    # pays off while accumulated rounding stays inside the norm guard.
+    if backend == "statevector" and num_gates <= config.single_gate_limit:
+        return "single"
+    return "double"
+
+
+def _selection_rationale(
+    chosen: BackendCost,
+    pool: list[BackendCost],
+    features: CircuitFeatures,
+    forced: bool,
+) -> str:
+    if forced:
+        return f"backend {chosen.backend} forced by config"
+    structure = ""
+    if chosen.backend == "stabilizer":
+        structure = (
+            f"all {features.num_gates} gates are Clifford, so tableau "
+            f"simulation is polynomial in n; "
+        )
+    elif chosen.backend == "sparse":
+        structure = (
+            f"support probe completed with peak support "
+            f"{features.probe_support_peak} of "
+            f"{1 << features.num_qubits} amplitudes; "
+        )
+    elif chosen.backend == "mps":
+        structure = (
+            f"entanglement proxy stays at bond {features.bond_estimate} "
+            f"under cap {features.bond_cap}; "
+        )
+    others = [c for c in pool if c.backend != chosen.backend]
+    if others:
+        runner = min(others, key=lambda c: c.seconds)
+        comparison = (
+            f"cheapest of {len(pool)} feasible backends "
+            f"(est {chosen.seconds:.3g}s vs {runner.backend} "
+            f"{runner.seconds:.3g}s)"
+        )
+    else:
+        comparison = "the only feasible backend"
+    return f"{structure}{comparison}"
+
+
+def plan(
+    circuit: QuantumCircuit, config: PlannerConfig = DEFAULT_CONFIG
+) -> BackendPlan:
+    """Choose a backend and precision for ``circuit`` under ``config``.
+
+    Deterministic: same circuit + config produce an equal plan with
+    byte-identical rationale.
+
+    Raises:
+        AnalysisError: On invalid knobs, a forced backend that cannot run
+            the circuit, or a circuit no candidate backend can execute.
+    """
+    if config.backend not in BACKEND_CHOICES:
+        raise AnalysisError(
+            f"unknown backend {config.backend!r} "
+            f"(choose from {sorted(BACKEND_CHOICES)})"
+        )
+    if config.precision not in PRECISION_CHOICES:
+        raise AnalysisError(
+            f"unknown precision {config.precision!r} "
+            f"(choose from {sorted(PRECISION_CHOICES)})"
+        )
+    features = analyze_circuit(circuit, bond_cap=config.max_bond)
+    costs = all_backend_costs(
+        features, config.machine, "double", config.backends
+    )
+
+    forced = config.backend != "auto"
+    if forced:
+        chosen = next((c for c in costs if c.backend == config.backend), None)
+        if chosen is None:
+            chosen = backend_cost(
+                features, config.backend, config.machine, "double"
+            )
+            costs = costs + (chosen,)
+        if not chosen.feasible:
+            raise AnalysisError(
+                f"backend {config.backend!r} cannot run "
+                f"{circuit.name}: {chosen.reason}"
+            )
+        pool = [chosen]
+    else:
+        candidates = [c for c in costs if c.feasible]
+        if config.precision == "single":
+            # The complex64 fast path is dense-only; an explicit single
+            # request is a constraint on the backend choice.
+            candidates = [c for c in candidates if c.backend == "statevector"]
+        pool = [c for c in candidates if not c.approximate]
+        if config.allow_approximate:
+            pool = candidates
+        if not pool:
+            # Nothing exact fits; an approximate MPS run beats no answer.
+            pool = candidates
+        if not pool:
+            reasons = "; ".join(
+                f"{c.backend}: {c.reason}" for c in costs if not c.feasible
+            )
+            raise AnalysisError(
+                f"no backend can execute {circuit.name} on "
+                f"{config.machine.name} ({reasons})"
+            )
+        chosen = min(pool, key=lambda c: c.seconds)
+
+    precision = _resolve_precision(chosen.backend, config, features.num_gates)
+    if precision == "single" and chosen.backend != "statevector":
+        raise AnalysisError(
+            "single precision is the dense engine's complex64 fast path; "
+            f"backend {chosen.backend!r} runs double only"
+        )
+    if precision == "single":
+        chosen = backend_cost(
+            features, "statevector", config.machine, "single"
+        )
+
+    workers = 1
+    if (
+        chosen.backend == "statevector"
+        and (1 << features.num_qubits) >= AUTO_PARALLEL_THRESHOLD
+    ):
+        workers = MAX_AUTO_WORKERS
+
+    rationale = _selection_rationale(chosen, pool, features, forced)
+    if precision == "single":
+        rationale += "; complex64 fast path, norm-guarded"
+    if chosen.approximate:
+        rationale += f"; approximate ({chosen.reason})"
+
+    return BackendPlan(
+        circuit_name=circuit.name,
+        machine_name=config.machine.name,
+        num_qubits=features.num_qubits,
+        backend=chosen.backend,
+        precision=precision,
+        workers=workers,
+        estimated_seconds=chosen.seconds,
+        estimated_bytes=chosen.memory_bytes,
+        approximate=chosen.approximate,
+        rationale=rationale,
+        costs=costs,
+        features=features,
+    )

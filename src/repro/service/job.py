@@ -89,6 +89,12 @@ class JobSpec:
             means no deadline.  Deliberately *not* part of the cache
             key - a deadline changes when a run is abandoned, never what
             it computes.
+        backend: Execution backend - ``"statevector"`` (default, the
+            pre-planner behaviour and what legacy journal lines replay
+            as), a forced engine name, or ``"auto"`` for planner
+            selection at execution time.
+        precision: ``"double"`` (default / legacy), ``"single"``, or
+            ``"auto"``.
         name: Optional display name; defaults to ``family_qubits``.
     """
 
@@ -102,6 +108,8 @@ class JobSpec:
     chunk_bits: int | None = None
     fault_plan: str | None = None
     deadline_seconds: float | None = None
+    backend: str = "statevector"
+    precision: str = "double"
     name: str | None = None
 
     def __post_init__(self) -> None:
@@ -116,6 +124,10 @@ class JobSpec:
                 f"job spec deadline_seconds must be positive, "
                 f"got {self.deadline_seconds}"
             )
+        if self.backend not in ("auto", "statevector", "stabilizer", "sparse", "mps"):
+            raise ServiceError(f"job spec backend {self.backend!r} is unknown")
+        if self.precision not in ("auto", "single", "double"):
+            raise ServiceError(f"job spec precision {self.precision!r} is unknown")
 
     def build_circuit(self) -> QuantumCircuit:
         """Materialize the circuit this spec names."""
@@ -142,7 +154,8 @@ class JobSpec:
             ("family", None), ("qubits", 0), ("seed", 0), ("qasm", None),
             ("version", "Q-GPU"), ("shots", 0), ("priority", 0),
             ("chunk_bits", None), ("fault_plan", None),
-            ("deadline_seconds", None), ("name", None),
+            ("deadline_seconds", None), ("backend", "statevector"),
+            ("precision", "double"), ("name", None),
         ):
             value = getattr(self, key)
             if value != default:
@@ -153,7 +166,8 @@ class JobSpec:
     def from_dict(cls, data: dict[str, Any]) -> "JobSpec":
         unknown = set(data) - {
             "family", "qubits", "seed", "qasm", "version", "shots",
-            "priority", "chunk_bits", "fault_plan", "deadline_seconds", "name",
+            "priority", "chunk_bits", "fault_plan", "deadline_seconds",
+            "backend", "precision", "name",
         }
         if unknown:
             raise ServiceError(f"unknown job spec fields: {sorted(unknown)}")
@@ -171,6 +185,13 @@ def cache_key(fingerprint: str, spec: JobSpec) -> str:
     under the same version, chunking, shot count and sampling seed.  The
     fault plan participates too: a faulted run under a strict policy is not
     interchangeable with a clean one.
+
+    Backend and precision participate as the *spec-level* strings: a
+    complex64 result must never serve a complex128 request, and ``"auto"``
+    keys separately from an explicit backend even when the planner would
+    resolve it identically (the plan is deterministic per service config,
+    but two services may be configured differently - correctness over
+    dedup).
     """
     material = "\x1f".join([
         fingerprint,
@@ -179,6 +200,8 @@ def cache_key(fingerprint: str, spec: JobSpec) -> str:
         str(spec.shots),
         str(spec.seed),
         spec.fault_plan or "",
+        spec.backend,
+        spec.precision,
     ])
     return hashlib.sha256(material.encode()).hexdigest()
 
@@ -200,6 +223,15 @@ class JobResult:
         transfers: Guarded chunk transfers performed (0 when fault-free).
         retries: Transfer retransmissions the reliability layer performed.
         faults: Injected faults detected across all kinds.
+        backend: Backend that executed the job (planner-resolved; legacy
+            payloads deserialize as ``"statevector"``).
+        precision: Precision the final state was computed at (after any
+            norm-guard fallback; legacy payloads deserialize as
+            ``"double"``).
+        precision_fallback: The single-precision attempt violated the
+            norm bound and the result came from the complex128 re-run.
+        truncation_error: Accumulated MPS truncation error (0.0 for
+            exact backends).
 
     The simulator-level fields ride along so the service can fold them
     into its metrics export when the job completes
@@ -216,6 +248,10 @@ class JobResult:
     transfers: int = 0
     retries: int = 0
     faults: int = 0
+    backend: str = "statevector"
+    precision: str = "double"
+    precision_fallback: bool = False
+    truncation_error: float = 0.0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -228,6 +264,10 @@ class JobResult:
             "transfers": self.transfers,
             "retries": self.retries,
             "faults": self.faults,
+            "backend": self.backend,
+            "precision": self.precision,
+            "precision_fallback": self.precision_fallback,
+            "truncation_error": self.truncation_error,
         }
 
     @classmethod
@@ -242,6 +282,10 @@ class JobResult:
             transfers=data.get("transfers", 0),
             retries=data.get("retries", 0),
             faults=data.get("faults", 0),
+            backend=data.get("backend", "statevector"),
+            precision=data.get("precision", "double"),
+            precision_fallback=data.get("precision_fallback", False),
+            truncation_error=data.get("truncation_error", 0.0),
         )
 
 

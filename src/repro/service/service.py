@@ -30,6 +30,8 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from pathlib import Path
 from typing import Any
 
+import numpy as np
+
 from repro.analysis.capacity import host_footprint_bytes
 from repro.core.planner import QGPU_BASIS_TRACKING, QGPU_DIAGONAL_AWARE
 from repro.core.simulator import QGpuSimulator
@@ -134,24 +136,49 @@ def execute_job(
         reliability_policy=sim_recovery,
         workers=sim_workers,
         tracer=tracer,
+        backend=spec.backend,
+        precision=spec.precision,
     )
     with tracer.span(
         f"job:{job_id or spec.display_name}", parent=parent_span, job=job_id
     ):
         outcome = simulator.run(circuit, cancel=cancel)
-        amplitudes = outcome.amplitudes
         counts: dict[str, int] = {}
-        if spec.shots > 0:
-            counts = {
-                str(outcome_index): count
-                for outcome_index, count in sample_counts(
-                    amplitudes, shots=spec.shots, seed=spec.seed
-                ).items()
-            }
+        if outcome.backend == "statevector":
+            amplitudes = outcome.amplitudes
+            state_sha256 = hashlib.sha256(amplitudes.tobytes()).hexdigest()
+            if spec.shots > 0:
+                sample_state = amplitudes
+                if amplitudes.dtype != np.complex128:
+                    # Renormalise the widened single-precision state so
+                    # the sampler's normalisation guard (1e-6) never trips
+                    # on accumulated complex64 rounding the norm bound
+                    # deliberately tolerates.  The double path is left
+                    # byte-for-byte untouched.
+                    sample_state = amplitudes.astype(np.complex128)
+                    sample_state /= np.linalg.norm(sample_state)
+                counts = {
+                    str(outcome_index): count
+                    for outcome_index, count in sample_counts(
+                        sample_state, shots=spec.shots, seed=spec.seed
+                    ).items()
+                }
+        else:
+            # Non-dense backends: native counts and a digest over the
+            # native representation (a tableau has no amplitude vector).
+            execution = outcome.state
+            state_sha256 = execution.digest()
+            if spec.shots > 0:
+                counts = {
+                    str(outcome_index): count
+                    for outcome_index, count in execution.sample_counts(
+                        spec.shots, seed=spec.seed
+                    ).items()
+                }
     report = outcome.reliability
     return JobResult(
         counts=counts,
-        state_sha256=hashlib.sha256(amplitudes.tobytes()).hexdigest(),
+        state_sha256=state_sha256,
         pruned_fraction=outcome.pruned_fraction,
         num_qubits=circuit.num_qubits,
         chunk_updates_total=outcome.chunk_updates_total,
@@ -159,6 +186,10 @@ def execute_job(
         transfers=report.transfers if report is not None else 0,
         retries=report.retries if report is not None else 0,
         faults=sum(report.faults.values()) if report is not None else 0,
+        backend=outcome.backend,
+        precision=outcome.precision,
+        precision_fallback=outcome.precision_fallback,
+        truncation_error=outcome.truncation_error,
     )
 
 
@@ -297,16 +328,48 @@ class BatchService:
                 f"unknown version {spec.version!r} "
                 f"(choose from {sorted(SERVICE_VERSIONS)})"
             )
+        if spec.fault_plan and (
+            spec.backend != "statevector" or spec.precision != "double"
+        ):
+            raise ServiceError(
+                "fault injection requires backend='statevector' and "
+                "precision='double' (guards and checkpoints are "
+                "dense-double only)"
+            )
         circuit = spec.build_circuit()
-        footprint = host_footprint_bytes(circuit.num_qubits)
-        self.admission.check(footprint)  # reject-never-fits at the door
         version = SERVICE_VERSIONS[spec.version]
-        try:
-            estimated = QGpuSimulator(
-                machine=self.machine, version=version
-            ).estimate_cost(circuit)
-        except SimulationError:
-            estimated = None
+        if spec.backend == "statevector" and spec.precision == "double":
+            # The pre-planner path, byte-for-byte: dense footprint from
+            # the capacity model, runtime from the timed DES model.
+            footprint = host_footprint_bytes(circuit.num_qubits)
+            self.admission.check(footprint)  # reject-never-fits at the door
+            try:
+                estimated = QGpuSimulator(
+                    machine=self.machine, version=version
+                ).estimate_cost(circuit)
+            except SimulationError:
+                estimated = None
+        else:
+            # Planner-routed jobs: admission and SJF price the *selected*
+            # backend, not the dense engine the old service assumed.
+            from repro.planner import PlannerConfig, plan as plan_circuit
+
+            config = PlannerConfig(
+                machine=self.machine,
+                backend=spec.backend,
+                precision=spec.precision,
+            )
+            if self.tracer.enabled:
+                with self.tracer.span(
+                    "plan", stage="plan", circuit=circuit.name
+                ):
+                    chosen = plan_circuit(circuit, config)
+            else:
+                chosen = plan_circuit(circuit, config)
+            self.metrics.count(f"planner.selected.{chosen.backend}")
+            footprint = float(chosen.estimated_bytes)
+            self.admission.check(footprint)
+            estimated = chosen.estimated_seconds
         seq = self._next_seq
         self._next_seq += 1
         job = Job(

@@ -157,11 +157,19 @@ class StabilizerState:
         return total % 4
 
     def _rowsum(self, h: int, i: int) -> None:
-        """Row ``h`` *= row ``i`` (Pauli product with sign tracking)."""
+        """Row ``h`` *= row ``i`` (Pauli product with sign tracking).
+
+        The +/-1 phase invariant only holds for stabilizer and scratch
+        rows (``h >= n``).  Destabilizer rows can legitimately pick up an
+        odd phase exponent - the paired destabilizer *anticommutes* with
+        the measured stabilizer during a random-outcome measurement - and
+        their sign bits carry no meaning in the Aaronson-Gottesman
+        formalism, so any consistent value works there.
+        """
         phase = self._phase_exponent(h, i)
-        if phase not in (0, 2):  # pragma: no cover - invariant of the algo
+        if h >= self.num_qubits and phase not in (0, 2):
             raise SimulationError("stabilizer phase left the +/-1 group")
-        self.r[h] = phase == 2
+        self.r[h] = phase in (2, 3)
         self.x[h] ^= self.x[i]
         self.z[h] ^= self.z[i]
 

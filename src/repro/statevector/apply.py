@@ -57,6 +57,9 @@ def apply_matrix(state: np.ndarray, matrix: np.ndarray, qubits: tuple[int, ...])
         if not 0 <= q < n:
             raise SimulationError(f"qubit {q} out of range for {n}-qubit state")
 
+    # Match the state's precision (no-op for the complex128 baseline);
+    # mixed-dtype matmul would upcast, round twice, and run slower.
+    matrix = np.asarray(matrix, dtype=state.dtype)
     # View the vector as an n-dimensional tensor.  numpy's C order makes axis
     # 0 the most significant bit, so qubit q is axis (n - 1 - q).
     tensor = state.reshape((2,) * n)
@@ -77,6 +80,7 @@ def apply_diagonal(state: np.ndarray, diagonal: np.ndarray, qubits: tuple[int, .
         raise SimulationError(
             f"diagonal length {diagonal.shape} does not match {k} qubits"
         )
+    diagonal = np.asarray(diagonal, dtype=state.dtype)
     tensor = state.reshape((2,) * n)
     axes = [n - 1 - q for q in reversed(qubits)]
     moved = np.moveaxis(tensor, axes, range(k))
@@ -91,6 +95,7 @@ def apply_controlled(
 ) -> None:
     """Apply ``matrix`` on ``targets`` where every control qubit is 1, in place."""
     n = _num_qubits_of(state)
+    matrix = np.asarray(matrix, dtype=state.dtype)
     tensor = state.reshape((2,) * n)
     selector: list = [slice(None)] * n
     for c in controls:

@@ -79,9 +79,14 @@ class ChunkedStateVector:
         num_qubits: Register width ``n``.
         chunk_bits: Amplitudes per chunk = ``2^chunk_bits``; must satisfy
             ``0 < chunk_bits <= n``.
+        dtype: Amplitude dtype - ``complex128`` (default, bit-exact
+            baseline) or ``complex64`` (the planner's single-precision
+            fast path; gate matrices are cast down at the kernels).
     """
 
-    def __init__(self, num_qubits: int, chunk_bits: int) -> None:
+    def __init__(
+        self, num_qubits: int, chunk_bits: int, dtype=np.complex128
+    ) -> None:
         if not 0 < chunk_bits <= num_qubits:
             raise SimulationError(
                 f"chunk_bits must be in (0, {num_qubits}], got {chunk_bits}"
@@ -90,10 +95,16 @@ class ChunkedStateVector:
             raise SimulationError(
                 "functional chunked simulation is limited to 26 qubits"
             )
+        resolved = np.dtype(dtype)
+        if resolved not in (np.dtype(np.complex64), np.dtype(np.complex128)):
+            raise SimulationError(
+                f"state dtype must be complex64 or complex128, got {resolved}"
+            )
         self.num_qubits = num_qubits
         self.chunk_bits = chunk_bits
         self.num_chunks = 1 << (num_qubits - chunk_bits)
-        self._backing = np.zeros(1 << num_qubits, dtype=np.complex128)
+        self.dtype = resolved
+        self._backing = np.zeros(1 << num_qubits, dtype=resolved)
         self._backing[0] = 1.0
         self._chunks: list[np.ndarray] | None = None
 
@@ -139,12 +150,25 @@ class ChunkedStateVector:
         return self._backing.copy()
 
     @classmethod
-    def from_dense(cls, amplitudes: np.ndarray, chunk_bits: int) -> "ChunkedStateVector":
-        """Split a dense vector into chunks (copying)."""
+    def from_dense(
+        cls, amplitudes: np.ndarray, chunk_bits: int, dtype=None
+    ) -> "ChunkedStateVector":
+        """Split a dense vector into chunks (copying).
+
+        ``dtype=None`` keeps a complex64 input in complex64 and stores
+        everything else (the historical callers pass complex128) at full
+        precision, so no caller silently loses precision to a downcast.
+        """
         num_qubits = int(amplitudes.size).bit_length() - 1
         if amplitudes.size != 1 << num_qubits:
             raise SimulationError("amplitude count is not a power of two")
-        out = cls(num_qubits, chunk_bits)
+        if dtype is None:
+            dtype = (
+                np.complex64
+                if amplitudes.dtype == np.dtype(np.complex64)
+                else np.complex128
+            )
+        out = cls(num_qubits, chunk_bits, dtype=dtype)
         out._backing[...] = amplitudes
         return out
 
@@ -320,7 +344,10 @@ class ChunkedStateVector:
         if rng is None:
             rng = np.random.default_rng()
         masses = np.array(
-            [float(np.sum(np.abs(chunk) ** 2)) for chunk in self.chunks]
+            [
+                float(np.sum(np.abs(chunk) ** 2, dtype=np.float64))
+                for chunk in self.chunks
+            ]
         )
         total = masses.sum()
         if not np.isclose(total, 1.0, atol=1e-6):
@@ -329,7 +356,7 @@ class ChunkedStateVector:
         counts: dict[int, int] = {}
         for chunk_index in chunk_draws:
             chunk = self.chunks[chunk_index]
-            probabilities = np.abs(chunk) ** 2
+            probabilities = np.abs(chunk.astype(np.complex128)) ** 2
             offset = int(rng.choice(self.chunk_size, p=probabilities / probabilities.sum()))
             outcome = (int(chunk_index) << self.chunk_bits) | offset
             counts[outcome] = counts.get(outcome, 0) + 1

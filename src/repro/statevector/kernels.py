@@ -72,6 +72,7 @@ def apply_pair(low: np.ndarray, high: np.ndarray, matrix: np.ndarray) -> None:
     """
     if matrix.shape != (2, 2):
         raise SimulationError(f"pair kernel needs a 2x2 matrix, got {matrix.shape}")
+    matrix = np.asarray(matrix, dtype=low.dtype)
     new_low = matrix[0, 0] * low
     new_low += matrix[0, 1] * high
     new_high = matrix[1, 1] * high
@@ -115,6 +116,7 @@ def apply_single_qubit_fused(
     """
     below = 1 << qubit
     above = source.size >> (qubit + 1)
+    matrix = np.asarray(matrix, dtype=source.dtype)
     src = source.reshape(above, 2, below)
     dst = dest.reshape(above, 2, below)
     if above >= parts:
@@ -193,4 +195,7 @@ def apply_diagonal_chunk(
     cache: dict[int, np.ndarray | complex] | None = None,
 ) -> None:
     """Apply a diagonal gate to one chunk in place - no pairing, no gather."""
-    chunk *= chunk_diagonal_factor(gate, chunk_bits, chunk_index, cache)
+    factor = chunk_diagonal_factor(gate, chunk_bits, chunk_index, cache)
+    if isinstance(factor, np.ndarray):
+        factor = np.asarray(factor, dtype=chunk.dtype)
+    chunk *= factor

@@ -1,0 +1,92 @@
+"""Tests for the non-dense execution adapter (run_backend / BackendExecution)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import get_circuit
+from repro.errors import AnalysisError, SimulationError
+from repro.planner import run_backend
+from repro.statevector.state import simulate
+
+
+class TestDispatch:
+    def test_statevector_is_not_an_adapter_backend(self) -> None:
+        with pytest.raises(AnalysisError):
+            run_backend(get_circuit("bv", 6), "statevector")
+
+    def test_unknown_backend_rejected(self) -> None:
+        with pytest.raises(AnalysisError):
+            run_backend(get_circuit("bv", 6), "gpu")
+
+    @pytest.mark.parametrize("backend", ["stabilizer", "sparse", "mps"])
+    def test_reports_backend_and_width(self, backend: str) -> None:
+        circuit = get_circuit("ghz", 6)
+        execution = run_backend(circuit, backend)
+        assert execution.backend == backend
+        assert execution.num_qubits == 6
+
+
+class TestDenseAgreement:
+    @pytest.mark.parametrize("backend", ["sparse", "mps"])
+    def test_to_dense_matches_reference(self, backend: str) -> None:
+        circuit = get_circuit("w", 8)
+        reference = simulate(circuit).amplitudes
+        np.testing.assert_allclose(
+            run_backend(circuit, backend).to_dense(), reference, atol=1e-10
+        )
+
+    def test_stabilizer_has_no_dense_view(self) -> None:
+        execution = run_backend(get_circuit("ghz", 6), "stabilizer")
+        with pytest.raises(SimulationError):
+            execution.to_dense()
+
+    def test_stabilizer_z_expectations_match_dense(self) -> None:
+        circuit = get_circuit("gs", 8)
+        reference = simulate(circuit).amplitudes
+        probabilities = np.abs(reference) ** 2
+        execution = run_backend(circuit, "stabilizer")
+        for qubit in range(8):
+            bits = (np.arange(probabilities.size) >> qubit) & 1
+            expected = float(np.sum(probabilities * (1 - 2 * bits)))
+            assert execution.expectation_z(qubit) == pytest.approx(
+                expected, abs=1e-9
+            )
+
+
+class TestSampling:
+    @pytest.mark.parametrize("backend", ["stabilizer", "sparse", "mps"])
+    def test_sampling_is_seed_deterministic(self, backend: str) -> None:
+        circuit = get_circuit("ghz", 6)
+        execution = run_backend(circuit, backend)
+        first = execution.sample_counts(64, seed=7)
+        second = execution.sample_counts(64, seed=7)
+        assert first == second
+        assert sum(first.values()) == 64
+
+    def test_ghz_samples_only_the_two_branches(self) -> None:
+        circuit = get_circuit("ghz", 6)
+        for backend in ("stabilizer", "sparse"):
+            counts = run_backend(circuit, backend).sample_counts(128, seed=3)
+            assert set(counts) <= {0, (1 << 6) - 1}
+
+
+class TestDigest:
+    @pytest.mark.parametrize("backend", ["stabilizer", "sparse", "mps"])
+    def test_digest_is_stable_across_runs(self, backend: str) -> None:
+        circuit = get_circuit("ghz", 7)
+        first = run_backend(circuit, backend).digest()
+        second = run_backend(circuit, backend).digest()
+        assert first == second
+        assert len(first) == 64  # hex sha256
+
+    def test_digest_distinguishes_circuits(self) -> None:
+        a = run_backend(get_circuit("w", 7), "sparse").digest()
+        b = run_backend(get_circuit("ghz", 7), "sparse").digest()
+        assert a != b
+
+    def test_digest_distinguishes_backends(self) -> None:
+        circuit = get_circuit("ghz", 7)
+        assert (run_backend(circuit, "sparse").digest()
+                != run_backend(circuit, "mps").digest())

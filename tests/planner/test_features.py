@@ -1,0 +1,98 @@
+"""Tests for the planner's static circuit analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import get_circuit
+from repro.errors import AnalysisError
+from repro.planner import analyze_circuit
+
+
+class TestBasics:
+    def test_bad_bond_cap_rejected(self) -> None:
+        with pytest.raises(AnalysisError, match="bond_cap"):
+            analyze_circuit(QuantumCircuit(3).h(0), bond_cap=0)
+
+    def test_empty_circuit_is_clifford_with_unit_support(self) -> None:
+        features = analyze_circuit(QuantumCircuit(4))
+        assert features.is_clifford
+        assert features.num_gates == 0
+        assert features.probe_completed
+        assert features.probe_support_peak == 1
+
+    def test_counts_and_fractions(self) -> None:
+        circuit = QuantumCircuit(3).h(0).t(0).cx(0, 1).rz(0.3, 2)
+        features = analyze_circuit(circuit)
+        assert features.num_qubits == 3
+        assert features.num_gates == 4
+        assert not features.is_clifford
+        assert 0.0 < features.clifford_fraction < 1.0
+        assert features.two_qubit_gates == 1
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", ["bv", "qft", "w", "qaoa"])
+    def test_same_circuit_same_features(self, family: str) -> None:
+        circuit = get_circuit(family, 10)
+        assert analyze_circuit(circuit) == analyze_circuit(circuit)
+
+
+class TestCliffordDetection:
+    def test_pure_clifford_families(self) -> None:
+        for family in ("bv", "gs", "hlf", "ghz"):
+            features = analyze_circuit(get_circuit(family, 10))
+            assert features.is_clifford, family
+            assert features.clifford_fraction == 1.0
+
+    def test_mixed_circuit_not_clifford(self) -> None:
+        features = analyze_circuit(get_circuit("qft", 8))
+        assert not features.is_clifford
+        assert features.clifford_fraction < 1.0
+
+
+class TestSparseProbe:
+    def test_sparse_circuit_probe_completes(self) -> None:
+        # A W state keeps support O(n); the probe must see the whole run.
+        features = analyze_circuit(get_circuit("w", 12))
+        assert features.probe_completed
+        assert features.probe_support_peak < 64
+        assert features.sparse_ops == features.probe_support_ops
+
+    def test_dense_circuit_probe_aborts_quickly(self) -> None:
+        # 20 Hadamards blow the support ceiling after ~log2(ceiling) gates.
+        circuit = QuantumCircuit(20)
+        for q in range(20):
+            circuit.h(q)
+        features = analyze_circuit(circuit, probe_support_ceiling=256)
+        assert not features.probe_completed
+        # Fallback pricing switches to the structural bound integral.
+        assert features.sparse_ops > features.probe_support_ops
+
+    def test_support_bound_caps_at_register(self) -> None:
+        features = analyze_circuit(get_circuit("qft", 9))
+        assert features.support_bound_final <= 1 << 9
+
+
+class TestBondProxy:
+    def test_product_circuit_stays_bond_one(self) -> None:
+        circuit = QuantumCircuit(6)
+        for q in range(6):
+            circuit.h(q)
+        features = analyze_circuit(circuit)
+        assert features.bond_estimate == 1
+        assert not features.mps_truncates
+
+    def test_entangling_ladder_grows_bond(self) -> None:
+        circuit = QuantumCircuit(8)
+        for q in range(7):
+            circuit.h(q).cx(q, q + 1)
+        features = analyze_circuit(circuit)
+        assert features.bond_estimate > 1
+
+    def test_cap_flags_truncation(self) -> None:
+        circuit = get_circuit("rqc", 12)
+        capped = analyze_circuit(circuit, bond_cap=2)
+        assert capped.mps_truncates
+        assert capped.bond_estimate <= 2

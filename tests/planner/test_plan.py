@@ -1,0 +1,113 @@
+"""Tests for backend selection: plan() determinism, routing and rendering."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import get_circuit
+from repro.errors import AnalysisError
+from repro.planner import DEFAULT_CONFIG, PlannerConfig, plan
+
+
+class TestRouting:
+    @pytest.mark.parametrize("family", ["bv", "gs", "hlf"])
+    def test_clifford_families_route_to_stabilizer(self, family: str) -> None:
+        chosen = plan(get_circuit(family, 16), DEFAULT_CONFIG)
+        assert chosen.backend == "stabilizer"
+        assert chosen.precision == "double"
+
+    @pytest.mark.parametrize("qubits", [14, 16])
+    def test_support_sparse_routes_to_sparse(self, qubits: int) -> None:
+        chosen = plan(get_circuit("w", qubits), DEFAULT_CONFIG)
+        assert chosen.backend == "sparse"
+
+    @pytest.mark.parametrize("family", ["qft", "rqc", "iqp"])
+    def test_dense_families_route_to_statevector(self, family: str) -> None:
+        chosen = plan(get_circuit(family, 11), DEFAULT_CONFIG)
+        assert chosen.backend == "statevector"
+        # precision="auto" takes the norm-guarded complex64 fast path.
+        assert chosen.precision == "single"
+
+    def test_beyond_dense_limit_falls_back_to_approximate(self) -> None:
+        chosen = plan(get_circuit("iqp", 31), DEFAULT_CONFIG)
+        assert chosen.backend == "mps"
+        assert chosen.approximate
+        assert "approximate" in chosen.rationale
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", ["bv", "w", "qft"])
+    def test_same_circuit_same_plan(self, family: str) -> None:
+        circuit = get_circuit(family, 12)
+        first = plan(circuit, DEFAULT_CONFIG)
+        second = plan(circuit, DEFAULT_CONFIG)
+        assert first == second
+        assert first.rationale == second.rationale
+        assert first.render() == second.render()
+
+
+class TestConfig:
+    def test_forced_backend_respected(self) -> None:
+        config = dataclasses.replace(DEFAULT_CONFIG, backend="sparse")
+        chosen = plan(get_circuit("bv", 10), config)
+        assert chosen.backend == "sparse"
+        assert "forced" in chosen.rationale
+
+    def test_forced_infeasible_backend_raises(self) -> None:
+        config = dataclasses.replace(DEFAULT_CONFIG, backend="stabilizer")
+        with pytest.raises(AnalysisError):
+            plan(get_circuit("qft", 8), config)
+
+    def test_unknown_backend_rejected(self) -> None:
+        with pytest.raises(AnalysisError):
+            plan(get_circuit("bv", 8),
+                 dataclasses.replace(DEFAULT_CONFIG, backend="gpu"))
+
+    def test_unknown_precision_rejected(self) -> None:
+        with pytest.raises(AnalysisError):
+            plan(get_circuit("bv", 8),
+                 dataclasses.replace(DEFAULT_CONFIG, precision="half"))
+
+    def test_double_precision_disables_fast_path(self) -> None:
+        config = dataclasses.replace(DEFAULT_CONFIG, precision="double")
+        chosen = plan(get_circuit("qft", 11), config)
+        assert chosen.backend == "statevector"
+        assert chosen.precision == "double"
+
+    def test_single_precision_restricts_pool_to_statevector(self) -> None:
+        config = dataclasses.replace(DEFAULT_CONFIG, precision="single")
+        chosen = plan(get_circuit("bv", 12), config)
+        assert chosen.backend == "statevector"
+        assert chosen.precision == "single"
+
+
+class TestRendering:
+    def test_render_contains_cost_table_and_choice(self) -> None:
+        chosen = plan(get_circuit("bv", 12), DEFAULT_CONFIG)
+        text = chosen.render()
+        assert text.startswith("plan for bv_12 on ")
+        for backend in ("stabilizer", "sparse", "statevector", "mps"):
+            assert backend in text
+        assert "-> chosen: stabilizer" in text
+        assert "rationale:" in text
+
+    def test_cost_for_unknown_backend_raises(self) -> None:
+        chosen = plan(get_circuit("bv", 8), DEFAULT_CONFIG)
+        with pytest.raises(AnalysisError):
+            chosen.cost_for("qpu")
+
+
+class TestNothingFeasible:
+    def test_error_lists_per_backend_reasons(self) -> None:
+        # 40 qubits of H+T: too wide for dense, not Clifford, and with the
+        # always-feasible MPS engine removed from the candidate list there
+        # is nowhere left to route.
+        circuit = QuantumCircuit(40)
+        for q in range(40):
+            circuit.h(q).t(q)
+        config = PlannerConfig(backends=("stabilizer", "statevector"))
+        with pytest.raises(AnalysisError, match="no backend can execute"):
+            plan(circuit, config)
