@@ -57,6 +57,7 @@ from repro.reliability.integrity import ChunkTransferGuard, check_norm
 from repro.reliability.policy import DEFAULT_POLICY, RecoveryPolicy, ReliabilityReport
 from repro.statevector.apply import apply_gate
 from repro.statevector.chunks import ChunkedStateVector, chunk_pair_groups
+from repro.statevector.fusion import slab_members
 from repro.statevector.kernels import set_kernel_counters
 from repro.statevector.parallel import ParallelChunkEngine, resolve_workers
 
@@ -158,6 +159,14 @@ class QGpuSimulator:
             planner's pricing.
         single_norm_bound: Norm-deviation ceiling accepted from a
             single-precision run before falling back to double.
+        fusion: ``"on"`` (default) contracts consecutive gates into
+            slabs (:func:`repro.statevector.fusion.fuse_slabs`) before
+            the statevector gate loop - fewer full-state sweeps, results
+            within ``atol <= 1e-12`` of the unfused path.  ``"off"``
+            applies gates one by one, bit-identical to the pre-fusion
+            engine.  Fusion is bypassed automatically (as if ``"off"``)
+            for fault-guarded, checkpointing, resumed, or ``stop_after``
+            runs, whose per-gate semantics must stay exact.
     """
 
     def __init__(
@@ -173,6 +182,7 @@ class QGpuSimulator:
         precision: str = "double",
         max_bond: int = 64,
         single_norm_bound: float | None = None,
+        fusion: str = "on",
     ) -> None:
         # Imported lazily everywhere in this module: repro.planner imports
         # repro.core.involvement, whose package __init__ imports this
@@ -200,6 +210,10 @@ class QGpuSimulator:
             )
         if max_bond < 1:
             raise SimulationError(f"max_bond must be >= 1, got {max_bond}")
+        if fusion not in ("on", "off"):
+            raise SimulationError(
+                f"fusion must be 'on' or 'off', got {fusion!r}"
+            )
         resolve_workers(workers, 1)  # validate eagerly; resolved per run
         self.machine = Machine(machine)
         self.machine_spec = machine
@@ -208,6 +222,7 @@ class QGpuSimulator:
         self.fault_plan = fault_plan
         self.reliability_policy = reliability_policy
         self.workers = workers
+        self.fusion = fusion
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.backend = backend
         self.precision = precision
@@ -227,6 +242,7 @@ class QGpuSimulator:
         resume_from: str | Path | None = None,
         stop_after: int | None = None,
         workers: int | str | None = None,
+        fusion: str | None = None,
         cancel: CancellationToken | None = None,
     ) -> FunctionalResult:
         """Exact simulation with the version's reordering and pruning.
@@ -235,6 +251,8 @@ class QGpuSimulator:
             circuit: Circuit to simulate.
             workers: Per-run override of the constructor's ``workers``
                 knob (None = use the constructor's setting).
+            fusion: Per-run override of the constructor's ``fusion`` knob
+                (None = use the constructor's setting).
             cancel: Optional cooperative cancellation token.  The gate
                 loop polls it before every applied gate (which also
                 heartbeats the token), so a cancelled run stops within
@@ -290,6 +308,7 @@ class QGpuSimulator:
                         resume_from=resume_from,
                         stop_after=stop_after,
                         workers=workers,
+                        fusion=fusion,
                         cancel=cancel,
                     )
             return self._execute(
@@ -302,6 +321,7 @@ class QGpuSimulator:
                 resume_from=resume_from,
                 stop_after=stop_after,
                 workers=workers,
+                fusion=fusion,
                 cancel=cancel,
             )
         finally:
@@ -358,6 +378,7 @@ class QGpuSimulator:
         resume_from: str | Path | None,
         stop_after: int | None,
         workers: int | str | None,
+        fusion: str | None,
         cancel: CancellationToken | None,
     ) -> FunctionalResult:
         if backend != "statevector":
@@ -379,6 +400,7 @@ class QGpuSimulator:
                 resume_from=resume_from,
                 stop_after=stop_after,
                 workers=workers,
+                fusion=fusion,
                 cancel=cancel,
             )
         return self._run(
@@ -389,6 +411,7 @@ class QGpuSimulator:
             resume_from=resume_from,
             stop_after=stop_after,
             workers=workers,
+            fusion=fusion,
             cancel=cancel,
         )
 
@@ -456,6 +479,7 @@ class QGpuSimulator:
         resume_from: str | Path | None,
         stop_after: int | None,
         workers: int | str | None,
+        fusion: str | None,
         cancel: CancellationToken | None,
     ) -> FunctionalResult:
         """The complex64 fast path with the norm-guard double fallback."""
@@ -479,6 +503,7 @@ class QGpuSimulator:
             resume_from=None,
             stop_after=stop_after,
             workers=workers,
+            fusion=fusion,
             cancel=cancel,
             dtype=np.complex64,
         )
@@ -504,6 +529,7 @@ class QGpuSimulator:
             resume_from=None,
             stop_after=stop_after,
             workers=workers,
+            fusion=fusion,
             cancel=cancel,
         )
         retried.precision = "double"
@@ -521,6 +547,7 @@ class QGpuSimulator:
         resume_from: str | Path | None,
         stop_after: int | None,
         workers: int | str | None,
+        fusion: str | None = None,
         cancel: CancellationToken | None = None,
         dtype=np.complex128,
     ) -> FunctionalResult:
@@ -600,6 +627,37 @@ class QGpuSimulator:
         resolved = 1 if guard is not None else resolve_workers(requested, 1 << n)
         engine = ParallelChunkEngine(resolved, tracer) if resolved > 1 else None
 
+        # Fusion contracts gate runs into slabs before the sweep loop.  It
+        # is bypassed whenever per-gate semantics must stay exact: guarded
+        # runs (injection order is per original gate), checkpoint/resume
+        # (the cursor counts original gates), and stop_after partial runs.
+        fusion_mode = fusion if fusion is not None else self.fusion
+        use_fusion = (
+            fusion_mode == "on"
+            and guard is None
+            and checkpoint_every is None
+            and resume_from is None
+            and stop_after is None
+        )
+        if use_fusion:
+            from repro.statevector.fusion import GateSlab, fuse_slabs
+
+            with tracer.span("fuse", stage="fuse", gates=len(ordered)):
+                ops: list = fuse_slabs(list(ordered), chunk_bits=state.chunk_bits)
+            if tracer is not NULL_TRACER:
+                slabs = [op for op in ops if isinstance(op, GateSlab)]
+                if slabs:
+                    tracer.counters.count("fusion.slabs", len(slabs))
+                    tracer.counters.count(
+                        "fusion.gates_fused", sum(len(s.gates) for s in slabs)
+                    )
+                    if tracer.histograms:
+                        widths = tracer.counters.histogram("fused_slab_width")
+                        for slab in slabs:
+                            widths.observe(len(slab.qubits))
+        else:
+            ops = list(ordered)
+
         tracker = InvolvementTracker(n)
         basis = BasisTracker(n) if self.version.basis_tracking_pruning else None
         total_updates = 0
@@ -609,15 +667,19 @@ class QGpuSimulator:
         if cancel is not None:
             cancel.poll()
         try:
-            for index, gate in enumerate(ordered):
+            for index, gate in enumerate(ops):
                 if cancel is not None:
                     cancel.poll()
                 applying = index >= start_cursor
-                if basis is not None:
-                    basis.observe(gate)
-                tracker.involve(
-                    gate, diagonal_aware=self.version.diagonal_aware_pruning
-                )
+                # A slab stands for its member gates: trackers observe
+                # each member (slabs only move amplitude within a group,
+                # so pruning with the post-slab mask stays exact).
+                for member in slab_members(gate):
+                    if basis is not None:
+                        basis.observe(member)
+                    tracker.involve(
+                        member, diagonal_aware=self.version.diagonal_aware_pruning
+                    )
                 groups = chunk_pair_groups(n, state.chunk_bits, gate.qubits)
                 total_updates += len(groups)
                 if self.version.pruning:

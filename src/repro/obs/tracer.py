@@ -41,6 +41,7 @@ from repro.obs.counters import CounterRegistry
 #: paper's Fig. 2 stages; the rest cover the runtime around the kernels.
 STAGES: tuple[str, ...] = (
     "transpile",   # reordering, decomposition, merge/cancel passes
+    "fuse",        # gate-fusion slab construction (statevector.fusion)
     "plan",        # backend/precision planning (feature + cost analysis)
     "schedule",    # service dispatch / queue ordering
     "prune",       # Algorithm 1 bookkeeping and live-set filtering

@@ -40,11 +40,21 @@ AMP_BYTES_SINGLE = 8
 #: complex + hash-table overhead).
 SPARSE_ENTRY_BYTES = 128
 
+#: Floor on the bulk-work discount gate fusion can earn.  A slab of k
+#: gates sweeps the state once instead of k times, but each amplitude
+#: still pays the slab's combined arithmetic, so the saving is memory
+#: traffic, not flops - measured on the reference host a fully-fused
+#: sweep never gets cheaper than ~30% of the unfused sweeps it replaced.
+FUSION_BULK_FLOOR = 0.3
+
 #: Calibrated host constants (reference-host measurements, fixed for
 #: determinism; see docs/planner.md "Cost calibration").
 CALIBRATION: dict[str, dict[str, float]] = {
     "statevector": {
         "per_gate_seconds": 5e-05,
+        # A gate folded into a slab skips the full sweep dispatch but
+        # still pays contraction + bookkeeping in the fusion pass.
+        "fused_member_seconds": 1.5e-05,
         "amp_ops_per_second": 2.0e08,
         # Measured dense-kernel speedup of the complex64 fast path
         # (bandwidth-bound kernels move half the bytes).
@@ -110,7 +120,21 @@ def _statevector_cost(
     bulk = features.dense_amp_ops / c["amp_ops_per_second"]
     if precision == "single":
         bulk /= c["single_speedup"]
-    seconds = features.num_gates * c["per_gate_seconds"] + bulk
+    # Gate fusion: full dispatch overhead is paid per fused sweep, gates
+    # folded into slabs pay the cheaper member rate, and the bandwidth-
+    # bound bulk shrinks with the sweep count (floored - see
+    # FUSION_BULK_FLOOR - because fused sweeps do more flops per pass).
+    # When nothing fuses (fused_sweeps == num_gates) this reduces to the
+    # pre-fusion pricing exactly.
+    if features.num_gates:
+        sweep_fraction = features.fused_sweeps / features.num_gates
+        bulk *= max(sweep_fraction, FUSION_BULK_FLOOR)
+    folded = features.num_gates - features.fused_sweeps
+    seconds = (
+        features.fused_sweeps * c["per_gate_seconds"]
+        + folded * c["fused_member_seconds"]
+        + bulk
+    )
     return BackendCost("statevector", True, seconds, memory)
 
 

@@ -92,6 +92,11 @@ class CircuitFeatures:
         dense_amp_ops: ``sum(live_amplitudes * touched_factor)`` over
             gates under the involvement window - the dense engine's
             pruning-aware amplitude-operation count.
+        fused_sweeps: Number of state sweeps the functional engine's
+            gate-fusion pass leaves after slabbing adjacent gates
+            (:func:`repro.statevector.fusion.fused_sweep_count`).  Equals
+            ``num_gates`` when nothing fuses; fusion-friendly circuits
+            (diagonal runs, overlapping 1q/2q chains) come in well below.
         bond_estimate: Peak per-cut bond-growth proxy, capped at the
             exact-representability ceiling ``2^min(cut+1, n-1-cut)``.
         mps_ops: Work integral for the MPS backend at ``bond_cap``:
@@ -119,6 +124,7 @@ class CircuitFeatures:
     probe_support_ops: float
     sparse_ops: float
     dense_amp_ops: float
+    fused_sweeps: int
     bond_estimate: int
     mps_ops: float
     bond_cap: int
@@ -239,6 +245,12 @@ def analyze_circuit(
     )
     bond_peak, mps_ops, truncates = _bond_growth(circuit, bond_cap)
 
+    # Imported lazily: the fusion pass lives in the statevector package,
+    # which the planner otherwise never touches at analysis time.
+    from repro.statevector.fusion import fused_sweep_count
+
+    fused_sweeps = fused_sweep_count(list(circuit)) if num_gates else 0
+
     return CircuitFeatures(
         name=circuit.name,
         num_qubits=n,
@@ -256,6 +268,7 @@ def analyze_circuit(
         probe_support_ops=probe_ops,
         sparse_ops=probe_ops if completed else bound_ops,
         dense_amp_ops=dense_ops,
+        fused_sweeps=fused_sweeps,
         bond_estimate=bond_peak,
         mps_ops=mps_ops,
         bond_cap=bond_cap,

@@ -33,8 +33,10 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Gate
 from repro.errors import SimulationError
 from repro.statevector.apply import apply_gate
+from repro.statevector.fusion import GateSlab, fuse_slabs, slab_members
 from repro.statevector.kernels import (
     apply_diagonal_chunk,
+    apply_single_qubit_inplace,
     chunk_diagonal_factor,
     count_kernel,
 )
@@ -196,7 +198,14 @@ class ChunkedStateVector:
         :meth:`run` with ``pruning=True``) pass the live subset of
         :func:`chunk_pair_groups`; a skipped group is provably all-zero
         and unchanged by any unitary.
+
+        ``gate`` may be a :class:`~repro.statevector.fusion.GateSlab`; it
+        flows through the same dispatch by duck-typing :class:`Gate`
+        (width-1 dense slabs additionally take the tiled in-place kernel,
+        amortizing one sweep over every fused member).
         """
+        if isinstance(gate, GateSlab) and len(gate.gates) > 1:
+            count_kernel("fused_slab")
         if engine is not None:
             engine.apply_groups(self, gate, groups)
             return self
@@ -215,8 +224,16 @@ class ChunkedStateVector:
         if not outside:
             count_kernel("dense", len(groups))
             chunks = self.chunks
-            for (index,) in groups:
-                apply_gate(chunks[index], gate)
+            if isinstance(gate, GateSlab) and gate.num_qubits == 1:
+                # A width-1 dense slab (e.g. h.rz.h on one qubit): one
+                # tiled in-place sweep instead of a gather per member gate.
+                matrix = gate.matrix()
+                qubit = gate.qubits[0]
+                for (index,) in groups:
+                    apply_single_qubit_inplace(chunks[index], matrix, qubit)
+            else:
+                for (index,) in groups:
+                    apply_gate(chunks[index], gate)
             return self
         count_kernel("gather", len(groups))
 
@@ -245,6 +262,7 @@ class ChunkedStateVector:
         workers: int | str | None = 1,
         pruning: bool = False,
         tracer=None,
+        fusion: str = "on",
     ) -> "ChunkedStateVector":
         """Apply every gate of ``circuit`` in order.
 
@@ -260,11 +278,18 @@ class ChunkedStateVector:
             tracer: Optional :class:`~repro.obs.Tracer`: per-gate compute
                 spans, kernel counters, and worker-lane spans via the
                 engine.
+            fusion: ``"on"`` (default) contracts consecutive gates into
+                slabs via :func:`~repro.statevector.fusion.fuse_slabs`
+                before execution (results agree with the unfused path to
+                ``atol <= 1e-12``); ``"off"`` applies gates one by one -
+                bit-identical to the pre-fusion engine.
         """
         if circuit.num_qubits != self.num_qubits:
             raise SimulationError(
                 f"circuit width {circuit.num_qubits} != state width {self.num_qubits}"
             )
+        if fusion not in ("on", "off"):
+            raise SimulationError(f"fusion must be 'on' or 'off', got {fusion!r}")
         # Imported lazily: repro.core's package __init__ pulls in the
         # simulator, which imports this module - importing at the top
         # would cycle.
@@ -286,13 +311,22 @@ class ChunkedStateVector:
         previous_counters = (
             set_kernel_counters(tracer.counters) if tracer is not NULL_TRACER else None
         )
+        ops = (
+            fuse_slabs(list(circuit), chunk_bits=self.chunk_bits)
+            if fusion == "on"
+            else list(circuit)
+        )
         try:
-            for position, gate in enumerate(circuit):
+            for position, gate in enumerate(ops):
                 groups = chunk_pair_groups(self.num_qubits, self.chunk_bits, gate.qubits)
                 if tracker is not None:
                     from repro.core.pruning import chunk_is_pruned
 
-                    tracker.involve(gate)
+                    # A slab only moves amplitude within its group (indices
+                    # differing on union-qubit bits), so involving every
+                    # member before pruning with the post-slab mask is exact.
+                    for member in slab_members(gate):
+                        tracker.involve(member)
                     live = [
                         members
                         for members in groups

@@ -14,22 +14,34 @@ on the chunk storage:
   gate whose qubit selects the chunk index (the dominant cross-chunk
   case): both chunk arrays are updated in place, no concatenation, no
   temporary double-size buffer.
-* :func:`apply_single_qubit_fused` - when *every* chunk group is live, the
-  per-group pair updates fuse into one batched ``(2,2) @ (groups, 2, w)``
-  matmul over the contiguous backing buffer into a scratch buffer (the
-  caller swaps buffers afterwards - zero copy-back).  Slabs of the batch
-  axis can be dispatched to different workers.
+* :func:`apply_single_qubit_inplace` - the tiled *in-place* sweep the
+  parallel engine runs whenever every chunk group of a single-qubit gate
+  (or width-1 slab) is live: the buffer is viewed as ``(above, 2, below)``
+  and each L2-sized tile runs one batched matmul into a thread-local
+  scratch, copied back while the tile is still hot.  No second full-size
+  buffer, so the sweep never pays write-allocate traffic on a cold
+  destination; real gate matrices additionally run on the float view of
+  the buffer (half the arithmetic for the same traffic).
+* :func:`apply_single_qubit_fused` - the out-of-place sibling for callers
+  that want the result in a distinct buffer: one batched
+  ``(2,2) @ (groups, 2, w)`` matmul from ``source`` into ``dest`` (swap
+  afterwards - zero copy-back).  Slabs of the batch axis can be
+  dispatched to different workers.
 * :func:`chunk_diagonal_factor` / :func:`apply_diagonal_chunk` - diagonal
   gates never pair chunks at all: each amplitude is multiplied by a phase
   selected by its own index bits, so every chunk updates in place with a
   multiplier vector derived from the chunk index.  Bit-identical to the
   gathered path (the same complex multiplier hits the same amplitude).
+  Fusion slabs (:mod:`repro.statevector.fusion`) flow through the same
+  entry points by duck-typing :class:`~repro.circuits.gates.Gate`.
 
 All kernels are shape-agnostic numpy; the worker pool in
 :mod:`repro.statevector.parallel` distributes them across chunk groups.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -62,29 +74,181 @@ def count_kernel(kind: str, n: int = 1) -> None:
         registry.count(f"kernels.{kind}", n)
 
 
+#: Amplitudes each fused matmul call touches: ~4 MiB of complex128, sized
+#: so one tile's read+write traffic stays cache-resident (measured fastest
+#: across qubit positions at 2^20-2^22 amplitudes).
+_TILE_AMPS = 1 << 18
+
+#: Pair elements per scratch tile for the in-place kernels: sized so a
+#: whole (tile, scratch) working set stays L2-resident - measured fastest
+#: at 256-512 KiB across qubit positions, distinctly ahead of both larger
+#: tiles (L2 spill) and whole-buffer double-buffering (write-allocate
+#: traffic on a second full-size destination).
+_SCRATCH_AMPS = 1 << 15
+
+#: Thread-local scratch store: the tiled in-place kernels reuse two
+#: _SCRATCH_AMPS-sized vectors per (thread, dtype) instead of allocating
+#: fresh full-chunk temporaries on every call.
+_scratch_store = threading.local()
+
+
+def _pair_scratch(dtype: np.dtype, amps: int) -> tuple[np.ndarray, np.ndarray]:
+    """Two thread-local scratch vectors of at least ``amps`` elements."""
+    buffers = getattr(_scratch_store, "buffers", None)
+    if buffers is None:
+        buffers = _scratch_store.buffers = {}
+    key = np.dtype(dtype).str
+    pair = buffers.get(key)
+    if pair is None or pair[0].size < amps:
+        size = max(amps, _SCRATCH_AMPS)
+        pair = buffers[key] = (
+            np.empty(size, dtype=dtype),
+            np.empty(size, dtype=dtype),
+        )
+    return pair
+
+
+def _tile_scratch(dtype: np.dtype, elems: int) -> np.ndarray:
+    """One thread-local contiguous scratch vector of at least ``elems``."""
+    tiles = getattr(_scratch_store, "tiles", None)
+    if tiles is None:
+        tiles = _scratch_store.tiles = {}
+    key = np.dtype(dtype).str
+    vec = tiles.get(key)
+    if vec is None or vec.size < elems:
+        vec = tiles[key] = np.empty(elems, dtype=dtype)
+    return vec
+
+
+def _matmul_tile(matrix: np.ndarray, tile: np.ndarray, scratch: np.ndarray) -> None:
+    """Apply ``matrix`` to one ``(rows, 2, cols)`` tile, in place.
+
+    The batched matmul lands in the cache-resident ``scratch`` and is
+    copied straight back while the tile is still hot - the buffer never
+    needs a full-size second copy.
+    """
+    out = scratch[: tile.size].reshape(tile.shape)
+    np.matmul(matrix, tile, out=out)
+    tile[...] = out
+
+
+def _pair_update(lo: np.ndarray, hi: np.ndarray, coeffs: tuple) -> None:
+    """One tile of the 2x2 pair recurrence, in place via shared scratch.
+
+    The operation order is fixed (and identical across tilings): the
+    update is element-wise, so splitting it over tiles cannot change a
+    single floating-point result.
+    """
+    m00, m01, m10, m11 = coeffs
+    s0, s1 = _pair_scratch(lo.dtype, lo.size)
+    t0 = s0[: lo.size].reshape(lo.shape)
+    t1 = s1[: lo.size].reshape(lo.shape)
+    np.multiply(lo, m00, out=t0)
+    np.multiply(hi, m01, out=t1)
+    t0 += t1
+    np.multiply(lo, m10, out=t1)
+    np.multiply(hi, m11, out=hi)
+    hi += t1
+    lo[...] = t0
+
+
 def apply_pair(low: np.ndarray, high: np.ndarray, matrix: np.ndarray) -> None:
     """Update an amplitude-pair of chunks with a 2x2 unitary, in place.
 
     ``low``/``high`` hold the amplitudes whose pairing index bit is 0/1;
     the arrays are updated element-wise (Equation 8 of the paper with the
-    pair stride equal to a whole chunk), touching no buffer larger than a
-    single chunk.
+    pair stride equal to a whole chunk), tiled through one thread-local
+    scratch pair so peak allocation stays at two cache-sized tiles instead
+    of two full-chunk temporaries per call.
     """
     if matrix.shape != (2, 2):
         raise SimulationError(f"pair kernel needs a 2x2 matrix, got {matrix.shape}")
     matrix = np.asarray(matrix, dtype=low.dtype)
-    new_low = matrix[0, 0] * low
-    new_low += matrix[0, 1] * high
-    new_high = matrix[1, 1] * high
-    new_high += matrix[1, 0] * low
-    low[...] = new_low
-    high[...] = new_high
+    coeffs = (matrix[0, 0], matrix[0, 1], matrix[1, 0], matrix[1, 1])
+    if low.ndim != 1:
+        # Rare shape-agnostic call: one whole-array tile (scratch grows).
+        _pair_update(low, high, coeffs)
+        return
+    for start in range(0, low.size, _SCRATCH_AMPS):
+        end = min(start + _SCRATCH_AMPS, low.size)
+        _pair_update(low[start:end], high[start:end], coeffs)
 
 
-#: Amplitudes each fused matmul call touches: ~4 MiB of complex128, sized
-#: so one tile's read+write traffic stays cache-resident (measured fastest
-#: across qubit positions at 2^20-2^22 amplitudes).
-_TILE_AMPS = 1 << 18
+def apply_single_qubit_inplace(
+    buffer: np.ndarray,
+    matrix: np.ndarray,
+    qubit: int,
+    part: int = 0,
+    parts: int = 1,
+) -> None:
+    """Tiled in-place pair update of a contiguous buffer (no second buffer).
+
+    The in-place sibling of :func:`apply_single_qubit_fused`: the buffer
+    is viewed as ``(above, 2, below)`` with ``qubit`` on the middle axis
+    and each L2-sized tile runs one batched matmul into the shared
+    scratch, copied straight back while the tile is hot — no output
+    buffer, no swap, no gather, and no write-allocate traffic on a
+    second full-size destination (measured ~1.4x over the double-buffer
+    sweep at 2^22 amplitudes).  Real gate matrices additionally run on
+    the float view of the buffer, halving the matmul arithmetic.
+
+    Args:
+        buffer: Contiguous amplitude buffer, updated in place.
+        matrix: The 2x2 gate unitary.
+        qubit: Target qubit index relative to ``buffer`` (``buffer.size``
+            must cover ``2^(qubit+1)`` amplitudes).
+        part: This worker's slab index in ``[0, parts)``.
+        parts: Number of disjoint contiguous slabs the work is split
+            into; the union over all parts covers the buffer exactly.
+    """
+    if matrix.shape != (2, 2):
+        raise SimulationError(f"pair kernel needs a 2x2 matrix, got {matrix.shape}")
+    if buffer.size < (1 << (qubit + 1)):
+        raise SimulationError(
+            f"buffer of {buffer.size} amps cannot host qubit {qubit}"
+        )
+    below = 1 << qubit
+    above = buffer.size >> (qubit + 1)
+    matrix = np.asarray(matrix, dtype=buffer.dtype)
+    if buffer.dtype.kind == "c" and not matrix.imag.any():
+        # Real gate matrix (h, x, the recipe's dominant single-qubit
+        # sweeps): a real coefficient scales the re/im components of a
+        # complex amplitude independently, so the identical sweep runs as
+        # a *real* matmul over the float view - half the arithmetic for
+        # the same memory traffic, and any tile or part boundary on the
+        # float axis stays correct because every float component
+        # transforms independently.
+        float_dtype = np.float32 if buffer.dtype == np.complex64 else np.float64
+        matrix = np.ascontiguousarray(matrix.real, dtype=float_dtype)
+        buffer = buffer.view(float_dtype)
+        below *= 2
+    view = buffer.reshape(above, 2, below)
+    # The column-split path keeps whole rows per tile, so the scratch must
+    # cover one full row pair even when the budget is tiny.
+    scratch = _tile_scratch(buffer.dtype, max(2 * _SCRATCH_AMPS, 2 * above))
+    if above >= parts:
+        start = part * above // parts
+        stop = (part + 1) * above // parts
+        if below <= _SCRATCH_AMPS:
+            step = max(1, _SCRATCH_AMPS // below)
+            for row in range(start, stop, step):
+                end = min(row + step, stop)
+                _matmul_tile(matrix, view[row:end], scratch)
+        else:
+            # A single batch row overflows the scratch budget (low `above`,
+            # huge `below`): tile along the column axis within each row.
+            for row in range(start, stop):
+                for col in range(0, below, _SCRATCH_AMPS):
+                    end = min(col + _SCRATCH_AMPS, below)
+                    _matmul_tile(matrix, view[row : row + 1, :, col:end], scratch)
+        return
+    # Too few batch rows (qubit near the top): split the column axis instead.
+    start = part * below // parts
+    stop = (part + 1) * below // parts
+    step = max(1, _SCRATCH_AMPS // max(1, 2 * above))
+    for col in range(start, stop, step):
+        end = min(col + step, stop)
+        _matmul_tile(matrix, view[:, :, col:end], scratch)
 
 
 def apply_single_qubit_fused(
@@ -117,8 +281,28 @@ def apply_single_qubit_fused(
     below = 1 << qubit
     above = source.size >> (qubit + 1)
     matrix = np.asarray(matrix, dtype=source.dtype)
+    if source.dtype.kind == "c" and not matrix.imag.any():
+        # Real gate matrix (h, x, the paper's dominant single-qubit
+        # sweeps): a real coefficient scales the re/im components of a
+        # complex amplitude independently, so the identical sweep runs as
+        # a *real* matmul over the float view - half the arithmetic of a
+        # complex matmul for the same memory traffic, and any tile or
+        # part boundary on the float axis stays correct because every
+        # float component transforms independently.
+        float_dtype = np.float32 if source.dtype == np.complex64 else np.float64
+        matrix = np.ascontiguousarray(matrix.real, dtype=float_dtype)
+        source = source.view(float_dtype)
+        dest = dest.view(float_dtype)
+        below *= 2
     src = source.reshape(above, 2, below)
     dst = dest.reshape(above, 2, below)
+    if parts == 1:
+        # Single worker: the sweep is a pure stream through both buffers,
+        # so one whole-array matmul beats any tiling (no reuse to keep
+        # cache-resident, and BLAS picks better internal blocking than a
+        # fixed tile step).
+        np.matmul(matrix, src, out=dst)
+        return
     if above >= parts:
         start = part * above // parts
         stop = (part + 1) * above // parts

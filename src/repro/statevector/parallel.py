@@ -16,10 +16,10 @@ The functional and timed engines therefore share one partitioning story -
 :class:`~repro.core.multigpu.GroupAssignment` the timed model schedules.
 
 The only deliberate deviation: when *every* group of a single-qubit gate
-is live, the per-group pair updates fuse into one batched matmul
-(:func:`~repro.statevector.kernels.apply_single_qubit_fused`) split into
-one contiguous slab per worker - the same disjoint coverage, coalesced
-for memory bandwidth.
+is live, the per-group pair updates fuse into one tiled in-place sweep
+(:func:`~repro.statevector.kernels.apply_single_qubit_inplace`) split
+into one contiguous slab per worker - the same disjoint coverage,
+coalesced for memory bandwidth with no second full-size buffer.
 
 Numerics: with ``workers == 1`` the serial engine runs the exact
 baseline arithmetic (bit-identical results, so determinism mode and
@@ -40,10 +40,11 @@ from repro.circuits.gates import Gate
 from repro.errors import SimulationError
 from repro.statevector.apply import apply_gate
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.statevector.fusion import GateSlab
 from repro.statevector.kernels import (
     apply_diagonal_chunk,
     apply_pair,
-    apply_single_qubit_fused,
+    apply_single_qubit_inplace,
     chunk_diagonal_factor,
     count_kernel,
 )
@@ -57,6 +58,34 @@ AUTO_PARALLEL_THRESHOLD = 1 << 18
 
 #: Ceiling on auto-selected workers; explicit ``workers=`` may exceed it.
 MAX_AUTO_WORKERS = 4
+
+#: Adaptive work-size floors (touched amplitudes x fused gate count): a
+#: dispatch moving less work than this runs the serial kernels inline on
+#: the coordinator thread instead of fanning out.  Diagonal sweeps are a
+#: single element-wise multiply - almost pure memory traffic - so they
+#: need far more work than the dense kernels before threads pay off (the
+#: kernel bench showed serial ``diagonal_rz`` beating parallel up to
+#: multi-million-amplitude states).
+SERIAL_INLINE_DIAGONAL_WORK = 1 << 23
+
+#: Dense-kernel inline floor; see :data:`SERIAL_INLINE_DIAGONAL_WORK`.
+SERIAL_INLINE_DENSE_WORK = 1 << 19
+
+
+def inline_serial_work(gate, groups, chunk_bits: int) -> bool:
+    """True when ``gate`` over ``groups`` is too small to parallelize.
+
+    The work estimate is ``touched amplitudes x fused gates`` (a slab
+    amortizes its sweep over every member), compared against the per-kind
+    floor above.  The inline path runs the *identical* serial kernels, so
+    below-floor dispatches match the serial engine bit for bit.
+    """
+    touched = sum(len(members) for members in groups) << chunk_bits
+    fused = len(gate.gates) if isinstance(gate, GateSlab) else 1
+    floor = (
+        SERIAL_INLINE_DIAGONAL_WORK if gate.is_diagonal else SERIAL_INLINE_DENSE_WORK
+    )
+    return touched * fused < floor
 
 
 def resolve_workers(workers: int | str | None, num_amplitudes: int | None = None) -> int:
@@ -145,11 +174,9 @@ class ParallelChunkEngine:
             ``kernels.*``) are kept whenever a real tracer is supplied,
             even with spans disabled.
 
-    The engine owns two persistent resources: the thread pool and a
-    scratch buffer the size of the state (for the fused batched-matmul
-    path, which writes to scratch and swaps buffers instead of copying
-    back).  Close the engine (or use it as a context manager) when done;
-    a closed engine raises on use.
+    The engine owns one persistent resource: the thread pool.  Close
+    the engine (or use it as a context manager) when done; a closed
+    engine raises on use.
     """
 
     def __init__(self, workers: int, tracer: Tracer | None = None) -> None:
@@ -165,14 +192,12 @@ class ParallelChunkEngine:
         # fan-out is capped at the host's parallelism even when the group
         # round-robin uses the full worker count.
         self._fused_parts = max(1, min(self.workers, os.cpu_count() or 1))
-        self._scratch: np.ndarray | None = None
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker pool down and drop the scratch buffer."""
+        """Shut the worker pool down."""
         self._pool.close()
-        self._scratch = None
 
     def __enter__(self) -> "ParallelChunkEngine":
         return self
@@ -192,30 +217,58 @@ class ParallelChunkEngine:
 
         Dispatch, in order of preference:
 
-        * diagonal gate - per-chunk in-place multiply (no pairing at all),
-          member chunks round-robin across workers;
-        * gate fully inside the chunk - per-chunk dense kernel,
+        * below the adaptive work floor (:func:`inline_serial_work`) - the
+          serial kernels run inline on the coordinator (bit-identical to
+          ``workers=1``; fan-out would cost more than the arithmetic);
+        * diagonal gate (or slab) - per-chunk in-place multiply (no
+          pairing at all), member chunks round-robin across workers;
+        * single-qubit gate or slab fully inside the chunk - when every
+          group is live, one tiled in-place sweep over the whole backing
+          (L2-sized matmul tiles through the shared scratch), one slab
+          per worker; the per-chunk tiled in-place kernel round-robin
+          otherwise;
+        * other gates fully inside the chunk - per-chunk dense kernel,
           round-robin;
-        * single-qubit gate with every group live - fused batched matmul,
-          one contiguous slab per worker, buffer swap instead of copy-back;
+        * single-qubit gate with every group live - the same tiled
+          in-place sweep, one contiguous slab per worker;
         * single-qubit cross-chunk gate (some groups pruned) - the 2x2
           amplitude-pair kernel per group, round-robin;
         * multi-qubit cross-chunk gate - gather/scatter per group (the
           baseline arithmetic), round-robin.  Rare: it needs two or more
           gate qubits at or above ``chunk_bits``.
+
+        Fusion slabs (:class:`~repro.statevector.fusion.GateSlab`) flow
+        through the same branches by duck-typing :class:`Gate`.
         """
         if not groups:
             return
         chunk_bits = state.chunk_bits
+        if inline_serial_work(gate, groups, chunk_bits):
+            state.apply_groups(gate, groups, None)
+            return
         outside = [q for q in gate.qubits if q >= chunk_bits]
         if gate.is_diagonal:
             count_kernel("diagonal", sum(len(g) for g in groups))
             self._apply_diagonal(state, gate, groups)
         elif not outside:
-            count_kernel("dense", len(groups))
-            members = [group[0] for group in groups]
-            chunks = state.chunks
-            self._round_robin(members, lambda m: apply_gate(chunks[m], gate))
+            if gate.num_qubits == 1:
+                matrix = gate.matrix()
+                qubit = gate.qubits[0]
+                if len(groups) == state.num_chunks:
+                    count_kernel("inside_fused", self._fused_parts)
+                    self._apply_fused(state, gate)
+                else:
+                    count_kernel("dense", len(groups))
+                    chunks = state.chunks
+                    self._round_robin(
+                        [group[0] for group in groups],
+                        lambda m: apply_single_qubit_inplace(chunks[m], matrix, qubit),
+                    )
+            else:
+                count_kernel("dense", len(groups))
+                members = [group[0] for group in groups]
+                chunks = state.chunks
+                self._round_robin(members, lambda m: apply_gate(chunks[m], gate))
         elif gate.num_qubits == 1:
             if len(groups) == state.num_chunks // 2:
                 count_kernel("fused", self._fused_parts)
@@ -286,10 +339,7 @@ class ParallelChunkEngine:
         )
 
     def _apply_fused(self, state, gate: Gate) -> None:
-        source = state.backing
-        if self._scratch is None or self._scratch.size != source.size:
-            self._scratch = np.empty_like(source)
-        dest = self._scratch
+        backing = state.backing
         matrix = gate.matrix()
         qubit = gate.qubits[0]
         parts = self._fused_parts
@@ -298,7 +348,7 @@ class ParallelChunkEngine:
 
         def slab(p: int) -> Callable[[], None]:
             def run() -> None:
-                apply_single_qubit_fused(source, dest, matrix, qubit, part=p, parts=parts)
+                apply_single_qubit_inplace(backing, matrix, qubit, part=p, parts=parts)
 
             if not tracer.enabled:
                 return run
@@ -313,8 +363,13 @@ class ParallelChunkEngine:
 
         if tracer is not NULL_TRACER:
             tracer.counters.count("pool.tasks", parts)
-        self._pool.run_tasks([slab(part) for part in range(parts)])
-        self._scratch = state.swap_backing(dest)
+        if parts == 1:
+            # One slab covers the whole state: run it on the calling
+            # thread instead of paying a pool handoff (a context-switch
+            # round-trip that can dwarf the sweep on small hosts).
+            slab(0)()
+        else:
+            self._pool.run_tasks([slab(part) for part in range(parts)])
 
     def _apply_gathered(self, state, gate: Gate, groups, outside) -> None:
         """Baseline gather/compute/scatter per group, parallel across groups."""

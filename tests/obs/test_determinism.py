@@ -18,12 +18,12 @@ from repro.obs import (
 )
 
 
-def _traced_run(workers, clock_factory):
+def _traced_run(workers, clock_factory, qubits=10):
     tracer = Tracer(clock=clock_factory())
     simulator = QGpuSimulator(
         version=VERSIONS_BY_NAME["Q-GPU"], workers=workers, tracer=tracer
     )
-    simulator.run(get_circuit("bv", 10))
+    simulator.run(get_circuit("bv", qubits))
     return tracer
 
 
@@ -42,7 +42,9 @@ def test_serial_trace_round_trips_through_events():
 
 
 def test_parallel_trace_is_wellformed():
-    tracer = _traced_run(3, LogicalClock)
+    # Large enough that dense sweeps clear the engine's inline-serial
+    # work floor and actually land on the worker pool.
+    tracer = _traced_run(3, LogicalClock, qubits=19)
     check_spans(tracer.spans)
     lanes = tracer.lanes()
     assert lanes[0] == "main"

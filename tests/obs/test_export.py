@@ -197,8 +197,10 @@ class TestMultiWorkerRoundTrip:
         from repro.core.simulator import QGpuSimulator
 
         tracer = Tracer()
-        QGpuSimulator(workers=4, chunk_bits=6, tracer=tracer).run(
-            get_circuit("qft", 9)
+        # Wide enough that dense sweeps clear the engine's inline-serial
+        # work floor and fan out to the pool threads.
+        QGpuSimulator(workers=4, chunk_bits=10, tracer=tracer).run(
+            get_circuit("qft", 19)
         )
         return tracer
 

@@ -31,7 +31,10 @@ class TestFaultedRunsAreBitExact:
     @pytest.mark.parametrize("family", ["bv", "qft", "qaoa"])
     def test_recovered_run_matches_fault_free(self, family: str) -> None:
         circuit = get_circuit(family, 8)
-        clean = QGpuSimulator().run(circuit)
+        # Guarded runs bypass gate fusion (injection order is per original
+        # gate), so the fault-free comparator pins fusion off too: the
+        # bit-exactness contract lives on the per-gate path.
+        clean = QGpuSimulator(fusion="off").run(circuit)
         plan = FaultPlan(seed=42, transfer_rate=0.08, codec_rate=0.03)
         faulty = QGpuSimulator(fault_plan=plan).run(circuit)
         assert faulty.reliability.total_faults > 0
@@ -55,7 +58,7 @@ class TestFaultedRunsAreBitExact:
 
     def test_oom_degradation_halves_chunks_and_stays_exact(self) -> None:
         circuit = get_circuit("bv", 8)
-        clean = QGpuSimulator().run(circuit)
+        clean = QGpuSimulator(fusion="off").run(circuit)
         degraded = QGpuSimulator(fault_plan=FaultPlan(seed=1, oom_failures=2)).run(circuit)
         assert degraded.reliability.degraded_chunk_bits is not None
         assert degraded.state.chunk_bits < clean.state.chunk_bits
@@ -75,7 +78,9 @@ class TestCheckpointResume:
         circuit = get_circuit(family, 7)
         kill_at = max(1, int(len(circuit) * kill_fraction))
         path = tmp_path_factory.mktemp("ckpt") / "run.qgck"
-        sim = QGpuSimulator()
+        # Checkpointed/resumed runs bypass fusion (the cursor counts
+        # original gates), so the uninterrupted reference must too.
+        sim = QGpuSimulator(fusion="off")
         uninterrupted = sim.run(circuit)
         interrupted = sim.run(
             circuit, checkpoint_every=every, checkpoint_path=path, stop_after=kill_at
@@ -96,7 +101,7 @@ class TestCheckpointResume:
         circuit = get_circuit("qaoa", 7)
         plan = FaultPlan(seed=seed, transfer_rate=0.05)
         path = tmp_path_factory.mktemp("ckpt") / "run.qgck"
-        clean = QGpuSimulator().run(circuit)
+        clean = QGpuSimulator(fusion="off").run(circuit)
         # A generous retry budget keeps exhaustion probability negligible
         # across arbitrary hypothesis-chosen seeds.
         sim = QGpuSimulator(

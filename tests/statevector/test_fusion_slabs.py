@@ -1,0 +1,358 @@
+"""Gate-fusion slabs: structure, numerics, and end-to-end agreement.
+
+Three layers of contract:
+
+* :func:`fuse_slabs` is a pure regrouping - concatenating the members of
+  its output reproduces the input gate stream exactly, and every cap
+  (dense width, diagonal width, outside-qubit bound) holds.
+* A :class:`GateSlab`'s contracted matrix / combined diagonal is the
+  mathematical product of its members, so applying the slab agrees with
+  applying the gates one by one to 1e-12.
+* The simulator's ``fusion="on"`` default agrees with ``fusion="off"``
+  across every paper version and both precisions, and the bypass paths
+  (checkpointing) stay byte-identical to the per-gate run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.circuits.library import get_circuit
+from repro.core.simulator import QGpuSimulator
+from repro.core.versions import ALL_VERSIONS
+from repro.errors import SimulationError
+from repro.statevector.chunks import ChunkedStateVector
+from repro.statevector.fusion import (
+    MAX_DIAGONAL_OUTSIDE,
+    MAX_DIAGONAL_WIDTH,
+    MAX_FUSION_WIDTH,
+    GateSlab,
+    fuse_slabs,
+    fused_sweep_count,
+    slab_members,
+)
+from repro.statevector.state import StateVector
+
+
+def _flatten(ops) -> list[Gate]:
+    return [gate for op in ops for gate in slab_members(op)]
+
+
+def _mixed_circuit(num_qubits: int = 6) -> QuantumCircuit:
+    """Dense chains, diagonal runs, and unfusible strays in one stream."""
+    circuit = QuantumCircuit(num_qubits, name="mixed")
+    for q in range(num_qubits):
+        circuit.h(q)
+    circuit.rz(0.3, 0)
+    circuit.rz(0.7, 1)
+    circuit.cz(0, 2)
+    circuit.cx(0, 1)
+    circuit.h(1)
+    circuit.t(1)
+    circuit.cx(2, 3)
+    circuit.rz(1.1, 4)
+    circuit.p(0.2, 5)
+    circuit.cz(4, 5)
+    circuit.h(5)
+    return circuit
+
+
+class TestFuseSlabsStructure:
+    def test_members_reproduce_input_stream_exactly(self):
+        gates = list(_mixed_circuit())
+        ops = fuse_slabs(gates)
+        assert _flatten(ops) == gates
+
+    def test_consecutive_diagonals_form_one_diagonal_slab(self):
+        circuit = QuantumCircuit(5)
+        circuit.rz(0.1, 0)
+        circuit.cz(1, 2)
+        circuit.t(3)
+        ops = fuse_slabs(list(circuit))
+        assert len(ops) == 1
+        (slab,) = ops
+        assert isinstance(slab, GateSlab)
+        assert slab.kind == "diagonal"
+        assert slab.qubits == (0, 1, 2, 3)
+        assert slab.name == "dslab[3]"
+
+    def test_overlapping_dense_gates_fuse(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.h(1)
+        ops = fuse_slabs(list(circuit))
+        assert len(ops) == 1
+        (slab,) = ops
+        assert slab.kind == "dense"
+        assert slab.qubits == (0, 1)
+
+    def test_disjoint_dense_gates_do_not_fuse(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0)
+        circuit.h(2)
+        ops = fuse_slabs(list(circuit))
+        assert len(ops) == 2
+        assert all(isinstance(op, Gate) for op in ops)
+
+    def test_singletons_are_bare_gates(self):
+        # Nothing fusible: the output is the input, same objects.
+        circuit = QuantumCircuit(6)
+        circuit.h(0)
+        circuit.h(2)
+        circuit.h(4)
+        ops = fuse_slabs(list(circuit))
+        assert ops == list(circuit)
+
+    def test_dense_width_cap_holds(self):
+        # A cx ladder unions one new qubit per gate; the slab must split
+        # at MAX_FUSION_WIDTH.
+        circuit = QuantumCircuit(10)
+        for q in range(9):
+            circuit.cx(q, q + 1)
+        ops = fuse_slabs(list(circuit))
+        for op in ops:
+            if isinstance(op, GateSlab):
+                assert op.width <= MAX_FUSION_WIDTH
+        assert _flatten(ops) == list(circuit)
+
+    def test_diagonal_width_cap_holds(self):
+        circuit = QuantumCircuit(MAX_DIAGONAL_WIDTH + 4)
+        for q in range(MAX_DIAGONAL_WIDTH + 4):
+            circuit.rz(0.1 * (q + 1), q)
+        ops = fuse_slabs(list(circuit))
+        for op in ops:
+            if isinstance(op, GateSlab):
+                assert op.kind == "diagonal"
+                assert op.width <= MAX_DIAGONAL_WIDTH
+        assert _flatten(ops) == list(circuit)
+
+    def test_diagonal_outside_cap_with_chunk_bits(self):
+        # 8 diagonals all above chunk_bits: without the cap one slab,
+        # with chunk_bits the outside union is bounded.
+        circuit = QuantumCircuit(12)
+        for q in range(4, 12):
+            circuit.rz(0.2, q)
+        ops = fuse_slabs(list(circuit), chunk_bits=4)
+        for op in ops:
+            if isinstance(op, GateSlab):
+                outside = sum(1 for q in op.qubits if q >= 4)
+                assert outside <= MAX_DIAGONAL_OUTSIDE
+        assert _flatten(ops) == list(circuit)
+
+    def test_lone_diagonal_between_dense_joins_dense_slab(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.rz(0.4, 0)
+        circuit.h(0)
+        ops = fuse_slabs(list(circuit))
+        assert len(ops) == 1
+        assert ops[0].kind == "dense"
+        assert len(ops[0].gates) == 3
+
+    def test_fused_sweep_count_matches_len(self):
+        gates = list(_mixed_circuit())
+        assert fused_sweep_count(gates) == len(fuse_slabs(gates))
+        assert fused_sweep_count(gates) < len(gates)
+
+    @pytest.mark.parametrize("kwargs", [{"max_width": 0},
+                                        {"max_diagonal_width": 0}])
+    def test_invalid_caps_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            fuse_slabs([Gate("h", (0,))], **kwargs)
+
+
+class TestGateSlabValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError, match="kind"):
+            GateSlab(gates=(Gate("h", (0,)),), qubits=(0,), kind="sparse")
+
+    def test_empty_slab_rejected(self):
+        with pytest.raises(SimulationError, match="at least one"):
+            GateSlab(gates=(), qubits=(), kind="dense")
+
+    def test_wrong_qubit_union_rejected(self):
+        with pytest.raises(SimulationError, match="union"):
+            GateSlab(gates=(Gate("h", (0,)),), qubits=(0, 1), kind="dense")
+
+    def test_non_diagonal_member_in_diagonal_slab_rejected(self):
+        with pytest.raises(SimulationError, match="non-diagonal"):
+            GateSlab(
+                gates=(Gate("rz", (0,), params=(0.1,)), Gate("h", (0,))),
+                qubits=(0,),
+                kind="diagonal",
+            )
+
+    def test_diagonal_of_dense_slab_rejected(self):
+        slab = GateSlab(
+            gates=(Gate("h", (0,)), Gate("h", (0,))), qubits=(0,), kind="dense"
+        )
+        with pytest.raises(SimulationError, match="not diagonal"):
+            slab.diagonal()
+
+    def test_matrix_and_diagonal_are_memoized_read_only(self):
+        slab = fuse_slabs([Gate("h", (0,)), Gate("cx", (0, 1))])[0]
+        assert slab.matrix() is slab.matrix()
+        with pytest.raises(ValueError):
+            slab.matrix()[0, 0] = 9.0
+        dslab = fuse_slabs(
+            [Gate("rz", (0,), params=(0.1,)), Gate("cz", (0, 1))]
+        )[0]
+        assert dslab.diagonal() is dslab.diagonal()
+        with pytest.raises(ValueError):
+            dslab.diagonal()[0] = 9.0
+
+
+class TestSlabNumerics:
+    """Slab application == member-by-member application, to 1e-12."""
+
+    def _reference(self, gates, num_qubits: int) -> np.ndarray:
+        rng = np.random.default_rng(7)
+        amps = rng.normal(size=1 << num_qubits) + 1j * rng.normal(
+            size=1 << num_qubits
+        )
+        amps /= np.linalg.norm(amps)
+        return amps.astype(np.complex128)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dense_slab_matrix_equals_member_product(self, seed):
+        rng = np.random.default_rng(seed)
+        gates = [Gate("h", (0,)), Gate("cx", (0, 1)),
+                 Gate("rz", (1,), params=(float(rng.uniform(0, 6)),)),
+                 Gate("h", (1,))]
+        ops = fuse_slabs(gates)
+        assert len(ops) == 1 and ops[0].kind == "dense"
+        state = StateVector(3)
+        fused = self._reference(gates, 3)
+        unfused = fused.copy()
+        state.amplitudes[:] = fused
+        state.apply(ops[0])
+        fused = state.amplitudes.copy()
+        state.amplitudes[:] = unfused
+        for gate in gates:
+            state.apply(gate)
+        np.testing.assert_allclose(fused, state.amplitudes, atol=1e-12)
+
+    def test_diagonal_slab_multiplier_equals_member_product(self):
+        gates = [Gate("rz", (0,), params=(0.3,)), Gate("cz", (0, 2)),
+                 Gate("t", (1,)), Gate("p", (2,), params=(1.2,))]
+        ops = fuse_slabs(gates)
+        assert len(ops) == 1 and ops[0].kind == "diagonal"
+        state = StateVector(3)
+        start = self._reference(gates, 3)
+        state.amplitudes[:] = start
+        state.apply(ops[0])
+        fused = state.amplitudes.copy()
+        state.amplitudes[:] = start
+        for gate in gates:
+            state.apply(gate)
+        np.testing.assert_allclose(fused, state.amplitudes, atol=1e-12)
+
+    def test_remapped_slab_matches_remapped_members(self):
+        gates = [Gate("h", (0,)), Gate("cx", (0, 1))]
+        slab = fuse_slabs(gates)[0]
+        mapping = {0: 2, 1: 4}
+        moved = slab.remapped(mapping)
+        assert moved.qubits == (2, 4)
+        state = StateVector(5)
+        start = self._reference(gates, 5)
+        state.amplitudes[:] = start
+        state.apply(moved)
+        fused = state.amplitudes.copy()
+        state.amplitudes[:] = start
+        for gate in gates:
+            state.apply(gate.remapped(mapping))
+        np.testing.assert_allclose(fused, state.amplitudes, atol=1e-12)
+
+
+CIRCUITS = ("qft", "iqp", "qaoa", "bv")
+
+
+class TestEndToEndAgreement:
+    @pytest.mark.parametrize("version", ALL_VERSIONS, ids=lambda v: v.name)
+    @pytest.mark.parametrize("name", CIRCUITS)
+    def test_fused_matches_unfused_all_versions(self, version, name):
+        circuit = get_circuit(name, 8)
+        fused = QGpuSimulator(version=version, chunk_bits=4).run(circuit)
+        plain = QGpuSimulator(version=version, chunk_bits=4, fusion="off").run(
+            circuit
+        )
+        np.testing.assert_allclose(
+            fused.amplitudes, plain.amplitudes, atol=1e-12
+        )
+
+    @pytest.mark.parametrize("precision,atol", [("double", 1e-12),
+                                                ("single", 2e-5)])
+    def test_fused_matches_unfused_both_precisions(self, precision, atol):
+        # complex64 carries ~7 significant digits, so the single-precision
+        # tolerance is the precision's own, not fusion's.
+        circuit = get_circuit("qft", 9)
+        fused = QGpuSimulator(chunk_bits=5, precision=precision).run(circuit)
+        plain = QGpuSimulator(
+            chunk_bits=5, precision=precision, fusion="off"
+        ).run(circuit)
+        np.testing.assert_allclose(fused.amplitudes, plain.amplitudes,
+                                   atol=atol)
+
+    def test_fused_parallel_matches_unfused_serial(self):
+        circuit = get_circuit("qaoa", 9)
+        fused = QGpuSimulator(chunk_bits=5, workers=4).run(circuit)
+        plain = QGpuSimulator(chunk_bits=5, workers=1, fusion="off").run(
+            circuit
+        )
+        np.testing.assert_allclose(
+            fused.amplitudes, plain.amplitudes, atol=1e-12
+        )
+
+    def test_checkpointed_run_bypasses_fusion_byte_identically(self, tmp_path):
+        # Any checkpointing knob forces the per-gate path even when
+        # fusion="on": cursor counting is defined on original gates.
+        circuit = get_circuit("qft", 7)
+        plain = QGpuSimulator(fusion="off").run(circuit)
+        checked = QGpuSimulator(fusion="on").run(
+            circuit, checkpoint_every=5,
+            checkpoint_path=tmp_path / "ck.npz",
+        )
+        np.testing.assert_array_equal(
+            plain.amplitudes.view(np.uint64),
+            checked.amplitudes.view(np.uint64),
+        )
+
+    def test_run_override_beats_constructor_fusion(self):
+        circuit = get_circuit("iqp", 7)
+        on_sim = QGpuSimulator(fusion="on")
+        off_sim = QGpuSimulator(fusion="off")
+        a = on_sim.run(circuit, fusion="off").amplitudes
+        b = off_sim.run(circuit).amplitudes
+        np.testing.assert_array_equal(a.view(np.uint64), b.view(np.uint64))
+
+    def test_engine_run_fusion_off_is_byte_identical_to_pre_fusion_path(self):
+        # fusion="off" must reproduce the per-gate engine bit for bit.
+        circuit = get_circuit("qft", 8)
+        off = ChunkedStateVector(8, 4).run(circuit, fusion="off")
+        manual = ChunkedStateVector(8, 4)
+        for gate in circuit:
+            manual.apply(gate)
+        np.testing.assert_array_equal(
+            off.to_dense().view(np.uint64), manual.to_dense().view(np.uint64)
+        )
+
+    @pytest.mark.parametrize("bad", ["maybe", "", "auto"])
+    def test_invalid_fusion_knob_rejected(self, bad):
+        with pytest.raises(SimulationError, match="fusion"):
+            QGpuSimulator(fusion=bad)
+        with pytest.raises(SimulationError, match="fusion"):
+            ChunkedStateVector(6, 3).run(QuantumCircuit(6), fusion=bad)
+
+    def test_fusion_counters_and_stage_recorded(self):
+        from repro.obs import LogicalClock, Tracer
+
+        tracer = Tracer(clock=LogicalClock())
+        QGpuSimulator(tracer=tracer).run(get_circuit("qft", 7))
+        snapshot = tracer.counters.snapshot()
+        assert snapshot.get("fusion.slabs", 0) > 0
+        assert snapshot.get("fusion.gates_fused", 0) > snapshot["fusion.slabs"]
+        assert any(span.stage == "fuse" for span in tracer.spans)

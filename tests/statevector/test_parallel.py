@@ -15,6 +15,7 @@ from repro.statevector.chunks import ChunkedStateVector, chunk_pair_groups
 from repro.statevector.kernels import (
     apply_pair,
     apply_single_qubit_fused,
+    apply_single_qubit_inplace,
     chunk_diagonal_factor,
 )
 from repro.statevector.parallel import (
@@ -266,6 +267,131 @@ class TestKernels:
         other = chunk_diagonal_factor(gate, 3, 0b100, cache)
         assert other is not first
         assert len(cache) == 2
+
+
+class TestTiledKernels:
+    """Cache-tiling edges of the fused / in-place single-qubit kernels."""
+
+    def _random(self, size: int, seed: int = 0) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return (rng.normal(size=size) + 1j * rng.normal(size=size)).astype(
+            np.complex128
+        )
+
+    def _expected(self, source: np.ndarray, qubit: int) -> np.ndarray:
+        from repro.statevector.apply import apply_gate
+
+        expected = source.copy()
+        apply_gate(expected, Gate("h", (qubit,)))
+        return expected
+
+    def test_fused_column_axis_path_matches_dense(self, monkeypatch):
+        # Force row_amps > _TILE_AMPS so the per-row column tiling runs:
+        # with the tile budget at 16 amps, qubit=4 in a 256-amp state has
+        # row_amps = 2 * 16 = 32.  parts=2 keeps the call off the untiled
+        # single-worker shortcut.
+        from repro.statevector import kernels
+
+        monkeypatch.setattr(kernels, "_TILE_AMPS", 16)
+        source = self._random(1 << 8)
+        dest = np.empty_like(source)
+        matrix = Gate("h", (4,)).matrix()
+        for part in range(2):
+            apply_single_qubit_fused(source, dest, matrix, 4, part, 2)
+        np.testing.assert_allclose(dest, self._expected(source, 4), atol=1e-12)
+
+    @pytest.mark.parametrize("qubit,parts", [(7, 3), (6, 5)])
+    def test_fused_above_smaller_than_parts_splits_columns(self, qubit, parts):
+        # above = size >> (qubit+1) < parts: the column-axis split path.
+        source = self._random(1 << 8, seed=qubit)
+        assert (source.size >> (qubit + 1)) < parts
+        dest = np.empty_like(source)
+        matrix = Gate("h", (qubit,)).matrix()
+        for part in range(parts):
+            apply_single_qubit_fused(source, dest, matrix, qubit, part, parts)
+        np.testing.assert_allclose(
+            dest, self._expected(source, qubit), atol=1e-12
+        )
+
+    @pytest.mark.parametrize("qubit", [0, 3, 6, 7])
+    @pytest.mark.parametrize("parts", [1, 2, 3])
+    def test_fused_parts_cover_disjointly(self, qubit, parts):
+        # Each part writes a contiguous region; together the regions
+        # partition the state: every index written by exactly one part.
+        source = self._random(1 << 8, seed=1)
+        matrix = Gate("h", (qubit,)).matrix()
+        written_by = np.zeros(source.size, dtype=int)
+        for part in range(parts):
+            dest = np.full_like(source, np.nan)
+            apply_single_qubit_fused(source, dest, matrix, qubit, part, parts)
+            written_by += ~np.isnan(dest.real)
+        assert (written_by == 1).all()
+
+    @pytest.mark.parametrize("qubit", [0, 2, 4, 7])
+    @pytest.mark.parametrize("parts", [1, 3])
+    def test_inplace_matches_dense(self, qubit, parts):
+        buffer = self._random(1 << 8, seed=qubit)
+        expected = self._expected(buffer, qubit)
+        matrix = Gate("h", (qubit,)).matrix()
+        for part in range(parts):
+            apply_single_qubit_inplace(buffer, matrix, qubit, part, parts)
+        np.testing.assert_allclose(buffer, expected, atol=1e-12)
+
+    def test_inplace_above_smaller_than_parts(self):
+        # size 2^5, qubit 3: above = 2 rows < 3 parts -> column split.
+        buffer = self._random(1 << 5, seed=5)
+        expected = self._expected(buffer, 3)
+        matrix = Gate("h", (3,)).matrix()
+        for part in range(3):
+            apply_single_qubit_inplace(buffer, matrix, 3, part, 3)
+        np.testing.assert_allclose(buffer, expected, atol=1e-12)
+
+    def test_inplace_column_tiling_within_rows(self, monkeypatch):
+        # below > _SCRATCH_AMPS with above >= parts: the per-row column
+        # tiling inside the row-range branch.
+        from repro.statevector import kernels
+
+        monkeypatch.setattr(kernels, "_SCRATCH_AMPS", 8)
+        buffer = self._random(1 << 8, seed=2)
+        expected = self._expected(buffer, 5)  # below = 32 > 8, above = 4
+        apply_single_qubit_inplace(buffer, Gate("h", (5,)).matrix(), 5)
+        np.testing.assert_allclose(buffer, expected, atol=1e-12)
+
+    @pytest.mark.parametrize("qubit,parts", [(2, 2), (6, 3), (7, 3)])
+    def test_inplace_parts_cover_disjointly(self, qubit, parts):
+        # Doubling matrix: an amplitude is exactly doubled iff exactly one
+        # part touched it, so all-doubled proves a disjoint exact cover.
+        buffer = np.ones(1 << 8, dtype=np.complex128)
+        double = 2.0 * np.eye(2, dtype=np.complex128)
+        for part in range(parts):
+            apply_single_qubit_inplace(buffer, double, qubit, part, parts)
+        np.testing.assert_array_equal(buffer, np.full(buffer.size, 2.0 + 0j))
+
+    def test_inplace_rejects_bad_inputs(self):
+        buffer = np.zeros(8, dtype=np.complex128)
+        with pytest.raises(SimulationError, match="2x2"):
+            apply_single_qubit_inplace(buffer, np.eye(4), 0)
+        with pytest.raises(SimulationError, match="cannot host"):
+            apply_single_qubit_inplace(buffer, np.eye(2), 3)
+
+    def test_tiled_apply_pair_is_bit_identical_across_tilings(self, monkeypatch):
+        # The pair recurrence is element-wise with a fixed operation
+        # order, so the tile size cannot change a single bit.
+        from repro.statevector import kernels
+
+        gate = Gate("rx", (0,), (0.8,))
+        low = self._random(1 << 6, seed=3)
+        high = self._random(1 << 6, seed=4)
+        ref_low, ref_high = low.copy(), high.copy()
+        apply_pair(ref_low, ref_high, gate.matrix())
+        monkeypatch.setattr(kernels, "_SCRATCH_AMPS", 8)
+        apply_pair(low, high, gate.matrix())
+        np.testing.assert_array_equal(
+            low.view(np.uint64), ref_low.view(np.uint64)
+        )
+        np.testing.assert_array_equal(
+            high.view(np.uint64), ref_high.view(np.uint64)
+        )
 
 
 class TestBackingStorage:
