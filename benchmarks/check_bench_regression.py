@@ -1,0 +1,147 @@
+"""CI gate: one verdict over the whole benchmark surface.
+
+Wraps (never supersedes) the two existing gates -
+``check_kernel_regression.py`` and ``check_planner_regression.py`` - and
+adds the perf-ledger comparison on top: the newest ``BENCH_LEDGER.jsonl``
+record is diffed against the most recent earlier record with the **same
+environment fingerprint and mode** (see :mod:`repro.obs.ledger`).  When
+no comparable record exists - the usual case on a fresh CI runner, whose
+fingerprint differs from any committed snapshot - the ledger step passes
+with a note; the wrapped gates still enforce their host-portable
+thresholds, so CI always has one authoritative exit code.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py [--root DIR] \
+        [--ledger FILE] [--tolerance 0.2] [--ledger-tolerance 0.05] \
+        [--json FILE]
+
+exits 0 when every sub-gate passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# The sibling gate scripts are plain scripts, not a package: make them
+# importable no matter where this one is invoked from.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import check_kernel_regression  # noqa: E402
+import check_planner_regression  # noqa: E402
+
+
+def ledger_gate(
+    ledger_path: Path, tolerance: float = 0.05
+) -> dict:
+    """The per-fingerprint ledger comparison as a gate verdict."""
+    from repro.obs.ledger import baseline_for, diff_records, load_ledger
+
+    verdict: dict = {
+        "gate": "ledger",
+        "ledger": str(ledger_path),
+        "tolerance": tolerance,
+        "checks": [],
+        "failures": [],
+        "passed": True,
+    }
+    if not ledger_path.exists():
+        verdict["note"] = "no ledger file; nothing to compare"
+        return verdict
+    records = load_ledger(ledger_path)
+    if not records:
+        verdict["note"] = "empty ledger; nothing to compare"
+        return verdict
+    latest = records[-1]
+    baseline = baseline_for(records[:-1], latest)
+    verdict["fingerprint_id"] = latest.get("fingerprint_id")
+    verdict["mode"] = latest.get("mode")
+    if baseline is None:
+        verdict["note"] = (
+            "no earlier record shares this fingerprint and mode "
+            "(first run on this environment); passing"
+        )
+        return verdict
+    entries = diff_records(baseline, latest, tolerance=tolerance)
+    regressions = [e for e in entries if e.regressed]
+    verdict["compared"] = len(entries)
+    verdict["checks"] = [
+        {
+            "case": e.bench,
+            "metric": e.metric,
+            "baseline": e.baseline,
+            "current": e.latest,
+            "ratio": e.ratio,
+            "direction": e.direction,
+            "passed": not e.regressed,
+        }
+        for e in regressions
+    ]
+    verdict["failures"] = [
+        f"{e.bench}.{e.metric}: {e.baseline:.6g} -> {e.latest:.6g}"
+        for e in regressions
+    ]
+    verdict["passed"] = not regressions
+    return verdict
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="directory holding the BENCH_*.json files")
+    parser.add_argument("--ledger", default=None, metavar="FILE",
+                        help="ledger file (default: ROOT/BENCH_LEDGER.jsonl)")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="kernel-gate speedup tolerance (default 0.2)")
+    parser.add_argument("--ledger-tolerance", type=float, default=0.05,
+                        help="ledger-diff regression tolerance (default 0.05)")
+    parser.add_argument("--min-accuracy", type=float, default=0.8,
+                        help="planner-gate accuracy floor (default 0.8)")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="planner-gate geomean floor (default 1.0)")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the combined verdict JSON here")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root)
+    ledger_path = Path(args.ledger) if args.ledger else root / "BENCH_LEDGER.jsonl"
+    gates = [
+        check_kernel_regression.run_gate(
+            root / "BENCH_kernels.json", tolerance=args.tolerance
+        ),
+        check_planner_regression.run_gate(
+            root / "BENCH_planner.json",
+            min_accuracy=args.min_accuracy,
+            min_speedup=args.min_speedup,
+        ),
+        ledger_gate(ledger_path, tolerance=args.ledger_tolerance),
+    ]
+    combined = {
+        "gates": gates,
+        "passed": all(gate["passed"] for gate in gates),
+    }
+    for gate in gates:
+        status = "PASS" if gate["passed"] else "FAIL"
+        note = f" ({gate['note']})" if gate.get("note") else ""
+        print(f"{status}  {gate['gate']:<8} "
+              f"{len(gate.get('checks', []))} check(s), "
+              f"{len(gate.get('failures', []))} failure(s){note}")
+        for failure in gate.get("failures", []):
+            print(f"      - {failure}", file=sys.stderr)
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(combined, sort_keys=True, indent=1) + "\n"
+        )
+        print(f"verdict JSON written to {args.json}")
+    if combined["passed"]:
+        print("all benchmark gates green")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,75 @@ def load(path: Path) -> dict:
         sys.exit(f"{path}: not valid JSON ({error})")
 
 
+def run_gate(
+    results_path: Path,
+    baseline_path: Path | None = None,
+    tolerance: float = 0.2,
+) -> dict:
+    """Evaluate the gate; returns a structured verdict (no printing).
+
+    The verdict dict is what ``--json`` writes and what
+    ``check_bench_regression.py`` aggregates: ``gate``/``mode``/
+    ``passed`` plus one entry per gated metric under ``checks`` (case,
+    metric, baseline, current, floor, ratio, passed).
+    """
+    current = load(Path(results_path))
+    mode = current.get("mode", "full")
+    baseline_path = (
+        Path(baseline_path)
+        if baseline_path
+        else BASELINE_DIR / f"BENCH_kernels_baseline_{mode}.json"
+    )
+    baseline = load(baseline_path)
+    if baseline.get("mode", "full") != mode:
+        sys.exit(
+            f"mode mismatch: results are {mode!r} but baseline "
+            f"{baseline_path} is {baseline.get('mode')!r}"
+        )
+    checks: list[dict] = []
+    failures: list[str] = []
+    for case, metrics in sorted(GATED_METRICS.items()):
+        base_row = baseline["results"].get(case)
+        row = current["results"].get(case)
+        if base_row is None:
+            failures.append(f"case {case!r} missing from baseline")
+            continue
+        if row is None:
+            failures.append(f"case {case!r} missing from current results")
+            continue
+        for metric in metrics:
+            base_value = base_row[metric]
+            value = row[metric]
+            floor = base_value * (1.0 - tolerance)
+            passed = value >= floor
+            checks.append(
+                {
+                    "case": case,
+                    "metric": metric,
+                    "baseline": base_value,
+                    "current": value,
+                    "floor": floor,
+                    "ratio": value / base_value if base_value else None,
+                    "passed": passed,
+                }
+            )
+            if not passed:
+                failures.append(
+                    f"{case}.{metric}: {value:.2f} < floor {floor:.2f} "
+                    f"(baseline {base_value:.2f})"
+                )
+    return {
+        "gate": "kernels",
+        "mode": mode,
+        "tolerance": tolerance,
+        "results": str(results_path),
+        "baseline": str(baseline_path),
+        "checks": checks,
+        "failures": failures,
+        "passed": not failures,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -70,51 +139,31 @@ def main(argv: list[str] | None = None) -> int:
         default=0.2,
         help="allowed fractional drop below the baseline speedup (default 0.2)",
     )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the structured verdict (gate, checks, pass/fail) here",
+    )
     args = parser.parse_args(argv)
 
-    current = load(Path(args.results))
-    mode = current.get("mode", "full")
-    baseline_path = (
-        Path(args.baseline)
-        if args.baseline
-        else BASELINE_DIR / f"BENCH_kernels_baseline_{mode}.json"
-    )
-    baseline = load(baseline_path)
-    if baseline.get("mode", "full") != mode:
-        sys.exit(
-            f"mode mismatch: results are {mode!r} but baseline "
-            f"{baseline_path} is {baseline.get('mode')!r}"
-        )
-
-    failures: list[str] = []
-    print(f"kernel regression gate ({mode} mode, tolerance {args.tolerance:.0%})")
+    verdict = run_gate(args.results, args.baseline, args.tolerance)
+    print(f"kernel regression gate ({verdict['mode']} mode, "
+          f"tolerance {args.tolerance:.0%})")
     print(f"{'case':<18} {'metric':<18} {'baseline':>9} {'current':>9} {'floor':>7}")
-    for case, metrics in sorted(GATED_METRICS.items()):
-        base_row = baseline["results"].get(case)
-        if base_row is None:
-            failures.append(f"case {case!r} missing from baseline")
-            continue
-        row = current["results"].get(case)
-        if row is None:
-            failures.append(f"case {case!r} missing from current results")
-            continue
-        for metric in metrics:
-            base_value = base_row[metric]
-            value = row[metric]
-            floor = base_value * (1.0 - args.tolerance)
-            verdict = "" if value >= floor else "  REGRESSION"
-            print(
-                f"{case:<18} {metric:<18} {base_value:>9.2f} "
-                f"{value:>9.2f} {floor:>7.2f}{verdict}"
-            )
-            if value < floor:
-                failures.append(
-                    f"{case}.{metric}: {value:.2f} < floor {floor:.2f} "
-                    f"(baseline {base_value:.2f})"
-                )
-    if failures:
-        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
-        for failure in failures:
+    for check in verdict["checks"]:
+        flag = "" if check["passed"] else "  REGRESSION"
+        print(
+            f"{check['case']:<18} {check['metric']:<18} "
+            f"{check['baseline']:>9.2f} {check['current']:>9.2f} "
+            f"{check['floor']:>7.2f}{flag}"
+        )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(verdict, sort_keys=True, indent=1) + "\n"
+        )
+    if verdict["failures"]:
+        print(f"\n{len(verdict['failures'])} regression(s):", file=sys.stderr)
+        for failure in verdict["failures"]:
             print(f"  - {failure}", file=sys.stderr)
         return 1
     print("\nall speedups within tolerance")

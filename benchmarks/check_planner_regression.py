@@ -38,6 +38,67 @@ def load(path: Path) -> dict:
         sys.exit(f"{path}: not valid JSON ({error})")
 
 
+def run_gate(
+    results_path: Path,
+    min_accuracy: float = 0.8,
+    min_speedup: float = 1.0,
+) -> dict:
+    """Evaluate the gate; returns a structured verdict (no printing).
+
+    Same shape as the kernel gate's verdict so
+    ``check_bench_regression.py`` can aggregate both: ``gate``/``mode``/
+    ``passed`` plus one entry per threshold under ``checks``.
+    """
+    current = load(Path(results_path))
+    accuracy = current.get("accuracy")
+    geomean = current.get("geomean_speedup_vs_dense")
+    if accuracy is None or geomean is None:
+        sys.exit(f"{results_path}: missing accuracy/geomean fields")
+    checks = [
+        {
+            "case": "selection",
+            "metric": "accuracy",
+            "baseline": min_accuracy,
+            "current": accuracy,
+            "floor": min_accuracy,
+            "ratio": accuracy / min_accuracy if min_accuracy else None,
+            "passed": accuracy >= min_accuracy,
+        },
+        {
+            "case": "selection",
+            "metric": "geomean_speedup_vs_dense",
+            "baseline": min_speedup,
+            "current": geomean,
+            "floor": min_speedup,
+            "ratio": geomean / min_speedup if min_speedup else None,
+            "passed": geomean > min_speedup,
+        },
+    ]
+    failures = []
+    if accuracy < min_accuracy:
+        failures.append(
+            f"selection accuracy {accuracy:.0%} below {min_accuracy:.0%}"
+        )
+    if geomean <= min_speedup:
+        failures.append(
+            f"geomean speedup {geomean:.2f}x not above {min_speedup:.2f}x"
+        )
+    wrong = [
+        case["circuit"]
+        for case in current.get("cases", [])
+        if not case.get("correct")
+    ]
+    return {
+        "gate": "planner",
+        "mode": current.get("mode", "full"),
+        "results": str(results_path),
+        "checks": checks,
+        "mispicks": wrong,
+        "failures": failures,
+        "passed": not failures,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -58,33 +119,25 @@ def main(argv: list[str] | None = None) -> int:
         default=1.0,
         help="geomean speedup vs always-dense must exceed this (default 1.0)",
     )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the structured verdict (gate, checks, pass/fail) here",
+    )
     args = parser.parse_args(argv)
 
-    current = load(Path(args.results))
-    accuracy = current.get("accuracy")
-    geomean = current.get("geomean_speedup_vs_dense")
-    if accuracy is None or geomean is None:
-        sys.exit(f"{args.results}: missing accuracy/geomean fields")
-
-    failures = []
-    if accuracy < args.min_accuracy:
-        failures.append(
-            f"selection accuracy {accuracy:.0%} below {args.min_accuracy:.0%}"
-        )
-    if geomean <= args.min_speedup:
-        failures.append(
-            f"geomean speedup {geomean:.2f}x not above {args.min_speedup:.2f}x"
-        )
-    wrong = [
-        case["circuit"]
-        for case in current.get("cases", [])
-        if not case.get("correct")
-    ]
-    print(f"planner gate ({current.get('mode', 'full')} mode): "
+    verdict = run_gate(args.results, args.min_accuracy, args.min_speedup)
+    accuracy, geomean = (c["current"] for c in verdict["checks"])
+    wrong = verdict["mispicks"]
+    print(f"planner gate ({verdict['mode']} mode): "
           f"accuracy {accuracy:.0%}, geomean {geomean:.2f}x vs dense"
           + (f", mispicks: {', '.join(wrong)}" if wrong else ""))
-    if failures:
-        for failure in failures:
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(verdict, sort_keys=True, indent=1) + "\n"
+        )
+    if verdict["failures"]:
+        for failure in verdict["failures"]:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     print("OK: planner selection quality within thresholds")

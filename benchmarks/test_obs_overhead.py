@@ -47,7 +47,9 @@ REPEATS = 3 if SMOKE else 7
 MAX_DISABLED_OVERHEAD = 0.03
 JITTER_ALLOWANCE_S = 2e-3
 
-RESULTS_PATH = Path("BENCH_obs.json")
+# Repo-root anchored like the other BENCH_* artifacts (the ledger ingests
+# all four from the root), not cwd-relative.
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 
 
 def _best_of(run) -> float:
@@ -141,3 +143,48 @@ def test_analyzer_runtime() -> None:
     # Sanity floor, not a perf gate: analysis of a modest trace must not
     # take longer than the simulation it describes typically does.
     assert analyze_s < 5.0
+
+
+def test_profiler_and_memory_overhead() -> None:
+    """Cost of the deep-performance additions, for the ledger's history.
+
+    Times the same run with (a) the sampling profiler attached and
+    running and (b) per-span memory telemetry, against the plain enabled
+    tracer.  Neither is gated - both are opt-in features whose budget is
+    "cheap enough to leave on when asked for" - but the numbers land in
+    ``BENCH_obs.json`` so the perf ledger tracks them over time.  The
+    disabled path (no profiler object at all) stays covered by the <3%
+    gate above.
+    """
+    from repro.obs import SamplingProfiler
+
+    circuit = get_circuit("qft", NUM_QUBITS)
+    version = VERSIONS_BY_NAME["Q-GPU"]
+
+    def run(tracer: Tracer) -> None:
+        QGpuSimulator(version=version, workers=1, tracer=tracer).run(circuit)
+
+    run(Tracer(clock=LogicalClock()))  # warm
+    enabled_s = _best_of(lambda: run(Tracer(clock=LogicalClock())))
+
+    def profiled() -> None:
+        profiler = SamplingProfiler()
+        with profiler:
+            run(Tracer(clock=LogicalClock(), profiler=profiler))
+
+    profiled_s = _best_of(profiled)
+    memory_s = _best_of(
+        lambda: run(Tracer(clock=LogicalClock(), memory=True))
+    )
+    fields = {
+        "profiler_seconds": profiled_s,
+        "profiler_overhead": profiled_s / enabled_s - 1.0,
+        "memory_seconds": memory_s,
+        "memory_overhead": memory_s / enabled_s - 1.0,
+    }
+    _update_results(fields)
+    print(f"\n  profiler  {profiled_s * 1e3:8.2f} ms "
+          f"({fields['profiler_overhead']:+.1%} over enabled tracer)")
+    print(f"  memory    {memory_s * 1e3:8.2f} ms "
+          f"({fields['memory_overhead']:+.1%} over enabled tracer)")
+    print(f"  wrote {RESULTS_PATH}")

@@ -110,13 +110,57 @@ def _workers_arg(value: str) -> int | str:
 
 
 def _build_tracer(args: argparse.Namespace):
-    """Build a Tracer when ``--trace``/``--metrics`` asked for one, else None."""
-    if not getattr(args, "trace", None) and not getattr(args, "metrics", None):
-        return None
-    from repro.obs import LogicalClock, Tracer, WallClock
+    """Build a Tracer when an observability flag asked for one, else None.
 
+    ``--trace``/``--metrics`` enable span + counter collection;
+    ``--profile`` additionally attaches a sampling profiler and
+    ``--memory`` turns on per-span RSS/allocation telemetry (starting
+    :mod:`tracemalloc` for the allocation deltas).
+    """
+    memory = bool(getattr(args, "memory", False))
+    wants = (getattr(args, "trace", None) or getattr(args, "metrics", None)
+             or getattr(args, "profile", None) or memory)
+    if not wants:
+        return None
+    from repro.obs import LogicalClock, SamplingProfiler, Tracer, WallClock
+
+    profiler = None
+    if getattr(args, "profile", None):
+        profiler = SamplingProfiler()
+    if memory:
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
     logical = getattr(args, "trace_clock", "wall") == "logical"
-    return Tracer(clock=LogicalClock() if logical else WallClock())
+    return Tracer(
+        clock=LogicalClock() if logical else WallClock(),
+        memory=memory,
+        profiler=profiler,
+    )
+
+
+def _start_profiler(tracer):
+    """Start the tracer's attached profiler (if any); returns it."""
+    profiler = getattr(tracer, "profiler", None) if tracer is not None else None
+    if profiler is not None:
+        profiler.start()
+    return profiler
+
+
+def _finish_profiler(profiler, args: argparse.Namespace) -> None:
+    """Stop the profiler and write ``<base>.folded`` + ``<base>.svg``."""
+    if profiler is None:
+        return
+    profiler.stop()
+    folded, svg = profiler.write(args.profile)
+    print(f"profile: {profiler.total_samples} stack sample(s) -> "
+          f"{folded} + {svg}")
+    shares = profiler.stage_shares()
+    if shares:
+        print("top profiled stages (share of samples):")
+        for stage, share in list(shares.items())[:5]:
+            print(f"  {stage:<12} {share:6.1%}")
 
 
 def _write_observability(tracer, args: argparse.Namespace) -> None:
@@ -146,12 +190,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         tracer=tracer, backend=args.backend, precision=args.precision,
         fusion=args.fusion,
     )
+    profiler = _start_profiler(tracer)
     result = simulator.run(
         circuit,
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint,
         resume_from=args.resume,
     )
+    _finish_profiler(profiler, args)
     print(f"{circuit.name}: {len(circuit)} gates, version {version.name}")
     if args.backend != "statevector" or args.precision != "double":
         line = f"backend: {result.backend}, precision: {result.precision}"
@@ -219,7 +265,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_transpile(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args)
     tracer = _build_tracer(args)
+    profiler = _start_profiler(tracer)
     lowered = transpile(circuit, tracer=tracer)
+    _finish_profiler(profiler, args)
     _write_observability(tracer, args)
     if args.fingerprint:
         print(f"{circuit.fingerprint()}  {circuit.name}")
@@ -348,12 +396,36 @@ def _trace_analyze(args: argparse.Namespace) -> int:
 
     from repro.obs import analyze, render_analysis
 
-    _, spans, unit = _load_trace_spans(args.file)
+    events, spans, unit = _load_trace_spans(args.file)
     analysis = analyze(spans, top=args.top)
     print(render_analysis(analysis, unit=unit))
+    payload = analysis.to_dict()
+    if getattr(args, "roofline", False):
+        from repro.obs import (
+            kernel_rooflines,
+            render_kernel_rooflines,
+            rooflines_payload,
+            trace_counters_snapshot,
+        )
+
+        machine = MACHINES[args.machine]
+        # The functional engines run on the host, and the DES model costs
+        # the CPU version with the same number - so measured kernels are
+        # placed against the machine's CPU effective bandwidth.
+        bandwidth = machine.cpu.effective_bandwidth
+        rows = kernel_rooflines(trace_counters_snapshot(events), bandwidth)
+        print()
+        print(f"kernel roofline vs {machine.name} "
+              f"(CPU bound {bandwidth / 1e9:.1f} GB/s)")
+        print(render_kernel_rooflines(rows))
+        payload["roofline"] = {
+            "machine": machine.name,
+            "bound_bandwidth": bandwidth,
+            "kernels": rooflines_payload(rows),
+        }
     if args.json:
         Path(args.json).write_text(
-            json.dumps(analysis.to_dict(), sort_keys=True, indent=1) + "\n"
+            json.dumps(payload, sort_keys=True, indent=1) + "\n"
         )
         print(f"analysis JSON written to {args.json}")
     return 0
@@ -717,6 +789,75 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if report["violations"] else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.ledger import (
+        append_record,
+        baseline_for,
+        build_record,
+        diff_records,
+        load_ledger,
+        render_diff,
+        render_record,
+    )
+
+    if args.action == "append":
+        record = build_record(args.root)
+        append_record(args.ledger, record)
+        print(f"appended to {args.ledger}:")
+        print(render_record(record))
+        if args.json:
+            Path(args.json).write_text(
+                json.dumps(record, sort_keys=True, indent=1) + "\n"
+            )
+        return 0
+    records = load_ledger(args.ledger)
+    if not records:
+        print(f"{args.ledger} is empty", file=sys.stderr)
+        return 1
+    if args.action == "show":
+        for record in records[-args.last:]:
+            print(render_record(record))
+            print()
+        print(f"{len(records)} record(s) in {args.ledger}")
+        return 0
+    # diff: newest record vs its per-fingerprint baseline.
+    latest = records[-1]
+    baseline = baseline_for(records[:-1], latest)
+    if baseline is None:
+        print(f"no earlier record shares fingerprint "
+              f"{latest.get('fingerprint_id')} and mode {latest.get('mode')}; "
+              "nothing to compare (append another record on this machine)")
+        return 0
+    entries = diff_records(baseline, latest, tolerance=args.tolerance)
+    print(f"comparing @{latest.get('timestamp')} "
+          f"(git {latest.get('git_rev') or '?'}) against "
+          f"@{baseline.get('timestamp')} (git {baseline.get('git_rev') or '?'})")
+    print(render_diff(entries, tolerance=args.tolerance))
+    regressions = [e for e in entries if e.regressed]
+    if args.json:
+        payload = {
+            "baseline_timestamp": baseline.get("timestamp"),
+            "latest_timestamp": latest.get("timestamp"),
+            "fingerprint_id": latest.get("fingerprint_id"),
+            "tolerance": args.tolerance,
+            "regressions": [
+                {
+                    "bench": e.bench, "metric": e.metric,
+                    "baseline": e.baseline, "latest": e.latest,
+                    "ratio": e.ratio, "direction": e.direction,
+                }
+                for e in regressions
+            ],
+            "compared": len(entries),
+        }
+        Path(args.json).write_text(
+            json.dumps(payload, sort_keys=True, indent=1) + "\n"
+        )
+    return 1 if regressions else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Q-GPU reproduction toolkit"
@@ -751,6 +892,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "(logical + workers=1 is byte-reproducible)")
         cmd.add_argument("--metrics", metavar="FILE",
                          help="write the counter snapshot JSON here")
+        cmd.add_argument("--profile", nargs="?", const="repro.profile",
+                         metavar="BASE",
+                         help="sample wall-clock stacks during the run and "
+                              "write BASE.folded + BASE.svg (default base: "
+                              "repro.profile)")
+        cmd.add_argument("--memory", action="store_true",
+                         help="record per-span peak-RSS and tracemalloc "
+                              "allocation histograms")
 
     simulate = sub.add_parser("simulate", help="exact functional simulation")
     _add_circuit_options(simulate)
@@ -836,6 +985,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--json", metavar="FILE",
                        help="also write the analyze/critical-path result "
                             "as JSON")
+    trace.add_argument("--roofline", action="store_true",
+                       help="'analyze': also report per-kernel achieved "
+                            "throughput vs the machine's CPU bandwidth "
+                            "bound (from the trace's kernel counters)")
     trace.add_argument("--tolerance", type=float, default=0.15,
                        help="'drift': max per-stage share drift tolerated")
     trace.add_argument("--report", metavar="FILE",
@@ -976,6 +1129,29 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--report", metavar="FILE",
                        help="write the full soak report JSON here")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench",
+        help="the perf ledger over the BENCH_*.json benchmark artifacts",
+    )
+    bench.add_argument("target", choices=["ledger"],
+                       help="what to operate on (only 'ledger' so far)")
+    bench.add_argument("action", choices=["append", "show", "diff"],
+                       help="append the current BENCH files as a record, "
+                            "show recent records, or diff the newest "
+                            "record against its per-fingerprint baseline")
+    bench.add_argument("--ledger", default="BENCH_LEDGER.jsonl",
+                       metavar="FILE", help="ledger file (JSONL)")
+    bench.add_argument("--root", default=".", metavar="DIR",
+                       help="directory holding the BENCH_*.json files")
+    bench.add_argument("--tolerance", type=float, default=0.05,
+                       help="'diff': allowed fractional move in the worse "
+                            "direction before a metric regresses")
+    bench.add_argument("--last", type=int, default=1,
+                       help="'show': records to print")
+    bench.add_argument("--json", metavar="FILE",
+                       help="also write the record/diff result as JSON")
+    bench.set_defaults(fn=_cmd_bench)
 
     return parser
 

@@ -283,7 +283,11 @@ class QGpuSimulator:
         tracer = self.tracer
         backend, precision = self._route(circuit, tracer)
         previous_counters = (
-            set_kernel_counters(tracer.counters) if tracer is not NULL_TRACER else None
+            set_kernel_counters(
+                tracer.counters, timing=not tracer.clock.deterministic
+            )
+            if tracer is not NULL_TRACER
+            else None
         )
         run_span = (
             tracer.span(
@@ -326,7 +330,7 @@ class QGpuSimulator:
             )
         finally:
             if tracer is not NULL_TRACER:
-                set_kernel_counters(previous_counters)
+                set_kernel_counters(*previous_counters)
 
     # -- planner routing ----------------------------------------------------
 

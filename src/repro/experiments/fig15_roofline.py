@@ -8,11 +8,11 @@ lower arithmetic intensity, and Q-GPU achieves far more than either.
 
 from __future__ import annotations
 
-from repro.analysis.roofline import RooflinePoint, roofline_point
+from repro.analysis.roofline import RooflinePoint
 from repro.core.versions import BASELINE, NAIVE, QGPU
 from repro.experiments.base import ExperimentResult, register
-from repro.experiments.common import timed_run
 from repro.hardware.specs import MachineSpec, PCIE3_X16, V100_16GB, XEON_4114_DUAL
+from repro.obs.roofline import model_roofline_points
 
 #: The paper's roofline server: V100 16 GB with a capable host.
 ROOFLINE_MACHINE = MachineSpec(
@@ -34,21 +34,22 @@ def run() -> ExperimentResult:
                  "ceiling_GFLOPS", "pct_of_ceiling"],
     )
     points: dict[tuple[str, int, str], RooflinePoint] = {}
-    for family in CIRCUITS:
-        for size in SIZES:
-            for version in VERSIONS:
-                timing = timed_run(family, size, version, machine=ROOFLINE_MACHINE)
-                point = roofline_point(timing, V100_16GB)
-                points[(family, size, version.name)] = point
-                result.rows.append(
-                    [
-                        f"{family}_{size}/{version.name}",
-                        point.arithmetic_intensity,
-                        point.achieved_flops / 1e9,
-                        point.ceiling_flops / 1e9,
-                        100 * point.efficiency,
-                    ]
-                )
+    # The sweep itself lives in repro.obs.roofline so the live-telemetry
+    # side and this experiment stay on one implementation; the sequence
+    # order matches the historical loop, so the rows are byte-identical.
+    for (family, size, version_name), point in model_roofline_points(
+        CIRCUITS, SIZES, VERSIONS, machine=ROOFLINE_MACHINE, gpu=V100_16GB
+    ):
+        points[(family, size, version_name)] = point
+        result.rows.append(
+            [
+                f"{family}_{size}/{version_name}",
+                point.arithmetic_intensity,
+                point.achieved_flops / 1e9,
+                point.ceiling_flops / 1e9,
+                100 * point.efficiency,
+            ]
+        )
     result.data["points"] = points
     result.notes.append(
         "paper: all points memory-bound; baseline collapses past 31 qubits"

@@ -58,8 +58,32 @@ from repro.obs.export import (
     write_trace,
 )
 from repro.obs.hist import Histogram, bucket_exponent
+from repro.obs.ledger import (
+    MetricDiff,
+    append_record,
+    baseline_for,
+    build_record,
+    diff_records,
+    environment_fingerprint,
+    flatten_numeric,
+    load_ledger,
+    render_diff,
+    render_record,
+)
 from repro.obs.log import JsonLogFormatter, configure_logging, get_logger
+from repro.obs.profile import (
+    SamplingProfiler,
+    process_peak_rss_bytes,
+    process_rss_bytes,
+    render_flamegraph,
+)
 from repro.obs.prom import render_prometheus, sanitize_metric_name
+from repro.obs.roofline import (
+    KernelRoofline,
+    kernel_rooflines,
+    render_kernel_rooflines,
+    rooflines_payload,
+)
 from repro.obs.tracer import (
     DES_RESOURCE_STAGES,
     NULL_TRACER,
@@ -80,10 +104,13 @@ __all__ = [
     "DriftReport",
     "Histogram",
     "JsonLogFormatter",
+    "KernelRoofline",
     "LogicalClock",
+    "MetricDiff",
     "NULL_TRACER",
     "OverlapStats",
     "STAGES",
+    "SamplingProfiler",
     "Span",
     "StageDrift",
     "StageRollup",
@@ -92,22 +119,37 @@ __all__ = [
     "Tracer",
     "WallClock",
     "analyze",
+    "append_record",
+    "baseline_for",
     "bucket_exponent",
+    "build_record",
     "check_spans",
     "configure_logging",
     "critical_path",
+    "diff_records",
     "drift_report",
+    "environment_fingerprint",
     "events_from_spans",
+    "flatten_numeric",
     "get_logger",
+    "kernel_rooflines",
+    "load_ledger",
     "load_trace_events",
     "measured_breakdown",
     "metrics_json",
     "overlap_stats",
     "predicted_breakdown",
+    "process_peak_rss_bytes",
+    "process_rss_bytes",
     "render_analysis",
     "render_critical_path",
+    "render_diff",
+    "render_flamegraph",
+    "render_kernel_rooflines",
     "render_prometheus",
+    "render_record",
     "render_summary",
+    "rooflines_payload",
     "sanitize_metric_name",
     "spans_from_events",
     "stage_for_resource",

@@ -164,10 +164,14 @@ class ServiceHTTPServer:
 
     def gauges(self) -> dict[str, float]:
         """Point-in-time values that don't belong in the counter registry."""
+        from repro.obs.profile import process_peak_rss_bytes, process_rss_bytes
+
         supervision = self.service.supervision_snapshot()
         values: dict[str, float] = {
             "up": 1.0,
             "uptime_seconds": time.monotonic() - self._started_at,
+            "process_rss_bytes": float(process_rss_bytes()),
+            "process_peak_rss_bytes": float(process_peak_rss_bytes()),
             "queue_depth_max": float(self.service.metrics.max_queue_depth),
             "watchdog_reaps": float(supervision["watchdog_reaps"]),
             "watched_jobs": float(supervision["watched_jobs"]),

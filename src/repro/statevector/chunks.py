@@ -39,6 +39,7 @@ from repro.statevector.kernels import (
     apply_single_qubit_inplace,
     chunk_diagonal_factor,
     count_kernel,
+    kernel_work,
 )
 
 
@@ -209,50 +210,58 @@ class ChunkedStateVector:
         if engine is not None:
             engine.apply_groups(self, gate, groups)
             return self
+        itemsize = np.dtype(self.dtype).itemsize
         if gate.is_diagonal:
             # Diagonal gates never mix amplitudes: multiply each member
             # chunk in place (zero-copy, bit-identical to the gathered
             # path - the same multiplier hits the same amplitude).
-            count_kernel("diagonal", sum(len(members) for members in groups))
-            cache: dict[int, np.ndarray | complex] = {}
-            chunks = self.chunks
-            for members in groups:
-                for member in members:
-                    apply_diagonal_chunk(chunks[member], gate, self.chunk_bits, member, cache)
+            member_count = sum(len(members) for members in groups)
+            count_kernel("diagonal", member_count)
+            with kernel_work("diagonal", member_count << self.chunk_bits, itemsize):
+                cache: dict[int, np.ndarray | complex] = {}
+                chunks = self.chunks
+                for members in groups:
+                    for member in members:
+                        apply_diagonal_chunk(
+                            chunks[member], gate, self.chunk_bits, member, cache
+                        )
             return self
         outside = [q for q in gate.qubits if q >= self.chunk_bits]
         if not outside:
             count_kernel("dense", len(groups))
-            chunks = self.chunks
-            if isinstance(gate, GateSlab) and gate.num_qubits == 1:
-                # A width-1 dense slab (e.g. h.rz.h on one qubit): one
-                # tiled in-place sweep instead of a gather per member gate.
-                matrix = gate.matrix()
-                qubit = gate.qubits[0]
-                for (index,) in groups:
-                    apply_single_qubit_inplace(chunks[index], matrix, qubit)
-            else:
-                for (index,) in groups:
-                    apply_gate(chunks[index], gate)
+            with kernel_work("dense", len(groups) << self.chunk_bits, itemsize):
+                chunks = self.chunks
+                if isinstance(gate, GateSlab) and gate.num_qubits == 1:
+                    # A width-1 dense slab (e.g. h.rz.h on one qubit): one
+                    # tiled in-place sweep instead of a gather per member gate.
+                    matrix = gate.matrix()
+                    qubit = gate.qubits[0]
+                    for (index,) in groups:
+                        apply_single_qubit_inplace(chunks[index], matrix, qubit)
+                else:
+                    for (index,) in groups:
+                        apply_gate(chunks[index], gate)
             return self
         count_kernel("gather", len(groups))
+        gathered_amps = sum(len(members) for members in groups) << self.chunk_bits
+        with kernel_work("gather", gathered_amps, itemsize):
+            # Baseline serial path: remap outside qubits onto the extra axes
+            # of the gathered buffer - gathered index = (member rank <<
+            # chunk_bits) | offset, member rank bits ordered by ascending
+            # outside qubit.
+            ascending_outside = sorted(outside)
+            mapping = {q: q for q in gate.qubits if q < self.chunk_bits}
+            for rank, q in enumerate(ascending_outside):
+                mapping[q] = self.chunk_bits + rank
+            remapped = gate.remapped(mapping)
 
-        # Baseline serial path: remap outside qubits onto the extra axes of
-        # the gathered buffer - gathered index = (member rank << chunk_bits)
-        # | offset, member rank bits ordered by ascending outside qubit.
-        ascending_outside = sorted(outside)
-        mapping = {q: q for q in gate.qubits if q < self.chunk_bits}
-        for rank, q in enumerate(ascending_outside):
-            mapping[q] = self.chunk_bits + rank
-        remapped = gate.remapped(mapping)
-
-        chunks = self.chunks
-        for members in groups:
-            gathered = np.concatenate([chunks[index] for index in members])
-            apply_gate(gathered, remapped)
-            for position, index in enumerate(members):
-                start = position << self.chunk_bits
-                chunks[index][...] = gathered[start : start + self.chunk_size]
+            chunks = self.chunks
+            for members in groups:
+                gathered = np.concatenate([chunks[index] for index in members])
+                apply_gate(gathered, remapped)
+                for position, index in enumerate(members):
+                    start = position << self.chunk_bits
+                    chunks[index][...] = gathered[start : start + self.chunk_size]
         return self
 
     def run(
@@ -309,7 +318,11 @@ class ChunkedStateVector:
         resolved = resolve_workers(workers, 1 << self.num_qubits)
         engine = ParallelChunkEngine(resolved, tracer) if resolved > 1 else None
         previous_counters = (
-            set_kernel_counters(tracer.counters) if tracer is not NULL_TRACER else None
+            set_kernel_counters(
+                tracer.counters, timing=not tracer.clock.deterministic
+            )
+            if tracer is not NULL_TRACER
+            else None
         )
         ops = (
             fuse_slabs(list(circuit), chunk_bits=self.chunk_bits)
@@ -354,7 +367,7 @@ class ChunkedStateVector:
                     )
         finally:
             if tracer is not NULL_TRACER:
-                set_kernel_counters(previous_counters)
+                set_kernel_counters(*previous_counters)
             if engine is not None:
                 engine.close()
         return self

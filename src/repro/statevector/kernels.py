@@ -42,6 +42,7 @@ All kernels are shape-agnostic numpy; the worker pool in
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
@@ -54,16 +55,26 @@ from repro.errors import SimulationError
 #: chunk, so the disabled cost is one None-check per gate.
 _kernel_counters = None
 
+#: Whether dispatch wall-timing (``kernel_seconds.<kind>``) is recorded.
+#: Deterministic-clock runs install ``timing=False``: wall seconds would
+#: break the byte-identical logical-clock trace promise, while the
+#: amps/bytes work counters are exact integers and stay.
+_kernel_timing = True
 
-def set_kernel_counters(registry):
-    """Install the registry kernel invocations count into; returns the old one.
 
-    Pass ``None`` to disable counting.  Callers restore the previous
-    registry when done (the simulator does this around each run).
+def set_kernel_counters(registry, timing=True):
+    """Install the registry kernel work is recorded into.
+
+    Pass ``None`` to disable counting; ``timing=False`` keeps the
+    deterministic amps/bytes counters but skips wall-seconds (what the
+    simulator installs for logical-clock tracers).  Returns the previous
+    ``(registry, timing)`` pair - restore it with
+    ``set_kernel_counters(*previous)``.
     """
-    global _kernel_counters
-    previous = _kernel_counters
+    global _kernel_counters, _kernel_timing
+    previous = (_kernel_counters, _kernel_timing)
     _kernel_counters = registry
+    _kernel_timing = timing
     return previous
 
 
@@ -72,6 +83,71 @@ def count_kernel(kind: str, n: int = 1) -> None:
     registry = _kernel_counters
     if registry is not None:
         registry.count(f"kernels.{kind}", n)
+
+
+class _NullWork:
+    """Shared no-op work scope for the uninstalled-registry path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullWork":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_WORK = _NullWork()
+
+
+class _KernelWork:
+    """Times one batched kernel dispatch; records amps, bytes, seconds."""
+
+    __slots__ = ("kind", "amps", "nbytes", "_start")
+
+    def __init__(self, kind: str, amps: int, nbytes: int) -> None:
+        self.kind = kind
+        self.amps = amps
+        self.nbytes = nbytes
+        self._start = 0.0
+
+    def __enter__(self) -> "_KernelWork":
+        self._start = time.perf_counter() if _kernel_timing else 0.0
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        registry = _kernel_counters
+        if registry is not None:
+            if _kernel_timing:
+                elapsed = time.perf_counter() - self._start
+                registry.add(f"kernel_seconds.{self.kind}", elapsed)
+            registry.add(f"kernel_amps.{self.kind}", self.amps)
+            registry.add(f"kernel_bytes.{self.kind}", self.nbytes)
+        return False
+
+
+def kernel_work(kind: str, amps: int, itemsize: int = 16):
+    """Work scope around one batched kernel dispatch of ``kind``.
+
+    Use as a context manager wrapping the whole per-gate dispatch (never
+    per chunk); on exit it accumulates ``kernel_seconds.<kind>``,
+    ``kernel_amps.<kind>`` and ``kernel_bytes.<kind>`` into the installed
+    registry - the live-roofline inputs :mod:`repro.obs.roofline` turns
+    into achieved amps/s and bytes/amp per kernel kind.
+
+    Bytes use the DES cost model's convention (read + write every touched
+    amplitude: ``2 * amps * itemsize``, see
+    :class:`~repro.core.executor`), so achieved bandwidth is directly
+    comparable with the model's bound; kinds that move extra traffic
+    (``gather``'s copy in/out) simply land further from the roof, which
+    is the point of measuring them.
+
+    When no registry is installed this returns a shared no-op scope: the
+    disabled cost is one module-global read per gate.
+    """
+    if _kernel_counters is None:
+        return _NULL_WORK
+    return _KernelWork(kind, amps, 2 * amps * itemsize)
 
 
 #: Amplitudes each fused matmul call touches: ~4 MiB of complex128, sized

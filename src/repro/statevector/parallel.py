@@ -47,6 +47,7 @@ from repro.statevector.kernels import (
     apply_single_qubit_inplace,
     chunk_diagonal_factor,
     count_kernel,
+    kernel_work,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -247,43 +248,57 @@ class ParallelChunkEngine:
             state.apply_groups(gate, groups, None)
             return
         outside = [q for q in gate.qubits if q >= chunk_bits]
+        itemsize = np.dtype(state.dtype).itemsize
         if gate.is_diagonal:
-            count_kernel("diagonal", sum(len(g) for g in groups))
-            self._apply_diagonal(state, gate, groups)
+            member_count = sum(len(g) for g in groups)
+            count_kernel("diagonal", member_count)
+            with kernel_work("diagonal", member_count << chunk_bits, itemsize):
+                self._apply_diagonal(state, gate, groups)
         elif not outside:
             if gate.num_qubits == 1:
                 matrix = gate.matrix()
                 qubit = gate.qubits[0]
                 if len(groups) == state.num_chunks:
                     count_kernel("inside_fused", self._fused_parts)
-                    self._apply_fused(state, gate)
+                    amps = state.num_chunks << chunk_bits
+                    with kernel_work("inside_fused", amps, itemsize):
+                        self._apply_fused(state, gate)
                 else:
                     count_kernel("dense", len(groups))
                     chunks = state.chunks
-                    self._round_robin(
-                        [group[0] for group in groups],
-                        lambda m: apply_single_qubit_inplace(chunks[m], matrix, qubit),
-                    )
+                    with kernel_work("dense", len(groups) << chunk_bits, itemsize):
+                        self._round_robin(
+                            [group[0] for group in groups],
+                            lambda m: apply_single_qubit_inplace(
+                                chunks[m], matrix, qubit
+                            ),
+                        )
             else:
                 count_kernel("dense", len(groups))
                 members = [group[0] for group in groups]
                 chunks = state.chunks
-                self._round_robin(members, lambda m: apply_gate(chunks[m], gate))
+                with kernel_work("dense", len(groups) << chunk_bits, itemsize):
+                    self._round_robin(members, lambda m: apply_gate(chunks[m], gate))
         elif gate.num_qubits == 1:
             if len(groups) == state.num_chunks // 2:
                 count_kernel("fused", self._fused_parts)
-                self._apply_fused(state, gate)
+                amps = state.num_chunks << chunk_bits
+                with kernel_work("fused", amps, itemsize):
+                    self._apply_fused(state, gate)
             else:
                 count_kernel("pair", len(groups))
                 matrix = gate.matrix()
                 chunks = state.chunks
-                self._round_robin(
-                    list(groups),
-                    lambda g: apply_pair(chunks[g[0]], chunks[g[1]], matrix),
-                )
+                with kernel_work("pair", (2 * len(groups)) << chunk_bits, itemsize):
+                    self._round_robin(
+                        list(groups),
+                        lambda g: apply_pair(chunks[g[0]], chunks[g[1]], matrix),
+                    )
         else:
             count_kernel("gather", len(groups))
-            self._apply_gathered(state, gate, groups, outside)
+            gathered = sum(len(g) for g in groups) << chunk_bits
+            with kernel_work("gather", gathered, itemsize):
+                self._apply_gathered(state, gate, groups, outside)
 
     # -- kernel drivers ------------------------------------------------------
 

@@ -1,0 +1,128 @@
+"""Prometheus exposition edge cases: empty series, names, bucket laws."""
+
+from __future__ import annotations
+
+import re
+import urllib.request
+
+import pytest
+
+from repro.obs import CounterRegistry
+from repro.obs.prom import render_prometheus, sanitize_metric_name
+from repro.service import BatchService, JobSpec, ServiceHTTPServer
+
+
+class TestSanitizeMetricName:
+    def test_dots_and_dashes_become_underscores(self):
+        assert sanitize_metric_name("kernel_seconds.dense") == "kernel_seconds_dense"
+        assert sanitize_metric_name("span-seconds") == "span_seconds"
+
+    def test_leading_digit_gets_underscore_prefix(self):
+        assert sanitize_metric_name("2q_gates") == "_2q_gates"
+
+    def test_already_valid_names_pass_through(self):
+        assert sanitize_metric_name("jobs_submitted") == "jobs_submitted"
+
+    def test_every_output_matches_the_prometheus_grammar(self):
+        grammar = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+        for ugly in ("a.b-c", "9lives", "sp an", "x{y}", "μops", "a..b"):
+            assert grammar.match(sanitize_metric_name(ugly)), ugly
+
+
+class TestZeroObservationHistogram:
+    """A registered-but-never-observed series must still expose legally."""
+
+    def test_renders_type_inf_bucket_sum_and_count(self):
+        registry = CounterRegistry()
+        registry.histogram("span_seconds", stage="compute")  # no observe()
+        text = render_prometheus(registry)
+        assert "# TYPE repro_span_seconds histogram" in text
+        assert 'repro_span_seconds_bucket{stage="compute",le="+Inf"} 0' in text
+        assert 'repro_span_seconds_sum{stage="compute"} 0' in text
+        assert 'repro_span_seconds_count{stage="compute"} 0' in text
+
+    def test_no_finite_buckets_before_inf(self):
+        registry = CounterRegistry()
+        registry.histogram("empty_series")
+        text = render_prometheus(registry)
+        finite = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_empty_series_bucket") and "+Inf" not in line
+        ]
+        assert finite == []
+
+
+def _bucket_lines(body: str) -> dict[str, list[tuple[float, int]]]:
+    """Parse ``<name>_bucket{...le="<bound>"...} <cumulative>`` lines.
+
+    Returns, per (metric name + non-le labels) series, the (le, count)
+    pairs in exposition order, with ``+Inf`` mapped to ``inf``.
+    """
+    series: dict[str, list[tuple[float, int]]] = {}
+    pattern = re.compile(r'^(\S+_bucket)\{(.*)\} (\d+)$')
+    for line in body.splitlines():
+        match = pattern.match(line)
+        if not match:
+            continue
+        name, labels, count = match.groups()
+        le = None
+        others = []
+        for part in labels.split(","):
+            key, value = part.split("=", 1)
+            if key == "le":
+                le = float("inf") if value == '"+Inf"' else float(value.strip('"'))
+            else:
+                others.append(part)
+        assert le is not None, f"bucket line without le label: {line}"
+        series.setdefault(f"{name}{{{','.join(others)}}}", []).append(
+            (le, int(count))
+        )
+    return series
+
+
+class TestLiveMetricsEndpoint:
+    """Bucket laws checked against a real scrape, not a crafted registry."""
+
+    @pytest.fixture()
+    def metrics_body(self):
+        service = BatchService(workers=1)
+        service.submit(JobSpec(family="bv", qubits=6, shots=4))
+        service.submit(JobSpec(family="gs", qubits=6))
+        service.run_until_complete()
+        server = ServiceHTTPServer(service, port=0).start()
+        try:
+            with urllib.request.urlopen(f"{server.url}/metrics", timeout=10) as r:
+                yield r.read().decode("utf-8")
+        finally:
+            server.stop()
+
+    def test_buckets_are_cumulative_monotone_and_capped_by_count(self, metrics_body):
+        series = _bucket_lines(metrics_body)
+        assert series, "live /metrics exposed no histogram buckets"
+        for key, pairs in series.items():
+            bounds = [le for le, _ in pairs]
+            counts = [count for _, count in pairs]
+            assert bounds == sorted(bounds), f"{key}: le bounds not ascending"
+            assert bounds[-1] == float("inf"), f"{key}: missing +Inf bucket"
+            assert counts == sorted(counts), f"{key}: cumulative counts decrease"
+            name = key.split("{", 1)[0].removesuffix("_bucket")
+            labels = key.split("{", 1)[1].rstrip("}")
+            suffix = f"{{{labels}}}" if labels else ""
+            count_line = re.search(
+                rf"^{re.escape(name)}_count{re.escape(suffix)} (\d+)$",
+                metrics_body,
+                re.MULTILINE,
+            )
+            assert count_line, f"{key}: no matching _count line"
+            assert counts[-1] == int(count_line.group(1)), (
+                f"{key}: +Inf bucket disagrees with _count"
+            )
+
+    def test_all_metric_names_are_legal(self, metrics_body):
+        grammar = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+        for line in metrics_body.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name = line.split("{", 1)[0].split(" ", 1)[0]
+            assert grammar.match(name), f"illegal metric name {name!r}"
