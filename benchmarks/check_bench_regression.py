@@ -89,6 +89,68 @@ def ledger_gate(
     return verdict
 
 
+def fleet_gate(bench_path: Path) -> dict:
+    """Fleet-observatory invariants over ``BENCH_fleet.json``.
+
+    Host-portable correctness checks, not timing thresholds: the
+    trace-side communication matrix must equal the DES executor's own
+    transfer accounting exactly, load imbalance is >= 1 by construction,
+    and every strong-scaling row must report positive time and speedup
+    (no linearity gate - the closed-form model legitimately goes
+    superlinear once the aggregate pool holds the whole state).
+    """
+    verdict: dict = {
+        "gate": "fleet",
+        "bench": str(bench_path),
+        "checks": [],
+        "failures": [],
+        "passed": True,
+    }
+    if not bench_path.exists():
+        verdict["note"] = "no BENCH_fleet.json; run benchmarks/test_fleet_scaling.py"
+        return verdict
+    try:
+        payload = json.loads(bench_path.read_text())
+    except (OSError, ValueError) as exc:
+        verdict["failures"].append(f"unreadable bench file: {exc}")
+        verdict["passed"] = False
+        return verdict
+
+    def check(name: str, passed: bool, detail: str) -> None:
+        verdict["checks"].append(
+            {"case": name, "passed": passed, "detail": detail}
+        )
+        if not passed:
+            verdict["failures"].append(f"{name}: {detail}")
+
+    comm = payload.get("comm_bytes_total")
+    des = payload.get("des_transfer_bytes")
+    if comm is not None or des is not None:
+        check(
+            "comm_identity",
+            comm == des and comm is not None,
+            f"trace comm matrix {comm} vs DES transfers {des}",
+        )
+        imbalance = payload.get("load_imbalance")
+        check(
+            "load_imbalance",
+            isinstance(imbalance, (int, float)) and imbalance >= 1.0,
+            f"max/mean busy = {imbalance}",
+        )
+    for sweep in ("strong", "weak"):
+        rows = payload.get(sweep) or []
+        for row in rows:
+            ok = row.get("seconds", 0) > 0 and (
+                sweep == "weak" or row.get("speedup", 0) > 0
+            )
+            if not ok:
+                check(sweep, False, f"non-positive metrics in {row.get('name')}")
+        if rows:
+            check(sweep, True, f"{len(rows)} rows positive")
+    verdict["passed"] = not verdict["failures"]
+    return verdict
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", default=".",
@@ -118,6 +180,7 @@ def main(argv: list[str] | None = None) -> int:
             min_accuracy=args.min_accuracy,
             min_speedup=args.min_speedup,
         ),
+        fleet_gate(root / "BENCH_fleet.json"),
         ledger_gate(ledger_path, tolerance=args.ledger_tolerance),
     ]
     combined = {

@@ -320,6 +320,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return _trace_critical_path(args)
     if args.action == "drift":
         return _trace_drift(args)
+    if getattr(args, "devices", None):
+        return _trace_export_fleet(args)
 
     from repro.core.schedule import GateStreamPlan, stream_makespan
     from repro.core.simulator import QGpuSimulator
@@ -359,6 +361,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                                  process_name=f"{circuit.name}/{version.name}")
     print(f"wrote {written} bytes to {args.output} "
           f"(open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def _trace_export_fleet(args: argparse.Namespace) -> int:
+    """``trace export --devices N``: chunk-granular multi-device DES trace."""
+    from repro.core.detailed import DetailedExecutor
+    from repro.hardware.machine import Machine
+    from repro.hardware.trace import write_chrome_trace
+
+    circuit = _load_circuit(args)
+    version = VERSIONS_BY_NAME[args.version]
+    executor = DetailedExecutor(
+        Machine(MACHINES[args.machine]),
+        chunk_bits=args.chunk_bits,
+        capacity_bytes=int(args.capacity_mib * (1 << 20)),
+        devices=args.devices,
+    )
+    run = executor.execute(circuit, version)
+    written = write_chrome_trace(
+        run.timeline, args.output,
+        process_name=f"{circuit.name}/{version.name}/x{run.devices}",
+    )
+    print(f"wrote {written} bytes to {args.output} "
+          f"({run.devices} device(s), makespan {run.makespan:.6g} s, "
+          f"{run.bytes_h2d + run.bytes_d2h:.6g} bytes transferred)")
     return 0
 
 
@@ -423,6 +450,24 @@ def _trace_analyze(args: argparse.Namespace) -> int:
             "bound_bandwidth": bandwidth,
             "kernels": rooflines_payload(rows),
         }
+    if getattr(args, "fleet", False):
+        from repro.obs import fleet_analysis, render_fleet
+
+        fleet = fleet_analysis(spans)
+        print()
+        print(render_fleet(fleet, unit=unit))
+        payload["fleet"] = fleet.to_dict()
+        if getattr(args, "prom", None):
+            from repro.obs import (
+                CounterRegistry,
+                fleet_gauges,
+                render_prometheus,
+            )
+
+            Path(args.prom).write_text(
+                render_prometheus(CounterRegistry(), gauges=fleet_gauges(fleet))
+            )
+            print(f"fleet gauges written to {args.prom}")
     if args.json:
         Path(args.json).write_text(
             json.dumps(payload, sort_keys=True, indent=1) + "\n"
@@ -979,6 +1024,23 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--gates", type=int, default=6,
                        help="streamed gates to include")
     trace.add_argument("--output", default="qgpu_trace.json")
+    trace.add_argument("--devices", type=int, metavar="N",
+                       help="'export': stream over N devices with the "
+                            "chunk-granular DES executor (per-device lanes "
+                            "and link-transfer spans) instead of the "
+                            "closed-form stream schedule")
+    trace.add_argument("--chunk-bits", type=int, default=14,
+                       help="'export --devices': within-chunk qubits of "
+                            "the scaled-down DES run")
+    trace.add_argument("--capacity-mib", type=float, default=4.0,
+                       help="'export --devices': per-device buffer "
+                            "capacity (MiB)")
+    trace.add_argument("--fleet", action="store_true",
+                       help="'analyze': add the fleet report (per-device "
+                            "busy/idle, link utilization, comm matrix)")
+    trace.add_argument("--prom", metavar="FILE",
+                       help="'analyze --fleet': write the fleet gauges in "
+                            "Prometheus text format")
     trace.add_argument("--top", type=int, default=5,
                        help="bottlenecks ('analyze') or segments "
                             "('critical-path') to print")

@@ -20,6 +20,7 @@ from repro.experiments import (  # noqa: F401 - imports register experiments
     fig16_other_simulators,
     fig17_v100_a100,
     fig19_multigpu,
+    fleet_scaling,
     tab2_involvement,
     tab3_deep_circuits,
 )

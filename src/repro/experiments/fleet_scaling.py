@@ -1,0 +1,115 @@
+"""Fleet scaling study - strong/weak multi-GPU sweeps (2-64 devices).
+
+The ROADMAP's scale-out item asks how the Q-GPU streaming discipline holds
+up as the fleet grows.  Two classic sweeps over the paper's circuit
+families on the 4x V100 server scaled to 2-64 devices:
+
+* **strong scaling** - fixed problem (32 qubits); speedup is the 1-GPU
+  time over the d-GPU time, efficiency speedup/d.  Chunk streaming is
+  link-bound, so the model predicts near-linear scaling while every
+  device has its own link and enough chunk groups to stay busy;
+* **weak scaling** - the state doubles with the device count
+  (``n = 26 + log2(d)``), keeping per-device amplitudes constant;
+  efficiency is the 1-GPU base-size time over the d-GPU scaled-size time.
+
+Both sweeps use the closed-form :class:`~repro.core.executor.TimedExecutor`
+(the chunk-granular DES executor validates the same model at small sizes;
+``benchmarks/test_fleet_scaling.py`` runs it for the comm-matrix identity
+and emits ``BENCH_fleet.json`` for the perf ledger).  ``QGPU_BENCH_SMOKE=1``
+switches to the reduced smoke grid CI sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from repro.circuits.library import FAMILIES
+from repro.core.versions import QGPU
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.common import timed_run
+from repro.hardware.specs import MULTI_V100_MACHINE
+
+#: Device counts of the full sweep (powers of two, paper server scaled up).
+DEVICE_COUNTS = (2, 4, 8, 16, 32, 64)
+#: Reduced grid for CI smoke runs.
+SMOKE_DEVICE_COUNTS = (2, 4, 8)
+SMOKE_FAMILIES = ("bv", "qft", "iqp")
+
+#: Strong sweep: the Fig. 19 P4-server width, fixed across device counts.
+STRONG_QUBITS = 32
+#: Weak sweep base: ``WEAK_BASE_QUBITS + log2(devices)`` qubits per run
+#: keeps per-device amplitudes constant (64 devices -> 32 qubits).
+WEAK_BASE_QUBITS = 26
+
+
+def smoke_mode() -> bool:
+    """Whether the reduced smoke grid was requested via the environment."""
+    return os.environ.get("QGPU_BENCH_SMOKE", "").strip() not in ("", "0")
+
+
+@register("fleet")
+def run() -> ExperimentResult:
+    smoke = smoke_mode()
+    families = SMOKE_FAMILIES if smoke else FAMILIES
+    counts = SMOKE_DEVICE_COUNTS if smoke else DEVICE_COUNTS
+    base = MULTI_V100_MACHINE
+    result = ExperimentResult(
+        experiment_id="fleet",
+        title="Fleet scaling: strong/weak sweeps on the V100 server "
+              f"({min(counts)}-{max(counts)} devices)",
+        headers=["circuit", "devices", "strong s", "speedup", "eff",
+                 "weak n", "weak s", "weak eff"],
+    )
+    strong_rows: list[dict[str, float | int | str]] = []
+    weak_rows: list[dict[str, float | int | str]] = []
+    for family in families:
+        strong_ref = timed_run(
+            family, STRONG_QUBITS, QGPU, machine=base.with_gpu_count(1)
+        ).total_seconds
+        weak_ref = timed_run(
+            family, WEAK_BASE_QUBITS, QGPU, machine=base.with_gpu_count(1)
+        ).total_seconds
+        for devices in counts:
+            machine = base.with_gpu_count(devices)
+            strong = timed_run(
+                family, STRONG_QUBITS, QGPU, machine=machine
+            ).total_seconds
+            speedup = strong_ref / strong if strong else float("inf")
+            weak_qubits = WEAK_BASE_QUBITS + int(math.log2(devices))
+            weak = timed_run(
+                family, weak_qubits, QGPU, machine=machine
+            ).total_seconds
+            weak_eff = weak_ref / weak if weak else float("inf")
+            strong_rows.append({
+                "name": f"{family}_d{devices}",
+                "family": family,
+                "devices": devices,
+                "qubits": STRONG_QUBITS,
+                "seconds": strong,
+                "speedup": speedup,
+                "efficiency": speedup / devices,
+            })
+            weak_rows.append({
+                "name": f"{family}_d{devices}",
+                "family": family,
+                "devices": devices,
+                "qubits": weak_qubits,
+                "seconds": weak,
+                "weak_efficiency": weak_eff,
+            })
+            result.rows.append([
+                family, devices, strong, speedup, speedup / devices,
+                weak_qubits, weak, weak_eff,
+            ])
+    result.data["mode"] = "smoke" if smoke else "full"
+    result.data["machine"] = base.name
+    result.data["device_counts"] = list(counts)
+    result.data["strong"] = strong_rows
+    result.data["weak"] = weak_rows
+    result.notes.append(
+        "strong: fixed 32 qubits; weak: 26+log2(d) qubits "
+        "(constant per-device state); reference is the same server "
+        "with one GPU"
+    )
+    return result

@@ -32,12 +32,15 @@ class Task:
         resource: Resource (engine) that executes the task.
         duration: Seconds of exclusive resource occupancy (>= 0).
         deps: Names of tasks that must finish before this one starts.
+        meta: Optional JSON-safe annotations carried into trace exports
+            (device, transfer bytes, link id); never affects scheduling.
     """
 
     name: str
     resource: str
     duration: float
     deps: tuple[str, ...] = ()
+    meta: dict | None = None
 
 
 @dataclass
@@ -78,14 +81,19 @@ class EventTimeline:
         self._by_name: dict[str, Task] = {}
 
     def add(
-        self, name: str, resource: str, duration: float, deps: tuple[str, ...] | list[str] = ()
+        self,
+        name: str,
+        resource: str,
+        duration: float,
+        deps: tuple[str, ...] | list[str] = (),
+        meta: dict | None = None,
     ) -> Task:
         """Register a task; returns it for convenient chaining."""
         if name in self._by_name:
             raise SchedulingError(f"duplicate task name {name!r}")
         if duration < 0:
             raise SchedulingError(f"task {name!r} has negative duration")
-        task = Task(name, resource, float(duration), tuple(deps))
+        task = Task(name, resource, float(duration), tuple(deps), meta)
         self._tasks.append(task)
         self._by_name[name] = task
         return task

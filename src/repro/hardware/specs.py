@@ -25,8 +25,12 @@ Calibration constants and their provenance:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.errors import HardwareModelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (topology uses specs)
+    from repro.hardware.topology import Topology
 
 GIB = 1 << 30
 GB = 10**9
@@ -140,6 +144,9 @@ class MachineSpec:
             its own link instance (PCIe slots / NVLink bricks).
         host_memory_bytes: Host DRAM capacity; simulations whose state
             vector exceeds it fail, as on the real machines (Section V-D).
+        topology: Explicit interconnect topology.  None (the default, and
+            every preset) means "derive it from the specs" - see
+            :meth:`interconnect`.
     """
 
     name: str
@@ -147,23 +154,52 @@ class MachineSpec:
     gpus: tuple[GpuSpec, ...]
     link: LinkSpec
     host_memory_bytes: int
+    topology: "Topology | None" = None
 
     def __post_init__(self) -> None:
         if not self.gpus:
             raise HardwareModelError(f"machine {self.name!r} has no GPUs")
         if self.host_memory_bytes <= 0:
             raise HardwareModelError(f"machine {self.name!r} has no host memory")
+        if self.topology is not None and self.topology.num_devices != len(self.gpus):
+            raise HardwareModelError(
+                f"machine {self.name!r} has {len(self.gpus)} GPU(s) but its "
+                f"topology names {self.topology.num_devices} device(s)"
+            )
 
     @property
     def gpu(self) -> GpuSpec:
         """The first (or only) GPU."""
         return self.gpus[0]
 
+    def interconnect(self) -> "Topology":
+        """This machine's interconnect topology.
+
+        Returns the explicit :attr:`topology` when one was given, else the
+        default derived from ``link``/``gpus`` (PCIe switch, or NVLink mesh
+        for NVLink-attached machines).  The derived topology reuses this
+        spec's link figures, so transfer pricing is identical either way.
+        """
+        if self.topology is not None:
+            return self.topology
+        from repro.hardware.topology import default_topology
+
+        return default_topology(self)
+
     def with_gpu_count(self, count: int) -> "MachineSpec":
-        """A copy of this machine with ``count`` identical GPUs."""
+        """A copy of this machine with ``count`` identical GPUs.
+
+        Any explicit topology is dropped (its device list would no longer
+        match); the copy derives its interconnect from the specs.
+        """
         if count <= 0:
             raise HardwareModelError("gpu count must be positive")
-        return replace(self, gpus=(self.gpus[0],) * count, name=f"{self.name}x{count}")
+        return replace(
+            self,
+            gpus=(self.gpus[0],) * count,
+            name=f"{self.name}x{count}",
+            topology=None,
+        )
 
 
 # ---------------------------------------------------------------------------

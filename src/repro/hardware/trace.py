@@ -4,6 +4,12 @@ Converts a :class:`~repro.hardware.events.TimelineResult` into the Trace
 Event Format consumed by ``chrome://tracing`` / Perfetto, so the Fig. 6
 overlap structure can be inspected interactively.  Durations are scaled to
 microseconds (the format's unit); each resource becomes a named "thread".
+
+Multi-device timelines (resources namespaced ``gpu{d}:h2d``) keep one lane
+per device engine, the thread metadata carries the owning device, and each
+task's ``meta`` annotations (device, link id, transfer bytes) land in the
+event ``args`` - which is what :mod:`repro.obs.fleet` reads back to build
+the communication matrix and per-link utilization.
 """
 
 from __future__ import annotations
@@ -12,6 +18,14 @@ import json
 from pathlib import Path
 
 from repro.hardware.events import TimelineResult
+
+
+def _device_of(resource: str) -> str | None:
+    """Device prefix of a namespaced resource (``gpu1:h2d`` -> ``gpu1``)."""
+    prefix, sep, _ = resource.partition(":")
+    if sep and not prefix.startswith("__"):
+        return prefix
+    return None
 
 
 def to_chrome_trace(
@@ -38,27 +52,42 @@ def to_chrome_trace(
         }
     ]
     for resource, tid in tids.items():
+        args: dict = {"name": resource}
+        device = _device_of(resource)
+        if device is not None:
+            args["device"] = device
         events.append(
             {
                 "name": "thread_name",
                 "ph": "M",
                 "pid": 1,
                 "tid": tid,
-                "args": {"name": resource},
+                "args": args,
             }
         )
-    for record in sorted(result.records.values(), key=lambda r: r.start):
-        events.append(
-            {
-                "name": record.task.name,
-                "cat": record.task.resource,
-                "ph": "X",
-                "pid": 1,
-                "tid": tids[record.task.resource],
-                "ts": record.start * time_scale,
-                "dur": record.task.duration * time_scale,
-            }
-        )
+    # Ties on start time are broken by lane then name: the engine's record
+    # order varies with set-iteration order across processes, and the
+    # byte-identical-export guarantee must not depend on it.
+    for record in sorted(
+        result.records.values(),
+        key=lambda r: (r.start, tids[r.task.resource], r.task.name),
+    ):
+        event = {
+            "name": record.task.name,
+            "cat": record.task.resource,
+            "ph": "X",
+            "pid": 1,
+            "tid": tids[record.task.resource],
+            "ts": record.start * time_scale,
+            "dur": record.task.duration * time_scale,
+        }
+        args = dict(record.task.meta) if record.task.meta else {}
+        device = _device_of(record.task.resource)
+        if device is not None:
+            args.setdefault("device", device)
+        if args:
+            event["args"] = args
+        events.append(event)
     return events
 
 

@@ -57,6 +57,15 @@ from repro.obs.export import (
     trace_process_name,
     write_trace,
 )
+from repro.obs.fleet import (
+    DeviceStats,
+    FleetAnalysis,
+    LinkStats,
+    fleet_analysis,
+    fleet_gauges,
+    render_fleet,
+    span_device,
+)
 from repro.obs.hist import Histogram, bucket_exponent
 from repro.obs.ledger import (
     MetricDiff,
@@ -90,6 +99,7 @@ from repro.obs.tracer import (
     STAGES,
     Span,
     Tracer,
+    device_for_resource,
     stage_for_resource,
 )
 from repro.obs.validate import check_spans, validate_spans, validate_trace_file
@@ -101,10 +111,13 @@ __all__ = [
     "CriticalSegment",
     "DES_RESOURCE_STAGES",
     "DRIFT_STAGES",
+    "DeviceStats",
     "DriftReport",
+    "FleetAnalysis",
     "Histogram",
     "JsonLogFormatter",
     "KernelRoofline",
+    "LinkStats",
     "LogicalClock",
     "MetricDiff",
     "NULL_TRACER",
@@ -126,11 +139,14 @@ __all__ = [
     "check_spans",
     "configure_logging",
     "critical_path",
+    "device_for_resource",
     "diff_records",
     "drift_report",
     "environment_fingerprint",
     "events_from_spans",
     "flatten_numeric",
+    "fleet_analysis",
+    "fleet_gauges",
     "get_logger",
     "kernel_rooflines",
     "load_ledger",
@@ -145,12 +161,14 @@ __all__ = [
     "render_critical_path",
     "render_diff",
     "render_flamegraph",
+    "render_fleet",
     "render_kernel_rooflines",
     "render_prometheus",
     "render_record",
     "render_summary",
     "rooflines_payload",
     "sanitize_metric_name",
+    "span_device",
     "spans_from_events",
     "stage_for_resource",
     "stage_rollups",

@@ -48,6 +48,7 @@ BENCH_FILES: tuple[tuple[str, str], ...] = (
     ("planner", "BENCH_planner.json"),
     ("service", "BENCH_service.json"),
     ("obs", "BENCH_obs.json"),
+    ("fleet", "BENCH_fleet.json"),
 )
 
 #: Default ledger filename at the repo root.

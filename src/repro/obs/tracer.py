@@ -56,7 +56,9 @@ STAGES: tuple[str, ...] = (
 )
 
 #: DES-model resource name -> taxonomy stage.  Every resource the event
-#: engine schedules must map here, which a test enforces.
+#: engine schedules must map here, which a test enforces.  Multi-device
+#: schedules namespace their resources by device (``gpu1:h2d``); the
+#: lookup strips that prefix, so the taxonomy stays device-agnostic.
 DES_RESOURCE_STAGES: dict[str, str] = {
     "h2d": "h2d",
     "gpu": "compute",
@@ -67,8 +69,29 @@ DES_RESOURCE_STAGES: dict[str, str] = {
 
 
 def stage_for_resource(resource: str) -> str | None:
-    """Taxonomy stage for a DES resource name (None when unmapped)."""
-    return DES_RESOURCE_STAGES.get(resource)
+    """Taxonomy stage for a DES resource name (None when unmapped).
+
+    Device-namespaced resources (``gpu1:h2d``) map by their engine suffix.
+    """
+    stage = DES_RESOURCE_STAGES.get(resource)
+    if stage is not None:
+        return stage
+    prefix, sep, suffix = resource.partition(":")
+    if sep and not prefix.startswith("__"):
+        return DES_RESOURCE_STAGES.get(suffix)
+    return None
+
+
+def device_for_resource(resource: str) -> str | None:
+    """Device prefix of a namespaced DES resource (``gpu1:h2d`` -> ``gpu1``).
+
+    None for un-namespaced (single-device) resources and for internal
+    dunder resources like the retry engine's backoff timers.
+    """
+    prefix, sep, suffix = resource.partition(":")
+    if sep and suffix in DES_RESOURCE_STAGES and not prefix.startswith("__"):
+        return prefix
+    return None
 
 
 @dataclass

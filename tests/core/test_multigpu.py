@@ -120,3 +120,83 @@ class TestOwnershipRoundTrip:
         assignment = assign_round_robin(7, 4, Gate("h", (0,)), 3)
         loads = [len(assignment.groups_of(gpu)) for gpu in range(3)]
         assert loads == [3, 3, 2]
+
+
+class TestFleetScale:
+    """Invariants across the fleet-observatory device range (2-64 GPUs)."""
+
+    FLEET_COUNTS = [2, 3, 4, 6, 8, 16, 32, 64]
+
+    @pytest.mark.parametrize("num_gpus", FLEET_COUNTS)
+    def test_partition_is_exact_at_every_fleet_size(self, num_gpus: int) -> None:
+        # 10 qubits, chunk = 2^4 -> 64 chunks; an outside-qubit gate pairs
+        # them into 32 groups.  Whatever the device count, the per-GPU
+        # chunk lists partition [0, 64) with no gaps or overlaps.
+        assignment = assign_round_robin(10, 4, Gate("h", (9,)), num_gpus)
+        owned = sorted(
+            index
+            for gpu in range(num_gpus)
+            for index in assignment.chunks_of(gpu)
+        )
+        assert owned == list(range(64))
+        assignment.validate()
+
+    @pytest.mark.parametrize("num_gpus", FLEET_COUNTS)
+    def test_round_robin_balance_within_one_group(self, num_gpus: int) -> None:
+        # Round robin never lets two GPUs differ by more than one group,
+        # even when the group count does not divide evenly.
+        assignment = assign_round_robin(10, 4, Gate("h", (9,)), num_gpus)
+        loads = [len(assignment.groups_of(gpu)) for gpu in range(num_gpus)]
+        assert max(loads) - min(loads) <= 1
+        assert sum(loads) == len(assignment.groups)
+
+    def test_more_gpus_than_groups_leaves_tail_idle(self) -> None:
+        # 7 qubits / chunk 2^4 / outside gate -> 4 groups; on a 64-GPU
+        # fleet only the first 4 devices own work, the rest stream nothing.
+        assignment = assign_round_robin(7, 4, Gate("h", (6,)), 64)
+        busy = [g for g in range(64) if assignment.groups_of(g)]
+        assert busy == [0, 1, 2, 3]
+        assert all(assignment.chunks_of(g) == [] for g in range(4, 64))
+        assignment.validate()
+
+    @pytest.mark.parametrize("num_gpus", [2, 8, 64])
+    def test_stream_order_matches_group_order(self, num_gpus: int) -> None:
+        # chunks_of streams groups in assignment order: each GPU's list is
+        # the concatenation of its groups, and group starts are increasing.
+        assignment = assign_round_robin(10, 4, Gate("cx", (8, 9)), num_gpus)
+        for gpu in range(num_gpus):
+            groups = assignment.groups_of(gpu)
+            flat = [index for group in groups for index in group]
+            assert assignment.chunks_of(gpu) == flat
+            starts = [group[0] for group in groups]
+            assert starts == sorted(starts)
+
+    @pytest.mark.parametrize("num_gpus", FLEET_COUNTS)
+    def test_co_residency_at_every_fleet_size(self, num_gpus: int) -> None:
+        # Paired chunks always land on the same device: this is what makes
+        # the schedule free of GPU-to-GPU traffic at any fleet size.
+        assignment = assign_round_robin(10, 4, Gate("cx", (8, 9)), num_gpus)
+        owner_of = {
+            index: owner
+            for group, owner in zip(assignment.groups, assignment.owners)
+            for index in group
+        }
+        for group in assignment.groups:
+            owners = {owner_of[index] for index in group}
+            assert len(owners) == 1
+
+    @pytest.mark.parametrize("num_gpus", FLEET_COUNTS)
+    def test_validate_catches_split_pair(self, num_gpus: int) -> None:
+        # Manually splitting one pair across devices must always be caught.
+        good = assign_round_robin(10, 4, Gate("h", (9,)), num_gpus)
+        split = tuple((index,) for group in good.groups for index in group)
+        owners = tuple(i % num_gpus for i in range(len(split)))
+        # Duplicate the first chunk under a second owner.
+        bad = GroupAssignment(
+            gate=good.gate,
+            groups=split + ((split[0][0],),),
+            owners=owners + (((owners[0] + 1) % num_gpus),),
+            num_gpus=num_gpus,
+        )
+        with pytest.raises(SchedulingError, match="assigned to GPUs"):
+            bad.validate()

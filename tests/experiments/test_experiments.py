@@ -19,7 +19,7 @@ from repro.experiments.base import ExperimentResult
 EXPECTED_IDS = {
     "fig2", "fig3", "fig4", "fig6", "fig7", "fig9", "fig10", "fig11",
     "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig19",
-    "tab2", "tab3",
+    "tab2", "tab3", "fleet",
 }
 
 

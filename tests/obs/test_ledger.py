@@ -80,7 +80,7 @@ class TestRecords:
         _write_benches(tmp_path)
         record = build_record(tmp_path, timestamp=100.0)
         assert set(record["benches"]) == {"kernels", "planner"}
-        assert sorted(record["missing"]) == ["obs", "service"]
+        assert sorted(record["missing"]) == ["fleet", "obs", "service"]
         assert record["mode"] == "smoke"
         assert record["timestamp"] == 100.0
         metrics = record["benches"]["planner"]["metrics"]

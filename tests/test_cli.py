@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -442,3 +444,85 @@ class TestServeBatchHttp:
         out = capsys.readouterr().out
         assert "observability endpoint: http://127.0.0.1:" in out
         assert "2 submitted, 2 succeeded" in out
+
+
+class TestFleetCli:
+    def _fleet_trace(self, tmp_path) -> str:
+        trace = tmp_path / "fleet.trace.json"
+        assert main(["trace", "--devices", "4", "--family", "qft",
+                     "--qubits", "20", "--version", "Overlap",
+                     "--machine", "multi_v100", "--output", str(trace)]) == 0
+        return str(trace)
+
+    def test_export_devices_writes_device_lanes(self, tmp_path, capsys) -> None:
+        import json
+
+        trace = self._fleet_trace(tmp_path)
+        out = capsys.readouterr().out
+        assert "4 device(s)" in out
+        assert "bytes transferred" in out
+        events = json.loads(Path(trace).read_text())["traceEvents"]
+        lanes = {
+            e["args"]["name"]
+            for e in events
+            if e.get("name") == "thread_name"
+        }
+        assert {"gpu0:h2d", "gpu3:d2h"} <= lanes
+        devices = {
+            e["args"]["device"]
+            for e in events
+            if e.get("name") == "thread_name" and "device" in e.get("args", {})
+        }
+        assert devices == {"gpu0", "gpu1", "gpu2", "gpu3"}
+
+    def test_export_is_byte_identical_across_runs(self, tmp_path) -> None:
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        a = self._fleet_trace(tmp_path / "a")
+        b = self._fleet_trace(tmp_path / "b")
+        assert Path(a).read_bytes() == Path(b).read_bytes()
+
+    def test_analyze_fleet_reports_comm_identity(self, tmp_path, capsys) -> None:
+        import json
+        import re
+
+        trace = self._fleet_trace(tmp_path)
+        capsys.readouterr()
+        out_json = tmp_path / "fleet.json"
+        prom = tmp_path / "fleet.prom"
+        assert main(["trace", "analyze", trace, "--fleet",
+                     "--json", str(out_json), "--prom", str(prom)]) == 0
+        out = capsys.readouterr().out
+        assert "imbalance" in out
+        assert "gpu0" in out and "gpu3" in out
+
+        # The CLI-reported transfer total at export time must equal the
+        # comm-matrix total the analyzer reconstructs from the trace.
+        payload = json.loads(out_json.read_text())
+        fleet = payload["fleet"]
+        matrix_total = sum(
+            moved
+            for row in fleet["comm_matrix"].values()
+            for moved in row.values()
+        )
+        assert matrix_total == fleet["total_bytes"]
+        assert len(fleet["devices"]) == 4
+
+        prom_text = prom.read_text()
+        assert "# TYPE" in prom_text
+        match = re.search(
+            r"^repro_fleet_comm_bytes_total (\S+)$", prom_text, re.MULTILINE
+        )
+        assert match is not None
+        assert float(match.group(1)) == fleet["total_bytes"]
+
+    def test_analyze_without_fleet_flag_omits_report(self, tmp_path, capsys) -> None:
+        import json
+
+        trace = self._fleet_trace(tmp_path)
+        out_json = tmp_path / "plain.json"
+        capsys.readouterr()
+        assert main(["trace", "analyze", trace,
+                     "--json", str(out_json)]) == 0
+        assert "imbalance" not in capsys.readouterr().out
+        assert "fleet" not in json.loads(out_json.read_text())
